@@ -1,0 +1,34 @@
+"""Ablation — bit density end to end (Fig. 7's choice, carried to Fig. 9).
+
+The paper picks b=4 from the power stacks alone (capacity and line
+bandwidth are equal by construction).  This bench carries the three
+densities through the full simulator: equal bandwidth, EPB ordered by the
+power stacks — confirming the power study is the whole story.
+"""
+
+from repro.arch.comet import CometArchitecture
+from repro.sim import MainMemorySimulator
+from repro.sim.factory import build_comet_device
+
+
+def bench_ablation_bit_density_end_to_end(benchmark):
+    def run():
+        results = {}
+        for bits in (1, 2, 4):
+            device = build_comet_device(CometArchitecture(bits_per_cell=bits))
+            stats = MainMemorySimulator(device).run_workload("milc", 4000)
+            results[bits] = stats
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for bits, stats in sorted(results.items()):
+        print(f"  COMET-{bits}b: {stats.bandwidth_gbps:7.2f} GB/s, "
+              f"{stats.energy_per_bit_pj:7.1f} pJ/b")
+
+    # Same line size and timings -> same bandwidth across densities.
+    bw = [results[b].bandwidth_gbps for b in (1, 2, 4)]
+    assert max(bw) / min(bw) < 1.05
+    # EPB follows the Fig. 7 power ordering: b=4 cheapest.
+    assert results[4].energy_per_bit_pj < results[2].energy_per_bit_pj \
+        < results[1].energy_per_bit_pj

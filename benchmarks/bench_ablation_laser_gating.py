@@ -1,0 +1,58 @@
+"""Ablation — run-time laser power management (future work, Ref. [43]).
+
+Section IV.C: laser power dominates photonic EPB; dynamic management
+"could significantly improve photonic memory energy consumption".  This
+bench quantifies it: the same COMET device with an always-on optical rail
+versus the gated rail, on a low-utilization workload where gating matters
+most, plus the closed-form bound from the governor model.
+"""
+
+import dataclasses
+
+from repro.arch.laser_management import LaserPowerManager, managed_epb_pj
+from repro.sim import MainMemorySimulator
+from repro.sim.factory import build_comet_device
+
+
+def _with_gating(device, gated: bool):
+    return dataclasses.replace(
+        device, energy=dataclasses.replace(
+            device.energy, gate_active_power=gated))
+
+
+def bench_ablation_laser_gating(benchmark):
+    base = build_comet_device()
+
+    def run():
+        results = {}
+        for gated in (False, True):
+            device = _with_gating(base, gated)
+            stats = MainMemorySimulator(device).run_workload("gcc", 5000)
+            results[gated] = stats
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    always_on = results[False].energy_per_bit_pj
+    gated = results[True].energy_per_bit_pj
+    print(f"\n  always-on: {always_on:8.1f} pJ/b | "
+          f"gated: {gated:8.1f} pJ/b | saving {always_on / gated:.1f}x")
+
+    # gcc is a low-intensity workload: gating must save materially.
+    assert gated < always_on
+    assert always_on / gated > 1.5
+    # Bandwidth is untouched (gating is an energy knob, not a timing one).
+    assert results[False].bandwidth_gbps == results[True].bandwidth_gbps
+
+
+def bench_ablation_governor_bound(benchmark):
+    """Closed-form governor bound vs a bursty utilization trace."""
+    def run():
+        manager = LaserPowerManager(full_power_w=24.0, sleep_fraction=0.1)
+        trace = ([0.9] * 20 + [0.0] * 180) * 5
+        average = manager.average_power_w(trace)
+        always_on, managed = managed_epb_pj(24.0, 10.0, utilization=0.09)
+        return average, always_on, managed
+
+    average, always_on, managed = benchmark(run)
+    assert average < 0.5 * 24.0          # the governor sleeps most epochs
+    assert managed < 0.3 * always_on     # the bound agrees

@@ -1,0 +1,28 @@
+"""Bench Fig. 10 — DOTA accelerator EPB with each main memory."""
+
+from repro.exp.fig10 import run as run_fig10
+
+
+def bench_fig10_dota_case_study(benchmark):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"num_requests": 6000}, rounds=1, iterations=1)
+
+    print()
+    for model, per_mem in result.results.items():
+        for memory, res in per_mem.items():
+            print(f"  {model} + {memory:9s}: {res.system_epb_pj:8.1f} pJ/b")
+
+    for model in ("DeiT-T", "DeiT-B"):
+        per_mem = result.results[model]
+        comet = per_mem["COMET"].system_epb_pj
+        # COMET is the best system-level memory for DOTA (Fig. 10's point).
+        assert all(res.system_epb_pj > comet
+                   for name, res in per_mem.items() if name != "COMET")
+        # Paper bands: 1.3-2.06x vs 3D_DDR4, 1.45-2.7x vs COSMOS.
+        assert 1.05 <= result.ratio(model, "3D_DDR4") <= 3.0
+        assert 1.2 <= result.ratio(model, "COSMOS") <= 40.0
+        # The crossover driver: 3D_DDR4 wins on raw memory EPB but pays
+        # the electro-optic conversion stage.
+        assert per_mem["3D_DDR4"].memory_epb_pj < per_mem["COMET"].memory_epb_pj
+        assert per_mem["3D_DDR4"].conversion_pj_per_bit \
+            > per_mem["COMET"].conversion_pj_per_bit

@@ -1,0 +1,27 @@
+"""Bench Fig. 2 — crossbar image corruption from write crosstalk."""
+
+import pytest
+
+from repro.exp.fig2 import run as run_fig2
+
+
+def bench_fig2_image_corruption(benchmark):
+    result = benchmark(run_fig2)
+
+    # Section II.B arithmetic: ~8 % crystalline-fraction shift per write.
+    assert result.per_write_shift == pytest.approx(0.08, abs=0.01)
+    # Four adjacent writes corrupt the neighbouring rows of a 4-bit image...
+    assert result.corrupted_fraction > 0.05
+    assert result.corrupted_cells >= 8 * result.writes_performed
+    # ...while COMET's isolated cells are untouched.
+    assert result.comet_corrupted_cells == 0
+
+
+def bench_fig2_scaling_with_writes(benchmark):
+    """More adjacent writes -> strictly more damage (saturating)."""
+    def run():
+        return [run_fig2(num_adjacent_writes=n).corrupted_cells
+                for n in (1, 2, 4)]
+
+    damage = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert damage[0] < damage[1] < damage[2]

@@ -1,0 +1,28 @@
+"""Bench Fig. 3 — PCM dispersion series across the C-band.
+
+Regenerates the n/kappa curves for GST, GSST and Sb2Se3 and checks the
+material-selection outcome the figure supports.
+"""
+
+from repro.exp.fig3 import run as run_fig3
+
+
+def bench_fig3_dispersion(benchmark):
+    result = benchmark(run_fig3, 16)
+
+    # Paper shape: GST is selected, with the largest index contrast.
+    assert result.selected_material == "GST"
+    gst = result.series["GST"]
+    gap_gst = gst["crystalline"][0] - gst["amorphous"][0]
+    gsst = result.series["GSST"]
+    gap_gsst = gsst["crystalline"][0] - gsst["amorphous"][0]
+    assert (gap_gst > gap_gsst).all()
+    # GST's crystalline extinction dominates every other curve.
+    assert (gst["crystalline"][1] > gsst["crystalline"][1]).all()
+
+
+def bench_fig3_print_series(benchmark, capsys):
+    from repro.exp.fig3 import main as main_fig3
+    benchmark.pedantic(main_fig3, rounds=1, iterations=1)
+    output = capsys.readouterr().out
+    assert "GST" in output and "1550" in output

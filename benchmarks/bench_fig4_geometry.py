@@ -1,0 +1,41 @@
+"""Bench Fig. 4 — absorption/transmission contrast vs cell geometry.
+
+Full-resolution sweep (6 widths x 7 thicknesses, as in the paper's scan),
+checking the selected star and the thickness-dominates-width shape.
+"""
+
+import numpy as np
+
+from repro.device.sweep import (
+    DEFAULT_THICKNESSES_M,
+    DEFAULT_WIDTHS_M,
+    geometry_sweep,
+    select_design_point,
+)
+from repro.materials import get_material
+
+
+def bench_fig4_geometry_sweep(benchmark):
+    gst = get_material("GST")
+
+    def run():
+        points = geometry_sweep(gst, DEFAULT_WIDTHS_M, DEFAULT_THICKNESSES_M)
+        return points, select_design_point(points)
+
+    points, selected = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert len(points) == len(DEFAULT_WIDTHS_M) * len(DEFAULT_THICKNESSES_M)
+    # Paper star: 20 nm film (width nearly irrelevant).
+    assert selected.thickness_m == 20e-9
+    assert selected.transmission_contrast > 0.85
+    assert selected.absorption_contrast > 0.85
+
+    # Shape: contrast varies far more along thickness than along width.
+    grid = {}
+    for p in points:
+        grid[(p.width_m, p.thickness_m)] = p.absorption_contrast
+    widths = sorted({w for w, _ in grid})
+    thicknesses = sorted({t for _, t in grid})
+    across_thickness = np.ptp([grid[(widths[0], t)] for t in thicknesses])
+    across_width = np.ptp([grid[(w, 20e-9)] for w in widths])
+    assert across_thickness > 3 * across_width

@@ -1,0 +1,28 @@
+"""Bench Fig. 6 — 16-level programming tables and reset case studies."""
+
+import pytest
+
+from repro.device.programming import ProgrammingMode
+from repro.exp.fig6 import run as run_fig6
+
+
+def bench_fig6_level_tables(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    # 16 equally spaced levels at ~6 % spacing (paper Section III.B).
+    assert result.level_spacing == pytest.approx(0.06, abs=0.005)
+    for mode, table in result.levels.items():
+        assert len(table) == 16
+
+    # Reset energies anchor to the paper's case studies.
+    assert result.reset_energy_pj[ProgrammingMode.CRYSTALLINE_DEPOSITED] \
+        == pytest.approx(880, rel=0.05)
+    assert result.reset_energy_pj[ProgrammingMode.AMORPHOUS_DEPOSITED] \
+        == pytest.approx(280, rel=0.05)
+
+    # Fig. 6 shape: in the amorphous-deposited mode, latency rises with
+    # crystalline fraction and every write fits the Table II envelope.
+    table = result.levels[ProgrammingMode.AMORPHOUS_DEPOSITED]
+    latencies = [entry.latency_s for entry in table[1:]]
+    assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+    assert max(entry.latency_s for entry in table) <= 170e-9

@@ -1,0 +1,20 @@
+"""Bench Fig. 7 — COMET power stacks for b = 1, 2, 4."""
+
+import pytest
+
+from repro.exp.fig7 import run as run_fig7
+
+
+def bench_fig7_power_stacks(benchmark):
+    result = benchmark(run_fig7)
+
+    stacks = result.stacks
+    # Fig. 7 shape: total power halves per bit-density doubling.
+    assert stacks[1].total_w > stacks[2].total_w > stacks[4].total_w
+    assert result.power_ratio(1, 4) == pytest.approx(4.0, rel=0.1)
+    # b=4 is the paper's selection.
+    assert result.selected_bits == 4
+    # Components behave: SOA mesh and laser both scale with Nc.
+    for bits in (1, 2, 4):
+        assert stacks[bits].soa_w > stacks[bits].laser_w
+        assert stacks[bits].tuning_w < 0.1  # EO tuning is negligible

@@ -1,0 +1,16 @@
+"""Bench Fig. 8 — COSMOS vs COMET power stacks."""
+
+from repro.exp.fig8 import run as run_fig8
+
+
+def bench_fig8_power_comparison(benchmark):
+    result = benchmark(run_fig8)
+
+    # Paper: "COMET consumes only 26 % of the power" of COSMOS.
+    assert 0.20 <= result.power_ratio <= 0.45
+    # Stack composition: COSMOS is laser-dominated (5 mW row+column+erase
+    # streams on 16 banks); COMET is SOA-dominated.
+    assert result.cosmos.laser_w > result.cosmos.soa_w
+    assert result.comet.soa_w > result.comet.laser_w
+    # COSMOS has no EO-tuned rings.
+    assert result.cosmos.tuning_w == 0.0

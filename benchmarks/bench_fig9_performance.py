@@ -1,0 +1,50 @@
+"""Bench Fig. 9 — bandwidth / EPB / BW-per-EPB across all architectures.
+
+The heavyweight bench: the full (7 architectures x 8 workloads) simulator
+grid.  Prints the geomean summary rows the paper plots and asserts the
+ordering/ratio shapes.
+"""
+
+from repro.exp.fig9 import run as run_fig9
+from repro.sim.factory import ARCHITECTURE_NAMES
+
+
+def bench_fig9_full_grid(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"num_requests": 8000}, rounds=1, iterations=1)
+
+    summary = result.summary
+    print()
+    for arch in ARCHITECTURE_NAMES:
+        s = summary[arch]
+        print(f"  {arch:10s} BW {s['bandwidth_gbps']:7.2f} GB/s   "
+              f"lat {s['avg_latency_ns']:8.1f} ns   "
+              f"EPB {s['epb_pj']:8.1f} pJ/b   "
+              f"BW/EPB {s['bw_per_epb']:.4f}")
+
+    # Headline shapes (paper values in brackets):
+    # COMET has the top bandwidth overall.
+    comet_bw = summary["COMET"]["bandwidth_gbps"]
+    assert all(comet_bw > summary[a]["bandwidth_gbps"]
+               for a in ARCHITECTURE_NAMES if a != "COMET")
+    # COMET vs COSMOS: BW [5.1-7.1x], EPB [12.9-15.1x], latency [3x].
+    assert 3.5 <= result.bw_ratio("COSMOS") <= 10.0
+    assert 9.0 <= result.epb_ratio("COSMOS") <= 25.0
+    assert result.latency_ratio("COSMOS") > 2.0
+    # BW/EPB vs COSMOS [65.8x].
+    assert 40.0 <= result.bw_per_epb_ratio("COSMOS") <= 200.0
+    # 2D_DDR3 is the slowest DRAM [100.3x gap is the paper's largest].
+    assert summary["2D_DDR3"]["bandwidth_gbps"] \
+        == min(summary[a]["bandwidth_gbps"]
+               for a in ("2D_DDR3", "2D_DDR4", "3D_DDR3", "3D_DDR4"))
+    # 3D/PCM parts beat photonics on raw EPB (Section IV.C's observation).
+    assert summary["3D_DDR4"]["epb_pj"] < summary["COMET"]["epb_pj"]
+
+
+def bench_fig9_single_workload_comet(benchmark):
+    """Microbench: one workload on COMET (simulator throughput probe)."""
+    from repro.sim import MainMemorySimulator
+
+    simulator = MainMemorySimulator("COMET")
+    stats = benchmark(simulator.run_workload, "mcf", 4000)
+    assert stats.bandwidth_gbps > 10.0

@@ -1,0 +1,22 @@
+"""Bench — the abstract/conclusion headline claims, all at once."""
+
+from repro.exp.headline import PAPER_CLAIMS, run as run_headline
+
+
+def bench_headline_claims(benchmark):
+    result = benchmark.pedantic(
+        run_headline, kwargs={"num_requests": 6000}, rounds=1, iterations=1)
+
+    print()
+    for key, paper_value in PAPER_CLAIMS.items():
+        measured = result.measured[key]
+        print(f"  {key:28s} measured {measured:7.2f} | paper {paper_value}")
+
+    measured = result.measured
+    # Every claim must hold directionally; the photonic-vs-photonic ones
+    # must land near the paper's magnitude.
+    assert measured["bandwidth_vs_cosmos"] > 3.5          # paper 5.1-7.1
+    assert measured["epb_vs_cosmos"] > 9.0                # paper 12.9-15.1
+    assert measured["latency_vs_cosmos"] > 2.0            # paper 3
+    assert measured["bw_per_epb_vs_cosmos"] > 40.0        # paper 65.8
+    assert measured["power_ratio_vs_cosmos"] < 0.45       # paper 0.26

@@ -1,0 +1,61 @@
+"""Bench — the reliability envelope: disturb, drift, endurance, WDM fit.
+
+The "would a downstream user adopt this" checks: four quantitative
+reliability questions the paper answers qualitatively (or not at all),
+evaluated together.
+"""
+
+from repro.arch.endurance import EnduranceModel, StartGapWearLeveler
+from repro.device.drift import TEN_YEARS_S, TransmissionDriftModel
+from repro.device.mlc import MultiLevelCell
+from repro.device.thermal_crosstalk import comet_write_disturb_report
+from repro.errors import ConfigError
+from repro.photonics.wdm import comet_wavelength_plan, ring_addressability
+
+
+def bench_reliability_envelope(benchmark):
+    def run():
+        disturb = comet_write_disturb_report()
+        drift = TransmissionDriftModel()
+        retention_ok = drift.retention_meets_spec(MultiLevelCell(4))
+        retention_5b = drift.retention_meets_spec(MultiLevelCell(5))
+        endurance = EnduranceModel()
+        lifetime = endurance.lifetime_years(3.0 / 8)   # per-channel share
+        leveler = StartGapWearLeveler(rows=512, gap_move_interval=100)
+        for _ in range(5_000):
+            leveler.record_write()
+        try:
+            plan_4b = comet_wavelength_plan(256)
+            plan_feasible = not ring_addressability(plan_4b).aliased
+        except ConfigError:
+            plan_feasible = False
+        return {
+            "disturb": disturb,
+            "retention_4b": retention_ok,
+            "retention_5b": retention_5b,
+            "lifetime_years": lifetime,
+            "leveling_efficiency": leveler.leveling_efficiency(),
+            "write_overhead": leveler.write_overhead(),
+            "wdm_4b_feasible": plan_feasible,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  write-disturb free at COMET pitch: "
+          f"{result['disturb']['comet_disturb_free']}")
+    print(f"  min safe pitch: "
+          f"{result['disturb']['minimum_safe_pitch_m'] * 1e6:.2f} um "
+          f"(COMET pitch {result['disturb']['comet_pitch_m'] * 1e6:.0f} um)")
+    print(f"  10-year retention: b=4 {result['retention_4b']}, "
+          f"b=5 {result['retention_5b']}")
+    print(f"  per-channel lifetime at Fig. 9 write load: "
+          f"{result['lifetime_years']:.0f} years "
+          f"(leveling eff. {result['leveling_efficiency']:.2f}, "
+          f"overhead {result['write_overhead']:.1%})")
+    print(f"  256-wavelength WDM plan feasible: {result['wdm_4b_feasible']}")
+
+    # The envelope the architecture must satisfy:
+    assert result["disturb"]["comet_disturb_free"]          # no write disturb
+    assert result["retention_4b"]                           # 10-year data
+    assert result["lifetime_years"] > 40.0                  # endurance
+    assert result["leveling_efficiency"] > 0.9              # cheap leveling
+    assert result["wdm_4b_feasible"]                        # comb fits

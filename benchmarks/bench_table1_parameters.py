@@ -1,0 +1,14 @@
+"""Bench Table I — parameter set and its derived constants."""
+
+from repro.exp.table1 import run as run_table1
+
+
+def bench_table1_parameters(benchmark):
+    result = benchmark(run_table1)
+
+    assert result.rows["Coupling loss"] == "1 dB"
+    assert result.rows["EO tuned MR through loss"] == "0.33 dB"
+    assert result.rows["Intra-subarray SOA power"] == "1.4 mW"
+    # Derived quantities the rest of the paper leans on.
+    assert result.soa_interval_rows == 46
+    assert result.eo_latency_ns == 2.0

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one paper artifact (table or figure), asserts its
+qualitative shape, and — through pytest-benchmark — reports how long the
+regeneration takes.  Heavy pipelines (the Fig. 9/10 simulator grids) run
+single-round via ``benchmark.pedantic``; cheap device/material benches run
+with normal calibration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Crosstalk corruption demo (the Fig. 2 experiment, interactive).
+
+Stores a synthetic image in a COSMOS-style crossbar at 4 bits/cell,
+performs writes to adjoining rows, and renders before/after as ASCII art
+so the corruption is visible, along with the quantitative damage report.
+Then repeats the writes against COMET's isolated cells (nothing happens).
+
+Usage: python examples/crosstalk_corruption_demo.py
+"""
+
+import numpy as np
+
+from repro.exp.fig2 import run as run_fig2
+from repro.exp.fig2 import synthetic_image
+from repro.photonics import CrossbarCrosstalkModel
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def render(levels: np.ndarray, max_level: int) -> str:
+    """Coarse ASCII rendering of a level array (subsampled 2x)."""
+    sub = levels[::2, ::2]
+    chars = []
+    for row in sub:
+        chars.append("".join(
+            ASCII_RAMP[int(v / max_level * (len(ASCII_RAMP) - 1))]
+            for v in row
+        ))
+    return "\n".join(chars)
+
+
+def main() -> None:
+    levels = 16
+    spacing = 1.0 / (levels - 1)
+    image = synthetic_image(64, 64, levels)
+    fractions = image * spacing
+
+    model = CrossbarCrosstalkModel()
+    write_rows = [12, 25, 38, 51]
+    after = model.corrupt_after_writes(fractions, write_rows)
+    after_levels = np.clip(np.round(after / spacing), 0, levels - 1).astype(int)
+
+    print("Original (stored in the crossbar):")
+    print(render(image, levels - 1))
+    print("\nAfter 4 writes to adjoining rows (crossbar, -18 dB crosstalk):")
+    print(render(after_levels, levels - 1))
+
+    result = run_fig2()
+    print(f"\nDamage: {result.corrupted_cells} cells "
+          f"({result.corrupted_fraction:.1%}) decode to the wrong level; "
+          f"each adjacent write shifts a victim by "
+          f"{result.per_write_shift:.3f} crystalline fraction "
+          f"(paper: ~0.08 = more than one 4-bit level).")
+    print("COMET's MR-gated cells are isolated: the same writes corrupt "
+          f"{result.comet_corrupted_cells} cells.")
+
+
+if __name__ == "__main__":
+    main()

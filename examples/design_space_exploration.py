@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Design-space exploration: reproduce the paper's cross-layer choices.
+
+Walks the three design studies of Section III/IV and prints each decision:
+
+* material selection (Fig. 3): GST vs GSST vs Sb2Se3,
+* cell geometry (Fig. 4): width x thickness contrast scan,
+* platform choice: Si vs SiN transmission contrast,
+* bit density (Fig. 7): power stacks for b = 1, 2, 4.
+
+Usage: python examples/design_space_exploration.py
+"""
+
+from repro.arch.power import bit_density_study
+from repro.device import CellGeometry, OpticalGstCell
+from repro.device.sweep import geometry_sweep, select_design_point
+from repro.materials import MATERIAL_NAMES, get_material
+
+
+def material_study() -> None:
+    print("1. Material selection (Fig. 3)")
+    for name in MATERIAL_NAMES:
+        material = get_material(name)
+        print(f"   {name:7s} dn = {material.index_contrast():.2f}, "
+              f"dk = {material.extinction_contrast():.3f}, "
+              f"FOM = {material.figure_of_merit():.4f}")
+    best = max(MATERIAL_NAMES, key=lambda n: get_material(n).figure_of_merit())
+    print(f"   -> selected: {best} (paper selects GST)\n")
+
+
+def geometry_study() -> None:
+    print("2. Cell geometry (Fig. 4)")
+    gst = get_material("GST")
+    points = geometry_sweep(
+        gst,
+        widths_m=[440e-9, 480e-9, 520e-9],
+        thicknesses_m=[10e-9, 20e-9, 30e-9],
+    )
+    for p in points:
+        print(f"   w={p.width_m * 1e9:3.0f} nm t={p.thickness_m * 1e9:2.0f} nm: "
+              f"T-contrast {p.transmission_contrast:.3f}, "
+              f"A-contrast {p.absorption_contrast:.3f}")
+    chosen = select_design_point(points)
+    print(f"   -> selected: {chosen.width_m * 1e9:.0f} nm x "
+          f"{chosen.thickness_m * 1e9:.0f} nm (paper: 480 nm x 20 nm)\n")
+
+
+def platform_study() -> None:
+    print("3. Platform choice (Si vs SiN, Section III.B)")
+    gst = get_material("GST")
+    for platform in ("Si", "SiN"):
+        cell = OpticalGstCell(gst, CellGeometry(platform=platform))
+        print(f"   {platform:3s}: transmission contrast "
+              f"{cell.transmission_contrast():.3f}")
+    print("   -> Si offers the higher contrast (as the paper argues)\n")
+
+
+def bit_density_power_study() -> None:
+    print("4. Bit density (Fig. 7)")
+    for bits, stack in sorted(bit_density_study().items()):
+        print(f"   b={bits}: laser {stack.laser_w:5.1f} W + "
+              f"SOA {stack.soa_w:5.1f} W = {stack.total_w:5.1f} W")
+    print("   -> b=4 minimizes power at equal capacity/bandwidth "
+          "(the paper's choice)\n")
+
+
+if __name__ == "__main__":
+    material_study()
+    geometry_study()
+    platform_study()
+    bit_density_power_study()

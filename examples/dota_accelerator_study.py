@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""DOTA photonic-accelerator case study (the Fig. 10 experiment).
+
+Feeds DeiT-Tiny and DeiT-Base inference traffic through every candidate
+main memory, adds the electro-optic conversion tax electronic memories
+pay at the photonic tensor core boundary, and reports system-level EPB.
+
+Usage: python examples/dota_accelerator_study.py
+"""
+
+from repro.accel import DEIT_BASE, DEIT_TINY, DotaSystem, dota_case_study
+
+
+def model_summary() -> None:
+    for model in (DEIT_TINY, DEIT_BASE):
+        system = DotaSystem("COMET", model)
+        print(f"{model.name}: {model.total_params / 1e6:.1f} M params, "
+              f"{system.total_bytes_per_inference() / 2**20:.1f} MB moved "
+              f"per inference "
+              f"(read fraction {system.traffic_workload().read_fraction:.3f})")
+    print()
+
+
+def main() -> None:
+    model_summary()
+    results = dota_case_study(num_requests=5000)
+    for model_name, per_memory in results.items():
+        print(f"DOTA + {model_name}:")
+        comet_epb = per_memory["COMET"].system_epb_pj
+        for memory, res in per_memory.items():
+            marker = " <- COMET" if memory == "COMET" else ""
+            print(f"  {memory:9s} memory {res.memory_epb_pj:8.1f} "
+                  f"+ conversion {res.conversion_pj_per_bit:5.1f} "
+                  f"= {res.system_epb_pj:8.1f} pJ/b{marker}")
+        print(f"  COMET vs 3D_DDR4: "
+              f"{per_memory['3D_DDR4'].system_epb_pj / comet_epb:.2f}x lower "
+              f"(paper: 1.3x DeiT-T / 2.06x DeiT-B)")
+        print(f"  COMET vs COSMOS:  "
+              f"{per_memory['COSMOS'].system_epb_pj / comet_epb:.2f}x lower "
+              f"(paper: 2.7x DeiT-T / 1.45x DeiT-B)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Functional COMET memory demo: store real data through the optical path.
+
+Writes a text through the full Fig. 5(f) flow (address mapping, 4-bit MLC
+packing, in-array losses, LUT gain compensation, level decisions), reads
+it back bit-exactly — then shows what breaks when the loss-aware design
+is sabotaged (the Section III.E story, executed).
+
+Usage: python examples/functional_memory_demo.py
+"""
+
+from repro.arch.functional import FunctionalCometMemory
+
+MESSAGE = (b"COMET stores 4 bits per GST cell as 16 optical transmission "
+           b"levels; the gain LUT makes every subarray row readable.")
+
+
+def happy_path() -> None:
+    memory = FunctionalCometMemory()
+    lines = memory.write_blob(0, MESSAGE)
+    recovered = memory.read_blob(0, len(MESSAGE))
+    print(f"Stored {len(MESSAGE)} bytes across {lines} lines "
+          f"({memory.org.bits_per_cell} bits/cell).")
+    print(f"Recovered: {recovered.decode()!r}")
+    print(f"Cell decision errors: {memory.stats.level_errors} "
+          f"of {memory.stats.cells_read} cells read.\n")
+    assert recovered == MESSAGE
+
+
+def sabotage_gain_lut() -> None:
+    memory = FunctionalCometMemory(gain_lut_enabled=False)
+    # Write to subarray row 40: the readout crosses 40 EO-tuned rings
+    # (13.2 dB) before reaching its SOA stage.
+    deep_row_address = 40 * memory.org.banks * memory.line_bytes
+    memory.write_line(deep_row_address, MESSAGE[:128].ljust(128, b"."))
+    recovered = memory.read_line(deep_row_address)
+    print("Gain LUT disabled, reading subarray row 40:")
+    print(f"  recovered head: {recovered[:40]!r}")
+    print(f"  corrupted cells: {memory.stats.level_errors} "
+          f"of {memory.stats.cells_read} "
+          f"({memory.stats.cell_error_rate:.0%})\n")
+
+
+def sabotage_extra_loss() -> None:
+    memory = FunctionalCometMemory(extra_loss_db=1.0)
+    memory.write_line(0, bytes(128))    # all cells at the brightest level
+    memory.read_line(0)
+    print("1.0 dB uncompensated loss (b=4 tolerates only ~0.26 dB):")
+    print(f"  corrupted cells: {memory.stats.level_errors} of "
+          f"{memory.stats.cells_read}")
+
+
+if __name__ == "__main__":
+    happy_path()
+    sabotage_gain_lut()
+    sabotage_extra_loss()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: build a COMET instance and walk the cross-layer stack.
+
+Runs in a few seconds and touches every layer once:
+
+1. material   — GST dispersion and why it wins the selection,
+2. device     — the 4-bit cell's response and reset energies,
+3. circuit    — the microring access switch and loss budget,
+4. architecture — organization, address mapping, LUT, power stack,
+5. system     — a short trace through the memory simulator.
+
+Usage: python examples/quickstart.py
+"""
+
+from repro.arch import CometArchitecture
+from repro.device import ProgrammingMode
+from repro.materials import get_material
+from repro.photonics import MicroringResonator
+from repro.sim import MainMemorySimulator
+
+
+def main() -> None:
+    # 1. Material level -------------------------------------------------
+    gst = get_material("GST")
+    n_a, k_a = gst.nk(1550e-9, 0.0)
+    n_c, k_c = gst.nk(1550e-9, 1.0)
+    print("GST @ 1550 nm:")
+    print(f"  amorphous    n = {n_a:.2f}, kappa = {k_a:.3f}")
+    print(f"  crystalline  n = {n_c:.2f}, kappa = {k_c:.3f}")
+    print(f"  contrast FOM = {gst.figure_of_merit():.2f} "
+          f"(GSST: {get_material('GSST').figure_of_merit():.2f}, "
+          f"Sb2Se3: {get_material('Sb2Se3').figure_of_merit():.4f})")
+
+    # 2-4. Device + architecture ----------------------------------------
+    arch = CometArchitecture()           # b=4, GST, Table I/II defaults
+    print(f"\n{arch.describe()}")
+    print(f"  cell transmission: amorphous {arch.cell.transmission(0.0):.3f}, "
+          f"crystalline {arch.cell.transmission(1.0):.3f}")
+    print(f"  reset energies: "
+          f"{arch.reset_energy_pj(ProgrammingMode.CRYSTALLINE_DEPOSITED):.0f} pJ "
+          f"(crystalline-deposited, paper 880), "
+          f"{arch.reset_energy_pj(ProgrammingMode.AMORPHOUS_DEPOSITED):.0f} pJ "
+          f"(amorphous-deposited, paper 280)")
+
+    ring = MicroringResonator()
+    print(f"  access ring: Q = {ring.quality_factor():.0f}, "
+          f"FSR = {ring.free_spectral_range_m * 1e9:.2f} nm, "
+          f"drop loss = {ring.drop_loss_db():.2f} dB")
+
+    location = arch.mapper.map_address(0x12345680)
+    print(f"  address 0x12345680 -> bank {location.bank}, "
+          f"subarray {location.subarray_id}, row {location.subarray_row}")
+
+    power = arch.power_breakdown()
+    print(f"  power stack: laser {power.laser_w:.1f} W + "
+          f"SOA {power.soa_w:.1f} W + tuning {power.tuning_w * 1e3:.1f} mW "
+          f"= {power.total_w:.1f} W per channel device")
+
+    # 5. System level -----------------------------------------------------
+    simulator = MainMemorySimulator("COMET")
+    stats = simulator.run_workload("mcf", num_requests=4000)
+    print(f"\nmcf trace on COMET: {stats.bandwidth_gbps:.1f} GB/s, "
+          f"{stats.avg_latency_ns:.0f} ns avg latency, "
+          f"{stats.energy_per_bit_pj:.0f} pJ/bit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""COMET reproduction: cross-layer optical phase-change main memory.
+
+A full-stack Python reproduction of "COMET: A Cross-Layer Optimized
+Optical Phase Change Main Memory Architecture" (DATE 2024):
+
+* :mod:`repro.materials` — PCM optical/thermal models (Lorentz + effective
+  medium).
+* :mod:`repro.photonics` — waveguide mode solver, rings, SOAs, lasers,
+  loss budgets, crossbar crosstalk.
+* :mod:`repro.device` — GST cell optics, transient heat, crystallization
+  kinetics, multi-level programming.
+* :mod:`repro.arch` — COMET organization, Eq. (1)-(6) address mapping,
+  gain LUT, power stacks, timing derivation.
+* :mod:`repro.baselines` — COSMOS, EPCM-MM, 2D/3D DDR3/DDR4.
+* :mod:`repro.sim` — the NVMain-substitute trace-driven memory simulator.
+* :mod:`repro.accel` — the DOTA photonic-accelerator case study.
+* :mod:`repro.exp` — one runner per paper table/figure
+  (``python -m repro.exp fig9``).
+
+Quickstart::
+
+    from repro.arch import CometArchitecture
+    arch = CometArchitecture()
+    print(arch.describe())
+"""
+
+from . import config
+from .arch import CometArchitecture
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "CometArchitecture", "ReproError", "__version__"]

@@ -1,0 +1,20 @@
+"""Photonic AI accelerator case study (paper Section IV.D, Fig. 10).
+
+* :class:`repro.accel.transformer.TransformerConfig` — DeiT-T / DeiT-B
+  traffic models (bytes moved per inference).
+* :class:`repro.accel.dota.DotaSystem` — the DOTA photonic tensor core fed
+  by each candidate main memory; computes system-level EPB including the
+  electro-optic conversion stages photonic memories avoid.
+"""
+
+from .transformer import TransformerConfig, DEIT_TINY, DEIT_BASE
+from .dota import DotaSystem, DotaEnergyModel, dota_case_study
+
+__all__ = [
+    "TransformerConfig",
+    "DEIT_TINY",
+    "DEIT_BASE",
+    "DotaSystem",
+    "DotaEnergyModel",
+    "dota_case_study",
+]

@@ -1,0 +1,175 @@
+"""DOTA photonic tensor core fed by candidate main memories (Fig. 10).
+
+DOTA [47] computes in the optical domain.  Data arriving from an
+*electronic* memory must cross an electro-optic conversion stage — DAC,
+modulator driver and the modulator's share of the laser — before it can
+enter the tensor core, and results cross back.  A *photonic* memory
+injects light directly ("without the need for energy-hungry
+electro-photonic conversion stages", Section IV.D), paying only the
+wavelength-alignment/retiming interface.
+
+System EPB for a (memory, model) pair is therefore::
+
+    EPB_system = EPB_memory(traffic)  +  conversion tax of that memory class
+
+where ``EPB_memory`` comes from running the transformer's traffic through
+the Fig. 9 memory simulator (weight streaming + activation spills), so the
+memory sees DOTA's actual access pattern rather than a generic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+from ..sim.simulator import MainMemorySimulator
+from ..sim.tracegen import SyntheticWorkload
+from .transformer import DEIT_BASE, DEIT_TINY, TransformerConfig
+
+#: Memories that deliver data optically (no E-O conversion at DOTA input).
+PHOTONIC_MEMORIES = ("COMET", "COSMOS")
+
+
+@dataclass(frozen=True)
+class DotaEnergyModel:
+    """Conversion-stage energy of the accelerator interface.
+
+    ``electro_optic_pj_per_bit`` covers the DAC + driver + modulator laser
+    share + receiver TIA/ADC of a full E-O-E crossing at analog-compute
+    fidelity; ``photonic_injection_pj_per_bit`` is the
+    wavelength-retiming/amplification cost of direct optical injection.
+    """
+
+    electro_optic_pj_per_bit: float = 65.0
+    photonic_injection_pj_per_bit: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.electro_optic_pj_per_bit < 0.0:
+            raise ConfigError("conversion energy must be non-negative")
+        if self.photonic_injection_pj_per_bit < 0.0:
+            raise ConfigError("injection energy must be non-negative")
+
+    def conversion_pj_per_bit(self, memory_name: str) -> float:
+        if memory_name in PHOTONIC_MEMORIES:
+            return self.photonic_injection_pj_per_bit
+        return self.electro_optic_pj_per_bit
+
+
+@dataclass
+class DotaResult:
+    """System EPB of one (memory, model) pair."""
+
+    memory_name: str
+    model_name: str
+    memory_epb_pj: float
+    conversion_pj_per_bit: float
+
+    @property
+    def system_epb_pj(self) -> float:
+        return self.memory_epb_pj + self.conversion_pj_per_bit
+
+
+class DotaSystem:
+    """DOTA + one main memory, evaluated on one transformer model."""
+
+    def __init__(
+        self,
+        memory_name: str,
+        model: TransformerConfig,
+        energy_model: DotaEnergyModel = DotaEnergyModel(),
+        inference_rate_per_s: float = 2000.0,
+        on_chip_buffer_bytes: int = 1 * 2**20,
+    ) -> None:
+        if inference_rate_per_s <= 0.0:
+            raise ConfigError("inference rate must be positive")
+        if on_chip_buffer_bytes < 0:
+            raise ConfigError("buffer size must be non-negative")
+        self.memory_name = memory_name
+        self.model = model
+        self.energy_model = energy_model
+        self.inference_rate_per_s = inference_rate_per_s
+        self.on_chip_buffer_bytes = on_chip_buffer_bytes
+
+    # -- traffic after on-chip buffering ---------------------------------
+
+    def _layer_spill_bytes(self) -> int:
+        """Per-layer bytes that exceed DOTA's on-chip SRAM and spill.
+
+        DOTA buffers activations and attention scores on chip; only the
+        overflow beyond the buffer reaches main memory.  For the DeiT
+        variants the per-layer working set is well under 1 MB, so spills
+        are zero and the memory sees (nearly pure) weight streaming.
+        """
+        per_layer = (self.model.activation_bytes_per_layer
+                     + self.model.attention_bytes_per_layer)
+        return max(per_layer - self.on_chip_buffer_bytes, 0)
+
+    def read_bytes_per_inference(self) -> int:
+        spills = self.model.layers * self._layer_spill_bytes()
+        return self.model.weight_bytes + spills
+
+    def write_bytes_per_inference(self) -> int:
+        # Spilled tensors are written then read back; plus the final logits.
+        return self.model.layers * self._layer_spill_bytes() + 4096
+
+    def total_bytes_per_inference(self) -> int:
+        return self.read_bytes_per_inference() + self.write_bytes_per_inference()
+
+    def traffic_workload(self) -> SyntheticWorkload:
+        """The memory-side view of DOTA running this model.
+
+        Weight streaming makes the traffic highly sequential and
+        read-dominated; the request rate follows from bytes-per-inference x
+        inference rate.
+        """
+        total = self.total_bytes_per_inference()
+        bytes_per_s = total * self.inference_rate_per_s
+        line_bytes = 128
+        interarrival_ns = max(line_bytes / bytes_per_s * 1e9, 0.5)
+        reads = self.read_bytes_per_inference()
+        return SyntheticWorkload(
+            name=f"dota-{self.model.name}",
+            mean_interarrival_ns=interarrival_ns,
+            read_fraction=reads / total,
+            sequential_probability=0.9,
+            working_set_bytes=max(total, 1 * 2**20),
+            line_bytes=line_bytes,
+        )
+
+    def evaluate(self, num_requests: int = 8000, seed: int = 7) -> DotaResult:
+        """Run the traffic through the memory simulator; return system EPB."""
+        workload = self.traffic_workload()
+        simulator = MainMemorySimulator(self.memory_name)
+        stats = simulator.run(
+            workload.generate(num_requests, seed=seed),
+            workload_name=workload.name,
+        )
+        return DotaResult(
+            memory_name=self.memory_name,
+            model_name=self.model.name,
+            memory_epb_pj=stats.energy_per_bit_pj,
+            conversion_pj_per_bit=self.energy_model.conversion_pj_per_bit(
+                self.memory_name
+            ),
+        )
+
+
+def dota_case_study(
+    memories: List[str] = None,
+    models: List[TransformerConfig] = None,
+    num_requests: int = 8000,
+) -> Dict[str, Dict[str, DotaResult]]:
+    """The full Fig. 10 grid: ``results[model][memory] -> DotaResult``."""
+    memory_names = memories if memories is not None else [
+        "2D_DDR3", "3D_DDR3", "2D_DDR4", "3D_DDR4", "EPCM-MM",
+        "COSMOS", "COMET",
+    ]
+    model_list = models if models is not None else [DEIT_TINY, DEIT_BASE]
+    results: Dict[str, Dict[str, DotaResult]] = {}
+    for model in model_list:
+        results[model.name] = {}
+        for memory in memory_names:
+            system = DotaSystem(memory, model)
+            results[model.name][memory] = system.evaluate(num_requests)
+    return results

@@ -1,0 +1,111 @@
+"""Vision-transformer traffic models (DeiT-T and DeiT-B).
+
+Fig. 10 evaluates DOTA running DeiT-Tiny and DeiT-Base inference with each
+candidate main memory.  What the memory sees is the data movement: weight
+streaming (every parameter read once per inference batch — tensor-core
+accelerators hold little on-chip), activation spills between layers, and
+attention-matrix traffic.  This module computes those byte counts from the
+model dimensions (Vaswani attention [48], DeiT variants as used by DOTA
+[47]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Dimensions and traffic model of one transformer variant."""
+
+    name: str
+    layers: int
+    hidden_dim: int
+    heads: int
+    mlp_ratio: float
+    sequence_length: int
+    bytes_per_value: int = 1      # INT8 inference datapath
+
+    def __post_init__(self) -> None:
+        if min(self.layers, self.hidden_dim, self.heads,
+               self.sequence_length) < 1:
+            raise ConfigError("transformer dimensions must be positive")
+        if self.hidden_dim % self.heads:
+            raise ConfigError("hidden dim must divide evenly across heads")
+
+    # -- parameter counts -----------------------------------------------
+
+    @property
+    def params_per_layer(self) -> int:
+        """QKV + output projection + MLP weights of one encoder block."""
+        d = self.hidden_dim
+        attention = 4 * d * d                       # Wq, Wk, Wv, Wo
+        mlp = int(2 * d * (d * self.mlp_ratio))     # up + down projections
+        layernorm = 4 * d
+        return attention + mlp + layernorm
+
+    @property
+    def total_params(self) -> int:
+        embed = self.hidden_dim * (3 * 16 * 16)     # patch embedding (RGB 16x16)
+        head = self.hidden_dim * 1000               # classifier
+        return self.layers * self.params_per_layer + embed + head
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.total_params * self.bytes_per_value
+
+    # -- per-inference traffic ----------------------------------------------
+
+    @property
+    def activation_bytes_per_layer(self) -> int:
+        """Activations written then read back between blocks."""
+        return (self.sequence_length * self.hidden_dim
+                * self.bytes_per_value)
+
+    @property
+    def attention_bytes_per_layer(self) -> int:
+        """Attention scores (S x S per head) spilled at long sequence."""
+        return (self.heads * self.sequence_length * self.sequence_length
+                * self.bytes_per_value)
+
+    def inference_read_bytes(self, batch: int = 1) -> int:
+        """Bytes read from main memory for one batch."""
+        if batch < 1:
+            raise ConfigError("batch must be positive")
+        weights = self.weight_bytes                       # streamed once
+        activations = (self.layers * self.activation_bytes_per_layer
+                       * batch)
+        attention = self.layers * self.attention_bytes_per_layer * batch
+        return weights + activations + attention
+
+    def inference_write_bytes(self, batch: int = 1) -> int:
+        """Bytes written back (activation spills, attention scores)."""
+        if batch < 1:
+            raise ConfigError("batch must be positive")
+        activations = self.layers * self.activation_bytes_per_layer * batch
+        attention = self.layers * self.attention_bytes_per_layer * batch
+        return activations + attention
+
+    def inference_total_bytes(self, batch: int = 1) -> int:
+        return self.inference_read_bytes(batch) + self.inference_write_bytes(batch)
+
+    @property
+    def read_fraction(self) -> float:
+        """Read share of the traffic (weight streaming dominates)."""
+        reads = self.inference_read_bytes()
+        return reads / (reads + self.inference_write_bytes())
+
+
+#: DeiT-Tiny: 12 layers, 192-d, 3 heads (~5.7 M params).
+DEIT_TINY = TransformerConfig(
+    name="DeiT-T", layers=12, hidden_dim=192, heads=3,
+    mlp_ratio=4.0, sequence_length=197,
+)
+
+#: DeiT-Base: 12 layers, 768-d, 12 heads (~86 M params).
+DEIT_BASE = TransformerConfig(
+    name="DeiT-B", layers=12, hidden_dim=768, heads=12,
+    mlp_ratio=4.0, sequence_length=197,
+)

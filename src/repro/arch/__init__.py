@@ -1,0 +1,54 @@
+"""COMET architecture layer (paper Section III.C–F and IV.A).
+
+* :class:`repro.arch.organization.MemoryOrganization` — the
+  (B x Sr x Mr x Mc x b) organization algebra.
+* :class:`repro.arch.address.AddressMapper` — the Eq. (1)–(6) address
+  mapping, physical byte address -> (bank, subarray, row, column).
+* :class:`repro.arch.lut.GainLUT` — loss-aware SOA gain look-up table
+  (sizing rules of Section IV.A).
+* :mod:`repro.arch.reliability` — SOA placement and loss-tolerance rules.
+* :class:`repro.arch.power.CometPowerModel` — the Fig. 7/8 power stacks.
+* :mod:`repro.arch.timing` — Table II timing derivation from device level.
+* :class:`repro.arch.comet.CometArchitecture` — facade tying it together.
+"""
+
+from .organization import MemoryOrganization
+from .address import AddressMapper, CellLocation, DecomposedAddress
+from .lut import GainLUT
+from .reliability import (
+    soa_row_interval,
+    rows_passable,
+    lut_granularity_rows,
+    total_soa_count,
+    active_soa_count,
+)
+from .power import CometPowerModel, PowerBreakdown
+from .timing import DerivedTimings, derive_comet_timings
+from .comet import CometArchitecture
+from .laser_management import LaserPowerManager, managed_epb_pj
+from .functional import FunctionalCometMemory, FunctionalStats
+from .endurance import EnduranceModel, StartGapWearLeveler
+
+__all__ = [
+    "MemoryOrganization",
+    "AddressMapper",
+    "CellLocation",
+    "DecomposedAddress",
+    "GainLUT",
+    "soa_row_interval",
+    "rows_passable",
+    "lut_granularity_rows",
+    "total_soa_count",
+    "active_soa_count",
+    "CometPowerModel",
+    "PowerBreakdown",
+    "DerivedTimings",
+    "derive_comet_timings",
+    "CometArchitecture",
+    "LaserPowerManager",
+    "managed_epb_pj",
+    "FunctionalCometMemory",
+    "FunctionalStats",
+    "EnduranceModel",
+    "StartGapWearLeveler",
+]

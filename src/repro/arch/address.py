@@ -1,0 +1,172 @@
+"""Address mapping (paper Section III.F, Eqs. (1)–(6)).
+
+The memory controller sees ``{Channel, Row, Bank, Column}`` coordinates and
+COMET maps them onto
+``{Channel, SubarrayID, SubarrayROW, Bank, SubarrayCOL}``:
+
+    ID1         = int(RowID / Mr)                       (2)
+    ID2         = int(ColumnID / Mc)                    (3)
+    SubarrayID  = ID2 * sqrt(Sr) + ID1                  (4)
+    SubarrayROW = RowID % Mr                            (5)
+    SubarrayCOL = ColumnID % Mc                         (6)
+
+In COMET ``Sc = 1``, so ``ID2 = 0`` and Eq. (4) degenerates to
+``SubarrayID = ID1``; the ``sqrt(Sr)`` term only matters for layouts with
+multiple column-subarrays, where — taken literally — it is only a bijection
+when ``Sc <= sqrt(Sr)``.  :meth:`AddressMapper.subarray_id` therefore
+follows Eq. (4) exactly whenever it is bijective and falls back to the
+dense row-major form ``ID2 * Sr + ID1`` otherwise (COSMOS's 512 x 512
+subarray grid needs the fallback).
+
+Above the coordinate mapping sits the physical byte-address decomposition:
+cache lines are interleaved across the ``B`` banks (Section III.C) and one
+COMET line is exactly one subarray row (``Mc * b`` bits — 1024 bits = 128 B
+for every Fig. 7 configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AddressError
+from .organization import MemoryOrganization
+
+
+@dataclass(frozen=True)
+class DecomposedAddress:
+    """Controller-level coordinates of one cache line."""
+
+    channel: int
+    bank: int
+    row_id: int
+    column_id: int
+
+
+@dataclass(frozen=True)
+class CellLocation:
+    """Fully mapped physical location (Eq. (1) right-hand side)."""
+
+    channel: int
+    bank: int
+    subarray_id: int
+    subarray_row: int
+    subarray_col: int
+
+
+class AddressMapper:
+    """Maps physical byte addresses to COMET/COSMOS cell locations."""
+
+    def __init__(self, organization: MemoryOrganization, channels: int = 1) -> None:
+        if channels < 1:
+            raise AddressError("need at least one channel")
+        self.org = organization
+        self.channels = channels
+
+    # ------------------------------------------------------------------
+    # Line geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def line_bytes(self) -> int:
+        """One line = one subarray row of one bank (Mc * b bits)."""
+        bits = self.org.row_bits
+        if bits % 8:
+            raise AddressError(
+                f"subarray row of {bits} bits is not byte-aligned"
+            )
+        return bits // 8
+
+    @property
+    def lines_per_bank(self) -> int:
+        return self.org.rows_per_bank * self.org.col_subarrays
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.channels * self.org.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Eq. (2)–(6)
+    # ------------------------------------------------------------------
+
+    def subarray_id(self, row_id: int, column_id: int) -> int:
+        """Eq. (4), with a bijective fallback for wide subarray grids."""
+        org = self.org
+        id1 = row_id // org.rows_per_subarray          # Eq. (2)
+        id2 = column_id // org.cols_per_subarray       # Eq. (3)
+        try:
+            grid_side = org.subarray_grid_side
+            paper_form_bijective = org.col_subarrays <= grid_side or org.col_subarrays == 1
+        except Exception:
+            paper_form_bijective = False
+        if paper_form_bijective and org.col_subarrays > 1:
+            return id2 * grid_side + id1
+        if org.col_subarrays == 1:
+            return id1                                  # Eq. (4) with ID2 = 0
+        return id2 * org.row_subarrays + id1            # dense fallback
+
+    def map_coordinates(self, decomposed: DecomposedAddress) -> CellLocation:
+        """Apply Eq. (1): controller coordinates -> cell location."""
+        org = self.org
+        if not 0 <= decomposed.row_id < org.rows_per_bank:
+            raise AddressError(f"row {decomposed.row_id} out of range")
+        if not 0 <= decomposed.column_id < org.cols_per_bank:
+            raise AddressError(f"column {decomposed.column_id} out of range")
+        if not 0 <= decomposed.bank < org.banks:
+            raise AddressError(f"bank {decomposed.bank} out of range")
+        if not 0 <= decomposed.channel < self.channels:
+            raise AddressError(f"channel {decomposed.channel} out of range")
+        return CellLocation(
+            channel=decomposed.channel,
+            bank=decomposed.bank,
+            subarray_id=self.subarray_id(decomposed.row_id, decomposed.column_id),
+            subarray_row=decomposed.row_id % org.rows_per_subarray,   # Eq. (5)
+            subarray_col=decomposed.column_id % org.cols_per_subarray,  # Eq. (6)
+        )
+
+    # ------------------------------------------------------------------
+    # Physical byte address <-> coordinates
+    # ------------------------------------------------------------------
+
+    def decompose(self, address: int) -> DecomposedAddress:
+        """Physical byte address -> controller coordinates.
+
+        Line interleaving: consecutive lines rotate across banks, then walk
+        the rows of a bank, then (for Sc > 1) the column-subarray groups,
+        then channels.
+        """
+        self._check_address(address)
+        line = address // self.line_bytes
+        bank = line % self.org.banks
+        line //= self.org.banks
+        row_id = line % self.org.rows_per_bank
+        line //= self.org.rows_per_bank
+        col_group = line % self.org.col_subarrays
+        line //= self.org.col_subarrays
+        channel = line
+        return DecomposedAddress(
+            channel=channel,
+            bank=bank,
+            row_id=row_id,
+            column_id=col_group * self.org.cols_per_subarray,
+        )
+
+    def compose(self, decomposed: DecomposedAddress) -> int:
+        """Inverse of :meth:`decompose` (line-aligned byte address)."""
+        org = self.org
+        col_group = decomposed.column_id // org.cols_per_subarray
+        line = decomposed.channel
+        line = line * org.col_subarrays + col_group
+        line = line * org.rows_per_bank + decomposed.row_id
+        line = line * org.banks + decomposed.bank
+        return line * self.line_bytes
+
+    def map_address(self, address: int) -> CellLocation:
+        """Physical byte address -> fully mapped cell location."""
+        return self.map_coordinates(self.decompose(address))
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.capacity_bytes:
+            raise AddressError(
+                f"address {address:#x} outside capacity "
+                f"{self.capacity_bytes:#x}"
+            )

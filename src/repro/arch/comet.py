@@ -1,0 +1,98 @@
+"""COMET architecture facade.
+
+Ties the cross-layer pieces into one object: material -> cell -> MLC ->
+programmer -> organization -> address map -> power stack -> timings.
+This is the object examples and the simulator factory consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import (
+    CHANNEL_CAPACITY_BYTES,
+    COMET_TIMINGS,
+    MAIN_MEMORY_CHANNELS,
+    OpticalParameters,
+    PhotonicMemoryTimings,
+    TABLE_I,
+)
+from ..device.cell import OpticalGstCell
+from ..device.mlc import MultiLevelCell
+from ..device.programming import CellProgrammer, ProgrammingMode
+from ..errors import ConfigError
+from ..materials.database import get_material
+from .address import AddressMapper
+from .lut import GainLUT
+from .organization import MemoryOrganization
+from .power import CometPowerModel, PowerBreakdown
+from .timing import DerivedTimings, derive_comet_timings
+
+
+class CometArchitecture:
+    """A fully configured COMET main memory instance."""
+
+    def __init__(
+        self,
+        bits_per_cell: int = 4,
+        material_name: str = "GST",
+        params: OpticalParameters = TABLE_I,
+        timings: PhotonicMemoryTimings = COMET_TIMINGS,
+        channels: int = MAIN_MEMORY_CHANNELS,
+    ) -> None:
+        self.params = params
+        self.timings = timings
+        self.channels = channels
+        self.material = get_material(material_name)
+        self.cell = OpticalGstCell(self.material)
+        self.mlc = MultiLevelCell.for_cell(self.cell, bits_per_cell)
+        self.programmer = CellProgrammer(self.cell)
+        self.organization = MemoryOrganization.comet(bits_per_cell)
+        self.mapper = AddressMapper(self.organization, channels=channels)
+        self.lut = GainLUT(
+            rows_per_subarray=self.organization.rows_per_subarray,
+            bits_per_cell=bits_per_cell,
+            params=params,
+        )
+        self.power_model = CometPowerModel(self.organization, params=params)
+        if self.organization.capacity_bytes != CHANNEL_CAPACITY_BYTES:
+            raise ConfigError(
+                f"organization capacity {self.organization.capacity_bytes} "
+                f"differs from the per-channel {CHANNEL_CAPACITY_BYTES}"
+            )
+
+    # -- conveniences ---------------------------------------------------
+
+    @property
+    def bits_per_cell(self) -> int:
+        return self.organization.bits_per_cell
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Full part capacity across all channels."""
+        return self.organization.capacity_bytes * self.channels
+
+    def power_breakdown(self) -> PowerBreakdown:
+        """The Fig. 7 power stack of this instance."""
+        return self.power_model.breakdown(
+            name=f"COMET-{self.bits_per_cell}b"
+        )
+
+    def derived_timings(self) -> DerivedTimings:
+        """Device-derived timing set (validates Table II)."""
+        return derive_comet_timings(self.programmer, self.mlc, self.params)
+
+    def reset_energy_pj(self, mode: ProgrammingMode) -> float:
+        """Reset energy of the cell in pJ (Section III.B case studies)."""
+        return self.programmer.reset_energy_j(mode) * 1e12
+
+    def describe(self) -> str:
+        org = self.organization
+        return (
+            f"COMET-{self.bits_per_cell}b {org.describe()}: "
+            f"{org.capacity_bytes / 2**30:.0f} GiB, "
+            f"{org.wavelengths_required} wavelengths/bank, "
+            f"{self.lut.paper_entry_count} LUT entries, "
+            f"{self.power_breakdown().total_w:.1f} W operational"
+        )

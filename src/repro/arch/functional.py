@@ -1,0 +1,195 @@
+"""Functional (data-storing) COMET memory: the Fig. 5(f) flow, end to end.
+
+The performance simulator (:mod:`repro.sim`) answers "how fast/how much
+energy"; this model answers "does the data survive".  It executes the
+paper's read and write operation flows against real stored state:
+
+* **write** (Fig. 5(f), bottom): map the physical address (Eq. (1)–(6)),
+  pack the line's bytes into per-cell levels, convert levels to target
+  transmissions, program the subarray row (optionally with programming
+  noise on the achieved transmission).
+* **read** (Fig. 5(f), top): apply the row-position-dependent EO-tuned MR
+  through losses the readout suffers inside the subarray, amplify with the
+  gain-LUT entry for the row (the Section III.E loss-aware compensation),
+  add optional detector noise, run nearest-level decisions, and repack the
+  bytes.
+
+Failure-injection knobs make the architecture's reliability story
+testable: disabling the gain LUT makes far-from-SOA rows decode wrongly
+at b=4 exactly as Section IV.A predicts; adding uncompensated loss beyond
+the bit-density tolerance breaks readout; transmission drift below half a
+level spacing is absorbed by the nearest-level decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import OpticalParameters, TABLE_I
+from ..device.mlc import MultiLevelCell
+from ..errors import AddressError, ConfigError
+from ..units import db_to_linear
+from .address import AddressMapper, CellLocation
+from .lut import GainLUT
+from .organization import MemoryOrganization
+
+
+@dataclass
+class FunctionalStats:
+    """Counters of the functional memory."""
+
+    writes: int = 0
+    reads: int = 0
+    cells_read: int = 0
+    level_errors: int = 0
+
+    @property
+    def cell_error_rate(self) -> float:
+        return self.level_errors / self.cells_read if self.cells_read else 0.0
+
+
+class FunctionalCometMemory:
+    """A behavioural COMET channel that stores and retrieves real data."""
+
+    def __init__(
+        self,
+        organization: Optional[MemoryOrganization] = None,
+        mlc: Optional[MultiLevelCell] = None,
+        params: OpticalParameters = TABLE_I,
+        gain_lut_enabled: bool = True,
+        extra_loss_db: float = 0.0,
+        transmission_noise_sigma: float = 0.0,
+        seed: int = 12345,
+    ) -> None:
+        self.org = organization if organization is not None \
+            else MemoryOrganization.comet(4)
+        self.mlc = mlc if mlc is not None \
+            else MultiLevelCell(self.org.bits_per_cell)
+        if self.mlc.bits_per_cell != self.org.bits_per_cell:
+            raise ConfigError("MLC bit density must match the organization")
+        self.params = params
+        self.mapper = AddressMapper(self.org, channels=1)
+        self.lut = GainLUT(
+            rows_per_subarray=self.org.rows_per_subarray,
+            bits_per_cell=self.org.bits_per_cell,
+            params=params,
+        )
+        self.gain_lut_enabled = gain_lut_enabled
+        if extra_loss_db < 0.0:
+            raise ConfigError("extra loss must be non-negative")
+        self.extra_loss_db = extra_loss_db
+        if transmission_noise_sigma < 0.0:
+            raise ConfigError("noise sigma must be non-negative")
+        self.noise_sigma = transmission_noise_sigma
+        self._rng = np.random.RandomState(seed)
+        #: (bank, subarray, row) -> stored per-cell transmissions
+        self._rows: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self.stats = FunctionalStats()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def line_bytes(self) -> int:
+        return self.mapper.line_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.mapper.capacity_bytes
+
+    def _check_line_address(self, address: int) -> CellLocation:
+        if address % self.line_bytes:
+            raise AddressError(
+                f"address {address:#x} is not {self.line_bytes}-byte aligned")
+        return self.mapper.map_address(address)
+
+    def _bytes_to_levels(self, data: bytes) -> np.ndarray:
+        bits = self.org.bits_per_cell
+        value = int.from_bytes(data, "big")
+        levels = self.mlc.unpack_values(value, self.org.cols_per_subarray)
+        return np.array(levels, dtype=int)
+
+    def _levels_to_bytes(self, levels: np.ndarray) -> bytes:
+        word = self.mlc.pack_values([int(v) for v in levels])
+        return word.to_bytes(self.line_bytes, "big")
+
+    # ------------------------------------------------------------------
+    # Fig. 5(f) operations
+    # ------------------------------------------------------------------
+
+    def write_line(self, address: int, data: bytes) -> CellLocation:
+        """Program one line: the Fig. 5(f) write flow."""
+        if len(data) != self.line_bytes:
+            raise ConfigError(
+                f"line must be {self.line_bytes} bytes, got {len(data)}")
+        location = self._check_line_address(address)
+        levels = self._bytes_to_levels(data)
+        transmissions = np.array([
+            self.mlc.transmission_for_level(int(level)) for level in levels
+        ])
+        if self.noise_sigma > 0.0:
+            transmissions = np.clip(
+                transmissions + self._rng.normal(
+                    0.0, self.noise_sigma, transmissions.shape),
+                0.0, 1.0,
+            )
+        key = (location.bank, location.subarray_id, location.subarray_row)
+        self._rows[key] = transmissions
+        self.stats.writes += 1
+        return location
+
+    def read_line(self, address: int) -> bytes:
+        """Read one line back: the Fig. 5(f) read flow with loss + gain."""
+        location = self._check_line_address(address)
+        key = (location.bank, location.subarray_id, location.subarray_row)
+        try:
+            stored = self._rows[key]
+        except KeyError:
+            raise AddressError(
+                f"address {address:#x} has never been written") from None
+
+        row = location.subarray_row
+        # In-array losses between the row and its downstream SOA stage.
+        loss_db = ((row % self.lut.soa_interval_rows)
+                   * self.params.eo_mr_through_loss_db
+                   + self.extra_loss_db)
+        received = stored * db_to_linear(-loss_db)
+        # Loss-aware gain tuning (Section III.E).
+        if self.gain_lut_enabled:
+            received = received * db_to_linear(self.lut.gain_db_for_row(row))
+        received = np.clip(received, 0.0, 1.0)
+
+        decided = np.array([self.mlc.decide_level(t) for t in received])
+        true_levels = np.array([self.mlc.decide_level(t) for t in stored])
+        self.stats.reads += 1
+        self.stats.cells_read += len(decided)
+        self.stats.level_errors += int(np.count_nonzero(decided != true_levels))
+        return self._levels_to_bytes(decided)
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+
+    def write_blob(self, start_address: int, blob: bytes) -> int:
+        """Write an arbitrary-length blob as consecutive lines (padded)."""
+        if start_address % self.line_bytes:
+            raise AddressError("blob must start line-aligned")
+        padded = blob + b"\x00" * (-len(blob) % self.line_bytes)
+        lines = len(padded) // self.line_bytes
+        for index in range(lines):
+            chunk = padded[index * self.line_bytes:(index + 1) * self.line_bytes]
+            self.write_line(start_address + index * self.line_bytes, chunk)
+        return lines
+
+    def read_blob(self, start_address: int, length: int) -> bytes:
+        """Read ``length`` bytes written by :meth:`write_blob`."""
+        lines = -(-length // self.line_bytes)
+        out = b"".join(
+            self.read_line(start_address + index * self.line_bytes)
+            for index in range(lines)
+        )
+        return out[:length]

@@ -1,0 +1,148 @@
+"""Run-time laser power management (the paper's future work, Ref. [43]).
+
+Section IV.C observes that laser power dominates photonic-memory EPB and
+points to run-time laser power management with on-chip SOAs [43] as the
+fix, leaving it as future work.  This module implements that extension:
+
+* :class:`LaserPowerManager` — a utilization-tracking governor that scales
+  the optical supply between a sleep floor and full power, with a wake
+  latency charged to accesses that arrive while the rail is asleep.
+* :func:`managed_epb_pj` — closed-form EPB of a managed versus always-on
+  rail at a given utilization, used by the ablation bench.
+
+The governor is deliberately simple (exponential-moving-average of bank
+utilization with hysteresis) — the point of the extension is to quantify
+the *bound*: how much of the photonic EPB gap to electronic memories
+disappears once the rail follows demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LaserPowerState:
+    """One observable step of the governor's trajectory."""
+
+    time_ns: float
+    utilization: float
+    supplied_fraction: float
+
+
+@dataclass
+class LaserPowerManager:
+    """Utilization-following optical power governor.
+
+    Parameters
+    ----------
+    full_power_w:
+        The unmanaged (always-on) optical supply rail.
+    sleep_fraction:
+        Fraction of full power kept alive when idle (bias currents,
+        thermal stability of the comb source).
+    wake_latency_ns:
+        Extra latency charged to an access arriving during sleep.
+    ema_alpha:
+        Smoothing of the utilization estimate per control epoch.
+    wake_threshold / sleep_threshold:
+        Hysteresis bounds on the smoothed utilization.
+    """
+
+    full_power_w: float
+    sleep_fraction: float = 0.1
+    wake_latency_ns: float = 20.0
+    ema_alpha: float = 0.25
+    wake_threshold: float = 0.05
+    sleep_threshold: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.full_power_w <= 0.0:
+            raise ConfigError("full power must be positive")
+        if not 0.0 <= self.sleep_fraction < 1.0:
+            raise ConfigError("sleep fraction must be in [0, 1)")
+        if self.sleep_threshold > self.wake_threshold:
+            raise ConfigError("hysteresis thresholds inverted")
+        self._ema = 0.0
+        self._awake = False
+
+    # -- governor dynamics ----------------------------------------------
+
+    @property
+    def is_awake(self) -> bool:
+        return self._awake
+
+    def observe(self, utilization: float) -> float:
+        """Feed one epoch's bank utilization; returns supplied fraction."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigError("utilization must be in [0, 1]")
+        self._ema = (self.ema_alpha * utilization
+                     + (1.0 - self.ema_alpha) * self._ema)
+        if self._awake and self._ema < self.sleep_threshold:
+            self._awake = False
+        elif not self._awake and self._ema >= self.wake_threshold:
+            self._awake = True
+        return self.supplied_fraction(utilization)
+
+    def supplied_fraction(self, utilization: float) -> float:
+        """Power fraction delivered this epoch.
+
+        Awake: the rail tracks utilization but never drops below the sleep
+        floor.  Asleep: the floor only.
+        """
+        if self._awake:
+            return max(utilization, self.sleep_fraction)
+        return self.sleep_fraction
+
+    def access_penalty_ns(self) -> float:
+        """Latency penalty for an access landing on a sleeping rail."""
+        return 0.0 if self._awake else self.wake_latency_ns
+
+    def run_trajectory(
+        self, utilizations: List[float], epoch_ns: float = 100.0
+    ) -> List[LaserPowerState]:
+        """Drive the governor through a utilization trace."""
+        if epoch_ns <= 0.0:
+            raise ConfigError("epoch must be positive")
+        states = []
+        for index, utilization in enumerate(utilizations):
+            fraction = self.observe(utilization)
+            states.append(LaserPowerState(
+                time_ns=index * epoch_ns,
+                utilization=utilization,
+                supplied_fraction=fraction,
+            ))
+        return states
+
+    def average_power_w(self, utilizations: List[float]) -> float:
+        """Mean supplied power over a utilization trace."""
+        if not utilizations:
+            raise ConfigError("empty utilization trace")
+        states = self.run_trajectory(utilizations)
+        mean_fraction = sum(s.supplied_fraction for s in states) / len(states)
+        return mean_fraction * self.full_power_w
+
+
+def managed_epb_pj(
+    full_power_w: float,
+    bandwidth_gbps: float,
+    utilization: float,
+    sleep_fraction: float = 0.1,
+) -> Tuple[float, float]:
+    """(always-on, managed) EPB in pJ/bit at a steady utilization.
+
+    The closed form behind the ablation: an always-on rail charges
+    ``P / BW`` per bit regardless of load; a managed rail charges
+    ``(u + (1-u)*floor) * P / BW``.
+    """
+    if bandwidth_gbps <= 0.0:
+        raise ConfigError("bandwidth must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigError("utilization must be in (0, 1]")
+    bits_per_s = bandwidth_gbps * 8e9
+    always_on = full_power_w / bits_per_s * 1e12
+    managed_fraction = utilization + (1.0 - utilization) * sleep_fraction
+    return always_on, always_on * managed_fraction

@@ -1,0 +1,118 @@
+"""SOA gain look-up table (Section III.E / IV.A).
+
+The electrical interface stores, per row address, the SOA gain that
+compensates the row-position-dependent EO-tuned-MR through losses of a
+readout.  Because the intra-subarray SOA mesh resets the signal every 46
+rows, the required gain repeats with that period; within a period it only
+needs to be stored at the bit-density-dependent granularity (10 rows at
+b=1, 4 at b=2, 1 at b=4 — Section IV.A).
+
+The paper quotes the resulting sizes with a mixed convention: 52 "entries"
+for b=1 (rows of the subarray / granularity: ceil(512/10)), but 12 and 46
+entries for b=2/b=4 (one SOA period / granularity: ceil(46/4), ceil(46/1)).
+:class:`GainLUT` exposes both counts and reproduces all three numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from .reliability import lut_granularity_rows, soa_row_interval
+
+
+@dataclass(frozen=True)
+class GainLUT:
+    """Quantized per-row gain storage for one subarray geometry."""
+
+    rows_per_subarray: int
+    bits_per_cell: int
+    params: OpticalParameters = TABLE_I
+
+    def __post_init__(self) -> None:
+        if self.rows_per_subarray < 1:
+            raise ConfigError("subarray needs at least one row")
+        if self.bits_per_cell < 1:
+            raise ConfigError("bits per cell must be at least 1")
+
+    # -- sizing ------------------------------------------------------------
+
+    @property
+    def granularity_rows(self) -> int:
+        """Rows sharing one gain entry (10 / 4 / 1 for b = 1 / 2 / 4)."""
+        return lut_granularity_rows(self.bits_per_cell, self.params)
+
+    @property
+    def soa_interval_rows(self) -> int:
+        """Rows between SOA stages (46 with Table I values)."""
+        return soa_row_interval(self.params)
+
+    @property
+    def distinct_entries(self) -> int:
+        """Distinct gains within one SOA period: ceil(interval/granularity).
+
+        Matches the paper's 5 (b=1), 12 (b=2), 46 (b=4).
+        """
+        return math.ceil(self.soa_interval_rows / self.granularity_rows)
+
+    @property
+    def row_entries(self) -> int:
+        """Entries covering every subarray row: ceil(Mr/granularity).
+
+        Matches the paper's 52 for b=1 with Mr=512.
+        """
+        return math.ceil(self.rows_per_subarray / self.granularity_rows)
+
+    @property
+    def paper_entry_count(self) -> int:
+        """The entry count as the paper quotes it (mixed convention)."""
+        if self.bits_per_cell == 1:
+            return self.row_entries
+        return self.distinct_entries
+
+    # -- gain retrieval -------------------------------------------------------
+
+    def entry_index_for_row(self, row: int) -> int:
+        """Index of the LUT entry serving a row (Section IV.A selectors).
+
+        Rows are grouped into granularity-sized blocks within one SOA
+        period; every row of a block shares the block's stored gain.
+        """
+        if not 0 <= row < self.rows_per_subarray:
+            raise ConfigError(f"row {row} outside subarray")
+        position = row % self.soa_interval_rows
+        return position // self.granularity_rows
+
+    def gain_db_for_row(self, row: int) -> float:
+        """Gain applied for a readout originating at ``row``.
+
+        The residual loss between the row and its nearest downstream SOA
+        stage is ``(row % interval) * through_loss``; each block stores the
+        gain of its *last* row, so the compensation always errs toward
+        slight over-amplification (safe for level decisions, which alias
+        downward under loss) while staying within one tolerance of exact.
+        """
+        index = self.entry_index_for_row(row)
+        last_row_of_block = min(
+            index * self.granularity_rows + self.granularity_rows - 1,
+            self.soa_interval_rows - 1,
+        )
+        return last_row_of_block * self.params.eo_mr_through_loss_db
+
+    def table(self) -> List[float]:
+        """The distinct gain values of one SOA period, in dB."""
+        period = min(self.soa_interval_rows, self.rows_per_subarray)
+        seen: List[float] = []
+        for row in range(period):
+            gain = self.gain_db_for_row(row)
+            if not seen or seen[-1] != gain:
+                seen.append(gain)
+        return seen
+
+    def residual_loss_db_for_row(self, row: int) -> float:
+        """|gain - exact loss| after quantization (bounded by tolerance)."""
+        exact = (row % self.soa_interval_rows) * self.params.eo_mr_through_loss_db
+        return abs(self.gain_db_for_row(row) - exact)

@@ -1,0 +1,139 @@
+"""Memory organization algebra: banks, subarrays, rows, columns, bits.
+
+The paper describes a bank of ``Nr x Nc`` OPCM cells divided into ``S``
+subarrays of ``Mr x Mc`` cells with ``Nr = Sr * Mr`` and ``Nc = Sc * Mc``
+(Section III.C).  COMET sets ``Sc = 1`` (every subarray spans the full
+column width, Section III.E); the re-modeled COSMOS uses ``Sr = Sc = 512``
+with 32 x 32 subarrays (Section IV.B).  Capacity is
+``B x Nr x Nc x b`` bits across ``B`` banks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import CometOrganizationSpec, comet_organization
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemoryOrganization:
+    """A (B, Sr, Sc, Mr, Mc, b) photonic memory organization."""
+
+    banks: int
+    row_subarrays: int      # Sr
+    col_subarrays: int      # Sc
+    rows_per_subarray: int  # Mr
+    cols_per_subarray: int  # Mc
+    bits_per_cell: int      # b
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "row_subarrays", "col_subarrays",
+                     "rows_per_subarray", "cols_per_subarray", "bits_per_cell"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be at least 1")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def comet(cls, bits_per_cell: int = 4) -> "MemoryOrganization":
+        """The paper's COMET organization for a bit density in {1, 2, 4}."""
+        spec: CometOrganizationSpec = comet_organization(bits_per_cell)
+        return cls(
+            banks=spec.banks,
+            row_subarrays=spec.subarrays_per_bank,
+            col_subarrays=1,
+            rows_per_subarray=spec.rows_per_subarray,
+            cols_per_subarray=spec.cols_per_subarray,
+            bits_per_cell=spec.bits_per_cell,
+        )
+
+    @classmethod
+    def cosmos(cls) -> "MemoryOrganization":
+        """The re-modeled COSMOS organization of Section IV.B.
+
+        (B x Nr x Nc x b) = (16 x 16384 x 16384 x 2) with
+        Sr x Mr = Sc x Mc = 512 x 32.
+        """
+        return cls(
+            banks=16,
+            row_subarrays=512,
+            col_subarrays=512,
+            rows_per_subarray=32,
+            cols_per_subarray=32,
+            bits_per_cell=2,
+        )
+
+    # -- derived sizes ------------------------------------------------------
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Nr = Sr * Mr."""
+        return self.row_subarrays * self.rows_per_subarray
+
+    @property
+    def cols_per_bank(self) -> int:
+        """Nc = Sc * Mc."""
+        return self.col_subarrays * self.cols_per_subarray
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        return self.row_subarrays * self.col_subarrays
+
+    @property
+    def cells_per_subarray(self) -> int:
+        return self.rows_per_subarray * self.cols_per_subarray
+
+    @property
+    def cells_per_bank(self) -> int:
+        return self.rows_per_bank * self.cols_per_bank
+
+    @property
+    def capacity_bits(self) -> int:
+        """B x Nr x Nc x b."""
+        return self.banks * self.cells_per_bank * self.bits_per_cell
+
+    @property
+    def capacity_bytes(self) -> int:
+        bits = self.capacity_bits
+        if bits % 8:
+            raise ConfigError("capacity is not byte-aligned")
+        return bits // 8
+
+    @property
+    def row_bits(self) -> int:
+        """Bits stored by one subarray row (the COMET line unit)."""
+        return self.cols_per_subarray * self.bits_per_cell
+
+    @property
+    def wavelengths_required(self) -> int:
+        """N_c wavelengths operate a bank (Section III.C)."""
+        return self.cols_per_bank
+
+    @property
+    def access_mr_count(self) -> int:
+        """Per bank: Nc column-access + Nc readout rings (Section III.C)."""
+        return 2 * self.cols_per_bank
+
+    @property
+    def row_access_mr_count(self) -> int:
+        """MRs tuned for one subarray access: 2 x Mc (Section III.C)."""
+        return 2 * self.cols_per_subarray
+
+    @property
+    def subarray_grid_side(self) -> int:
+        """sqrt(Sr) — the subarray layout grid used by Eq. (4)."""
+        side = math.isqrt(self.row_subarrays)
+        if side * side != self.row_subarrays:
+            raise ConfigError(
+                f"Sr = {self.row_subarrays} is not a perfect square; the "
+                "Eq. (4) layout grid needs sqrt(Sr) to be an integer"
+            )
+        return side
+
+    def describe(self) -> str:
+        """Human-readable (B x Sr x Mr x Mc x b) string."""
+        return (f"({self.banks} x {self.row_subarrays} x "
+                f"{self.rows_per_subarray} x {self.cols_per_subarray} x "
+                f"{self.bits_per_cell})")

@@ -1,0 +1,147 @@
+"""COMET power model (Section III.E, Figs. 7 and 8).
+
+Operational power has three stacked components:
+
+* **Laser** — the off-chip source must deliver the programming/readout
+  power per wavelength at each bank's input; the path from laser to bank
+  (coupling, modulator drop, routing, PCM subarray switch, comb-bus
+  through-traffic up to the first in-array SOA stage) sets the launch
+  power, and the 20 % wall-plug efficiency converts to electrical watts.
+  In-array distribution losses beyond the bank input are the intra-
+  subarray SOA mesh's job and are accounted under the SOA component.
+* **SOA** — only the accessed subarray's SOAs are powered:
+  ``B * Mr * Mc / 46`` devices at 1.4 mW (Section III.E, verbatim).
+* **EO tuning** — ``B * 2 * Mc`` rings held in resonance at ``P_EO``.
+
+The same class computes all three Fig. 7 bit densities; Fig. 8 adds the
+COSMOS model from :mod:`repro.baselines.cosmos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from ..photonics.laser import LaserSource
+from ..photonics.losses import LossBudget
+from .organization import MemoryOrganization
+from .reliability import active_soa_count, total_soa_count
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """One architecture's operational power stack, in watts."""
+
+    name: str
+    laser_w: float
+    soa_w: float
+    tuning_w: float
+    interface_w: float = 0.0
+
+    @property
+    def total_w(self) -> float:
+        return self.laser_w + self.soa_w + self.tuning_w + self.interface_w
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "laser": self.laser_w,
+            "soa": self.soa_w,
+            "tuning": self.tuning_w,
+            "interface": self.interface_w,
+            "total": self.total_w,
+        }
+
+
+@dataclass(frozen=True)
+class CometPowerModel:
+    """Computes the COMET power stack for any organization.
+
+    ``bank_input_power_w`` is the per-wavelength power that must survive to
+    the bank input — 1 mW for crystalline-reset programming, 5 mW for
+    amorphous-reset programming (Section III.C).
+    """
+
+    organization: MemoryOrganization
+    params: OpticalParameters = TABLE_I
+    bank_input_power_w: float = 1e-3
+    link_length_cm: float = 2.0
+    link_bends: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bank_input_power_w <= 0.0:
+            raise ConfigError("bank input power must be positive")
+
+    # ------------------------------------------------------------------
+    # Laser
+    # ------------------------------------------------------------------
+
+    def laser_path_budget(self) -> LossBudget:
+        """Loss budget from laser to bank input for one wavelength."""
+        p = self.params
+        budget = LossBudget("laser-to-bank")
+        budget.add("coupling", p.coupling_loss_db)
+        budget.add("modulator MR drop", p.mr_drop_loss_db)
+        budget.add("propagation", p.propagation_loss_db_per_cm,
+                   self.link_length_cm)
+        budget.add("bending", p.bending_loss_db_per_90deg, self.link_bends)
+        budget.add("PCM subarray switch", p.pcm_switch_loss_db)
+        return budget
+
+    def laser_power_w(self) -> float:
+        """Wall-plug laser power: every wavelength on every bank's mode."""
+        budget = self.laser_path_budget()
+        per_wavelength = budget.required_launch_power_w(self.bank_input_power_w)
+        laser = LaserSource(
+            wall_plug_efficiency=self.params.laser_wall_plug_efficiency,
+            max_optical_power_per_channel_w=1.0,
+        )
+        total_optical = (per_wavelength
+                         * self.organization.wavelengths_required
+                         * self.organization.banks)
+        return laser.electrical_power_w(total_optical)
+
+    # ------------------------------------------------------------------
+    # SOA
+    # ------------------------------------------------------------------
+
+    def soa_power_w(self) -> float:
+        """Active intra-subarray SOA power: (B*Mr*Mc/46) * 1.4 mW."""
+        return active_soa_count(self.organization, self.params) \
+            * self.params.intra_soa_power_w
+
+    def total_soa_devices(self) -> int:
+        """Provisioned SOA population (for area/cost reporting)."""
+        return total_soa_count(self.organization, self.params)
+
+    # ------------------------------------------------------------------
+    # EO tuning
+    # ------------------------------------------------------------------
+
+    def tuning_power_w(self) -> float:
+        """EO tuning of the accessed row's rings: B * 2 * Mc * P_EO."""
+        rings = (self.organization.banks
+                 * self.organization.row_access_mr_count)
+        return rings * self.params.eo_tuning_power_w
+
+    # ------------------------------------------------------------------
+
+    def breakdown(self, name: str = "COMET") -> PowerBreakdown:
+        """The full Fig. 7 power stack for this organization."""
+        return PowerBreakdown(
+            name=name,
+            laser_w=self.laser_power_w(),
+            soa_w=self.soa_power_w(),
+            tuning_w=self.tuning_power_w(),
+        )
+
+
+def bit_density_study(params: OpticalParameters = TABLE_I) -> Dict[int, PowerBreakdown]:
+    """The Fig. 7 sweep: power stacks for COMET-1b, -2b and -4b."""
+    stacks: Dict[int, PowerBreakdown] = {}
+    for bits in (1, 2, 4):
+        org = MemoryOrganization.comet(bits)
+        model = CometPowerModel(org, params=params)
+        stacks[bits] = model.breakdown(name=f"COMET-{bits}b")
+    return stacks

@@ -1,0 +1,81 @@
+"""Loss-aware reliability rules: SOA placement and signal reach.
+
+Section III.E fixes the in-array amplification plan from two numbers: the
+intra-subarray SOA gain (15.2 dB, [29]) and the EO-tuned MR through loss
+(0.33 dB, Table I).  A readout can cross ``floor(15.2 / 0.33) = 46`` rows
+between SOA stages, so COMET places one SOA array every 46 rows and needs
+``B * Nr * Nc / 46`` SOAs in total, of which only the accessed subarray's
+``B * Mr * Mc / 46`` are powered at any instant.
+
+Section IV.A adds the bit-density-dependent reach rule used for LUT
+sizing: at loss tolerance ``tol(b)`` a signal may pass
+``floor(tol(b) / 0.33)`` rows beyond its source before its level aliases.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import OpticalParameters, TABLE_I
+from ..device.mlc import paper_loss_tolerance_db
+from ..errors import ConfigError
+from .organization import MemoryOrganization
+
+
+def soa_row_interval(params: OpticalParameters = TABLE_I) -> int:
+    """Rows between intra-subarray SOA stages: floor(gain / through-loss)."""
+    interval = int(params.intra_soa_gain_db // params.eo_mr_through_loss_db)
+    if interval < 1:
+        raise ConfigError("SOA gain below one row's through loss")
+    return interval
+
+
+def rows_passable(bits_per_cell: int, params: OpticalParameters = TABLE_I) -> int:
+    """Rows a readout survives past its source before aliasing (Sec. IV.A)."""
+    tolerance = paper_loss_tolerance_db(bits_per_cell)
+    return int(tolerance // params.eo_mr_through_loss_db)
+
+
+def lut_granularity_rows(bits_per_cell: int,
+                         params: OpticalParameters = TABLE_I) -> int:
+    """Row granularity of gain tuning: passable rows + the source row.
+
+    Reproduces the paper's Section IV.A granularities: 10 rows at b=1
+    (3.01 dB tolerance), 4 rows at b=2 (1.2 dB), 1 row at b=4 (0.26 dB).
+    """
+    return rows_passable(bits_per_cell, params) + 1
+
+
+def total_soa_count(org: MemoryOrganization,
+                    params: OpticalParameters = TABLE_I) -> int:
+    """Total intra-subarray SOAs: B * Nr * Nc / interval (Section III.E)."""
+    interval = soa_row_interval(params)
+    return math.ceil(org.banks * org.rows_per_bank * org.cols_per_bank / interval)
+
+
+def active_soa_count(org: MemoryOrganization,
+                     params: OpticalParameters = TABLE_I) -> int:
+    """Powered SOAs during an access: B * Mr * Mc / interval."""
+    interval = soa_row_interval(params)
+    return math.ceil(org.banks * org.rows_per_subarray * org.cols_per_subarray
+                     / interval)
+
+
+def worst_row_path_loss_db(org: MemoryOrganization,
+                           params: OpticalParameters = TABLE_I) -> float:
+    """Worst un-amplified loss a readout sees between SOA stages."""
+    interval = soa_row_interval(params)
+    rows = min(interval, org.rows_per_subarray)
+    return rows * params.eo_mr_through_loss_db
+
+
+def max_gain_error_db(bits_per_cell: int,
+                      params: OpticalParameters = TABLE_I) -> float:
+    """Worst residual loss after quantized gain tuning.
+
+    The LUT quantizes gain at ``lut_granularity_rows`` granularity, so the
+    residual is at most ``(granularity - 1) * through_loss`` — by
+    construction no more than the level tolerance.
+    """
+    granularity = lut_granularity_rows(bits_per_cell, params)
+    return (granularity - 1) * params.eo_mr_through_loss_db

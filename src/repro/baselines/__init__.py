@@ -1,0 +1,27 @@
+"""Baseline main-memory architectures the paper compares against.
+
+* :mod:`repro.baselines.cosmos` — the COSMOS photonic crossbar main memory
+  [20], re-modeled per Section IV.B (corrected pulse energies, reduced bit
+  density, SOA arrays, PCM row-access switches).
+* :mod:`repro.baselines.epcm` — an electrically-controlled PCM main memory
+  (1T-1R, asymmetric SET/RESET).
+* :mod:`repro.baselines.dram` — 2D and 3D DDR3/DDR4 DRAM models with
+  row-buffer timing, refresh, and DIMM-level energy.
+"""
+
+from .cosmos import CosmosArchitecture, CosmosPowerModel, cosmos_power_breakdown
+from .cosmos_functional import FunctionalCosmosMemory
+from .epcm import EpcmConfig, EPCM_MM
+from .dram import DramConfig, DRAM_CONFIGS, dram_config
+
+__all__ = [
+    "CosmosArchitecture",
+    "CosmosPowerModel",
+    "cosmos_power_breakdown",
+    "FunctionalCosmosMemory",
+    "EpcmConfig",
+    "EPCM_MM",
+    "DramConfig",
+    "DRAM_CONFIGS",
+    "dram_config",
+]

@@ -1,0 +1,185 @@
+"""COSMOS baseline: the re-modeled photonic crossbar memory (Section IV.B).
+
+COSMOS [20] stores OPCM cells at bare waveguide crossings.  The paper keeps
+its crossbar structure but corrects the design assumptions so readouts are
+actually possible:
+
+* **Energy delivery** — the GST cells of [17] need 5 mW / 50–150 ns pulses
+  (250–750 pJ), not the 0.5 mW COSMOS assumed; timings are stretched
+  instead of power raised (Table II: write 1.6 us, erase 250 ns).
+* **Bit density** — the −18 dB write crosstalk shifts neighbours by ~8 %
+  crystalline fraction, so the 16-level (4-bit) cell is reduced to 4
+  asymmetric levels (0.99 / 0.90 / 0.81 / 0.72 transmission, 9 % spacing):
+  2 bits per cell.  Organization becomes (16 x 16384 x 16384 x 2) with
+  512 x 32 subarrays on both axes.
+* **Loss management** — worst-case 1.4 dB per crystalline-ish cell in the
+  32-cell path means 6 SOA arrays per subarray plus dedicated passive
+  in/out ports, and PCM row-access switches (borrowed from COMET) to avoid
+  splitter-tree laser blow-up.
+
+The power model mirrors :class:`repro.arch.power.CometPowerModel` but adds
+what the crossbar forces on COSMOS: simultaneous row *and* column access
+wavelengths at 5 mW, and a concurrent erase/rewrite optical stream — the
+subtractive read flow keeps one alive whenever the memory is active.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..arch.organization import MemoryOrganization
+from ..arch.power import PowerBreakdown
+from ..config import COSMOS_TIMINGS, OpticalParameters, PhotonicMemoryTimings, TABLE_I
+from ..errors import ConfigError
+from ..photonics.laser import LaserSource
+from ..photonics.losses import LossBudget
+
+#: The 4 asymmetric transmission levels selected in Section IV.B.
+COSMOS_LEVELS: Tuple[float, float, float, float] = (0.99, 0.90, 0.81, 0.72)
+
+#: Worst-case per-cell in-path loss (transmission level 0.72 -> 1.4 dB).
+COSMOS_WORST_CELL_LOSS_DB = -10.0 * math.log10(COSMOS_LEVELS[-1])
+
+#: SOA arrays per subarray (row + column loss compensation, Section IV.B).
+COSMOS_SOA_ARRAYS_PER_SUBARRAY = 6
+
+#: Cell write pulse: 5 mW for 150 ns -> 750 pJ upper bound from [17].
+COSMOS_WRITE_PULSE_POWER_W = 5e-3
+COSMOS_WRITE_PULSE_ENERGY_J = 750e-12
+
+
+@dataclass(frozen=True)
+class CosmosPowerModel:
+    """Operational power stack of the re-modeled COSMOS."""
+
+    organization: MemoryOrganization
+    params: OpticalParameters = TABLE_I
+    cell_power_w: float = COSMOS_WRITE_PULSE_POWER_W
+    link_length_cm: float = 2.0
+    link_bends: int = 4
+    #: MDM degree of the (generously lossless) COSMOS links.
+    mdm_degree: int = 16
+
+    def access_path_budget(self) -> LossBudget:
+        """Laser-to-subarray-input budget (dedicated ports, PCM switches)."""
+        p = self.params
+        budget = LossBudget("cosmos-laser-to-subarray")
+        budget.add("coupling", p.coupling_loss_db)
+        budget.add("propagation", p.propagation_loss_db_per_cm,
+                   self.link_length_cm)
+        budget.add("bending", p.bending_loss_db_per_90deg, self.link_bends)
+        budget.add("PCM row-access switch", p.pcm_switch_loss_db)
+        budget.add("subarray in-port MR drop", p.mr_drop_loss_db)
+        budget.add("subarray out-port MR drop", p.mr_drop_loss_db)
+        return budget
+
+    # -- components ------------------------------------------------------
+
+    def laser_power_w(self) -> float:
+        """Wall-plug laser power.
+
+        The crossbar write needs the row *and* column wavelengths present
+        simultaneously (Fig. 1(a)), so each bank drives
+        ``Mr + Mc`` wavelengths at the cell power; the subtractive read
+        flow additionally keeps an erase/rewrite stream of ``Mc``
+        wavelengths alive concurrently with reads.
+        """
+        org = self.organization
+        budget = self.access_path_budget()
+        per_wavelength = budget.required_launch_power_w(self.cell_power_w)
+        active_wavelengths = (org.rows_per_subarray + org.cols_per_subarray
+                              + org.cols_per_subarray)
+        laser = LaserSource(
+            wall_plug_efficiency=self.params.laser_wall_plug_efficiency,
+            max_optical_power_per_channel_w=1.0,
+        )
+        total_optical = per_wavelength * active_wavelengths * org.banks
+        return laser.electrical_power_w(total_optical)
+
+    def soa_power_w(self) -> float:
+        """6 SOA arrays x Mc SOAs per accessed subarray, per bank."""
+        org = self.organization
+        soas_per_subarray = (COSMOS_SOA_ARRAYS_PER_SUBARRAY
+                             * org.cols_per_subarray)
+        return soas_per_subarray * org.banks * self.params.intra_soa_power_w
+
+    def tuning_power_w(self) -> float:
+        """Port-MR bias (passive rings hold no tuning power)."""
+        return 0.0
+
+    def breakdown(self, name: str = "COSMOS") -> PowerBreakdown:
+        return PowerBreakdown(
+            name=name,
+            laser_w=self.laser_power_w(),
+            soa_w=self.soa_power_w(),
+            tuning_w=self.tuning_power_w(),
+        )
+
+
+class CosmosArchitecture:
+    """The re-modeled COSMOS instance used in the Fig. 8/9 comparisons."""
+
+    def __init__(
+        self,
+        params: OpticalParameters = TABLE_I,
+        timings: PhotonicMemoryTimings = COSMOS_TIMINGS,
+        subtractive_read: bool = True,
+    ) -> None:
+        self.params = params
+        self.timings = timings
+        self.subtractive_read = subtractive_read
+        self.organization = MemoryOrganization.cosmos()
+        self.power_model = CosmosPowerModel(self.organization, params=params)
+
+    @property
+    def bits_per_cell(self) -> int:
+        return self.organization.bits_per_cell
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.organization.capacity_bytes
+
+    def level_spacing(self) -> float:
+        """Transmission spacing of the asymmetric level set (9 %)."""
+        gaps = [COSMOS_LEVELS[i] - COSMOS_LEVELS[i + 1]
+                for i in range(len(COSMOS_LEVELS) - 1)]
+        if max(gaps) - min(gaps) > 1e-9:
+            raise ConfigError("COSMOS level set must be equally spaced")
+        return gaps[0]
+
+    def effective_read_occupancy_ns(self) -> float:
+        """Bank occupancy of one read.
+
+        With the subtractive flow a read is: subarray read, row erase,
+        subarray read again (the subtraction happens at the controller).
+        """
+        t = self.timings
+        if not self.subtractive_read:
+            return t.read_time_ns
+        return 2.0 * t.read_time_ns + t.erase_time_ns
+
+    def effective_write_occupancy_ns(self) -> float:
+        """Bank occupancy of one write: erase then program."""
+        t = self.timings
+        return t.erase_time_ns + t.write_time_ns
+
+    def write_energy_per_line_j(self) -> float:
+        """Optical pulse energy to write one line (erase + program)."""
+        cells = self.timings.cache_line_bits // self.bits_per_cell
+        return 2.0 * cells * COSMOS_WRITE_PULSE_ENERGY_J
+
+    def power_breakdown(self) -> PowerBreakdown:
+        return self.power_model.breakdown()
+
+    def describe(self) -> str:
+        org = self.organization
+        return (f"COSMOS {org.describe()}: {org.capacity_bytes / 2**30:.0f} GiB/"
+                f"device, {len(COSMOS_LEVELS)} levels/cell, "
+                f"{self.power_breakdown().total_w:.1f} W operational")
+
+
+def cosmos_power_breakdown(params: OpticalParameters = TABLE_I) -> PowerBreakdown:
+    """Convenience: the Fig. 8 COSMOS power stack."""
+    return CosmosArchitecture(params=params).power_breakdown()

@@ -1,0 +1,151 @@
+"""Functional (data-storing) COSMOS crossbar — the corruptible counterpart.
+
+:class:`repro.arch.functional.FunctionalCometMemory` shows COMET storing
+data losslessly; this model shows why the paper had to re-architect
+COSMOS.  It stores 2-bit levels (the Section IV.B asymmetric set) at
+crossbar crossings and applies the thermo-optic crosstalk of
+:class:`repro.photonics.crosstalk.CrossbarCrosstalkModel` on *every*
+write: programming row ``r`` disturbs the cells of rows ``r±1``.  Reads
+use the subtractive flow semantics (the target row's levels are returned,
+then the row is left erased unless write-back is enabled).
+
+Together with the COMET functional memory this turns Fig. 2 into an
+executable A/B experiment: same data, same write pattern, isolated cells
+survive, crossbar cells corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AddressError, ConfigError
+from ..photonics.crosstalk import CrossbarCrosstalkModel
+from .cosmos import COSMOS_LEVELS
+
+
+@dataclass
+class CosmosFunctionalStats:
+    """Counters of the functional crossbar."""
+
+    writes: int = 0
+    reads: int = 0
+    cells_read: int = 0
+    level_errors: int = 0
+    crosstalk_events: int = 0
+
+    @property
+    def cell_error_rate(self) -> float:
+        return self.level_errors / self.cells_read if self.cells_read else 0.0
+
+
+class FunctionalCosmosMemory:
+    """A behavioural COSMOS subarray with live write crosstalk."""
+
+    def __init__(
+        self,
+        rows: int = 32,
+        cols: int = 32,
+        crosstalk: Optional[CrossbarCrosstalkModel] = None,
+        write_back_on_read: bool = True,
+    ) -> None:
+        if rows < 2 or cols < 1:
+            raise ConfigError("need at least a 2x1 crossbar")
+        self.rows = rows
+        self.cols = cols
+        self.crosstalk = crosstalk if crosstalk is not None \
+            else CrossbarCrosstalkModel()
+        self.write_back_on_read = write_back_on_read
+        self.levels = np.array(COSMOS_LEVELS)
+        # State is per-cell crystalline-fraction-like "level position"
+        # normalized to [0, 1]: level i stored as i / (num_levels - 1).
+        self._state = np.zeros((rows, cols))
+        self._written = np.zeros(rows, dtype=bool)
+        self.stats = CosmosFunctionalStats()
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def bits_per_cell(self) -> int:
+        return int(np.log2(self.num_levels))
+
+    # ------------------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} outside the {self.rows}-row subarray")
+
+    def _values_to_positions(self, values: np.ndarray) -> np.ndarray:
+        if values.shape != (self.cols,):
+            raise ConfigError(f"row data must have {self.cols} values")
+        if values.min() < 0 or values.max() >= self.num_levels:
+            raise ConfigError("values outside the level range")
+        return values / (self.num_levels - 1)
+
+    def _positions_to_values(self, positions: np.ndarray) -> np.ndarray:
+        return np.clip(
+            np.round(positions * (self.num_levels - 1)),
+            0, self.num_levels - 1,
+        ).astype(int)
+
+    # ------------------------------------------------------------------
+
+    def write_row(self, row: int, values) -> int:
+        """Program a full row; adjacent rows take crosstalk hits.
+
+        Returns the number of victim-cell crosstalk events.
+        """
+        self._check_row(row)
+        values = np.asarray(values, dtype=int)
+        self._state[row] = self._values_to_positions(values)
+        self._written[row] = True
+        events = self.crosstalk.disturb_row_write(
+            self._state, row, np.arange(self.cols))
+        self.stats.writes += 1
+        self.stats.crosstalk_events += len(events)
+        return len(events)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Subtractive read: return the row's decoded values.
+
+        The flow erases the row; with ``write_back_on_read`` the
+        controller restores it (costing another crosstalk-laden write,
+        which is COSMOS's bind: even reads disturb neighbours).
+        """
+        self._check_row(row)
+        if not self._written[row]:
+            raise AddressError(f"row {row} has never been written")
+        decoded = self._positions_to_values(self._state[row])
+        self.stats.reads += 1
+        self.stats.cells_read += self.cols
+        # The erase leg of the subtractive flow.
+        self._state[row] = 0.0
+        self._written[row] = False
+        if self.write_back_on_read:
+            self.write_row(row, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+
+    def corruption_report(
+        self, reference: Dict[int, np.ndarray]
+    ) -> Tuple[int, float]:
+        """Compare current decodes of ``reference`` rows to their data.
+
+        Returns ``(corrupted_cells, corrupted_fraction)`` and updates the
+        error counters.
+        """
+        corrupted = 0
+        total = 0
+        for row, expected in reference.items():
+            self._check_row(row)
+            decoded = self._positions_to_values(self._state[row])
+            mismatch = int(np.count_nonzero(decoded != np.asarray(expected)))
+            corrupted += mismatch
+            total += self.cols
+        self.stats.level_errors += corrupted
+        return corrupted, corrupted / total if total else 0.0

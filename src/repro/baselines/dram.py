@@ -1,0 +1,160 @@
+"""DRAM baselines: 2D and 3D DDR3/DDR4 (paper Fig. 9 comparisons).
+
+Timing follows the JEDEC speed grades (DDR3-1600 CL11, DDR4-2400 CL17);
+energy uses DIMM-level numbers in the DRAMPower/Micron-power-calculator
+ballpark for an 8 GB module: a constant background (including peripheral
+and I/O idle), a per-line dynamic energy (activate + read/write + I/O) and
+a refresh energy per all-bank refresh.
+
+The 3D variants model 3DS TSV-stacked DDR parts on a standard channel
+(the paper's "3D configurations of DDR3 and DDR4"): same channel bus,
+twice the banks, ~30 % lower core latencies from the shorter global
+wiring, and substantially cheaper per-bit energy because most of the data
+movement stays inside the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One DRAM device/DIMM model."""
+
+    name: str
+    banks: int
+    line_bytes: int
+    t_rcd_ns: float          # row activate
+    t_rp_ns: float           # precharge
+    t_cas_ns: float          # column access
+    t_wr_ns: float           # write recovery
+    data_burst_ns: float     # line transfer on the data bus
+    row_size_bytes: int      # row-buffer (page) size
+    t_refi_ns: float         # refresh interval
+    t_rfc_ns: float          # refresh cycle time
+    interface_delay_ns: float
+    background_power_w: float
+    dynamic_energy_per_line_j: float
+    refresh_energy_j: float
+    shared_bus: bool = True
+    page_policy: str = "open"
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ConfigError("banks must be positive")
+        if self.page_policy not in ("open", "closed"):
+            raise ConfigError("page policy must be 'open' or 'closed'")
+        for field_name in ("t_rcd_ns", "t_rp_ns", "t_cas_ns", "data_burst_ns",
+                           "t_refi_ns", "t_rfc_ns"):
+            if getattr(self, field_name) <= 0.0:
+                raise ConfigError(f"{field_name} must be positive")
+
+    @property
+    def row_miss_read_ns(self) -> float:
+        """Closed-row read: precharge + activate + CAS."""
+        return self.t_rp_ns + self.t_rcd_ns + self.t_cas_ns
+
+    @property
+    def row_hit_read_ns(self) -> float:
+        """Open-row read: CAS only."""
+        return self.t_cas_ns
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the device is refreshing."""
+        return self.t_rfc_ns / self.t_refi_ns
+
+
+#: DDR3-1600 (CL11-11-11), 8 GB UDIMM, x64 channel.
+_DDR3_2D = DramConfig(
+    name="2D_DDR3",
+    banks=8,
+    line_bytes=128,
+    t_rcd_ns=13.75,
+    t_rp_ns=13.75,
+    t_cas_ns=13.75,
+    t_wr_ns=15.0,
+    data_burst_ns=10.0,          # 128 B over a 64-bit 1600 MT/s bus
+    row_size_bytes=8192,
+    t_refi_ns=7800.0,
+    t_rfc_ns=260.0,
+    interface_delay_ns=12.0,
+    background_power_w=1.8,
+    dynamic_energy_per_line_j=30e-9,
+    refresh_energy_j=60e-9,
+)
+
+#: DDR4-2400 (CL17), 8 GB UDIMM.
+_DDR4_2D = DramConfig(
+    name="2D_DDR4",
+    banks=16,
+    line_bytes=128,
+    t_rcd_ns=14.16,
+    t_rp_ns=14.16,
+    t_cas_ns=14.16,
+    t_wr_ns=15.0,
+    data_burst_ns=6.67,          # 128 B over a 64-bit 2400 MT/s bus
+    row_size_bytes=8192,
+    t_refi_ns=7800.0,
+    t_rfc_ns=350.0,
+    interface_delay_ns=12.0,
+    background_power_w=1.1,
+    dynamic_energy_per_line_j=20e-9,
+    refresh_energy_j=70e-9,
+)
+
+#: 3DS-stacked DDR3 part: same channel bus, 2x banks, faster core.
+_DDR3_3D = DramConfig(
+    name="3D_DDR3",
+    banks=16,
+    line_bytes=128,
+    t_rcd_ns=10.0,
+    t_rp_ns=10.0,
+    t_cas_ns=10.0,
+    t_wr_ns=12.0,
+    data_burst_ns=10.0,          # 128 B over the same 64-bit 1600 MT/s bus
+    row_size_bytes=8192,
+    t_refi_ns=7800.0,
+    t_rfc_ns=260.0,
+    interface_delay_ns=8.0,
+    background_power_w=0.9,
+    dynamic_energy_per_line_j=8e-9,
+    refresh_energy_j=50e-9,
+)
+
+#: 3DS-stacked DDR4 part (the paper's best electronic platform).
+_DDR4_3D = DramConfig(
+    name="3D_DDR4",
+    banks=32,
+    line_bytes=128,
+    t_rcd_ns=9.0,
+    t_rp_ns=9.0,
+    t_cas_ns=9.0,
+    t_wr_ns=10.0,
+    data_burst_ns=6.67,          # 128 B over the same 64-bit 2400 MT/s bus
+    row_size_bytes=8192,
+    t_refi_ns=7800.0,
+    t_rfc_ns=350.0,
+    interface_delay_ns=8.0,
+    background_power_w=0.7,
+    dynamic_energy_per_line_j=6e-9,
+    refresh_energy_j=55e-9,
+)
+
+DRAM_CONFIGS: Dict[str, DramConfig] = {
+    cfg.name: cfg for cfg in (_DDR3_2D, _DDR4_2D, _DDR3_3D, _DDR4_3D)
+}
+
+
+def dram_config(name: str) -> DramConfig:
+    """Look up a DRAM baseline by its Fig. 9 label."""
+    try:
+        return DRAM_CONFIGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown DRAM config {name!r}; known: {sorted(DRAM_CONFIGS)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""EPCM-MM baseline: an electrically-controlled PCM main memory.
+
+The paper benchmarks against a proposed electrical-PCM main memory
+("EPCM-MM").  We model a representative 1T-1R PCM part with the
+characteristics the paper's background section attributes to EPCM:
+
+* non-volatile — no refresh;
+* asymmetric, long write latency (RESET is a short high-current pulse,
+  SET a long crystallization pulse; array-level writes are SET-limited);
+* moderate read latency (bitline sensing of the resistance);
+* low background power but expensive write energy.
+
+Numbers follow published PCM main-memory studies (LL-PCM [10], the 20 nm
+8 Gb PRAM of [31], DyPhase [19]): ~60 ns array read, ~150 ns RESET,
+~470 ns SET, tens of pJ per written bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EpcmConfig:
+    """Timing and energy of an electrical-PCM main-memory device."""
+
+    name: str = "EPCM-MM"
+    banks: int = 8
+    line_bytes: int = 128
+    read_latency_ns: float = 60.0
+    set_latency_ns: float = 470.0
+    reset_latency_ns: float = 150.0
+    data_burst_ns: float = 10.0          # electrical DDR-class bus
+    interface_delay_ns: float = 15.0
+    background_power_w: float = 0.25
+    read_energy_per_line_j: float = 4e-9
+    write_energy_per_line_j: float = 40e-9   # ~39 pJ/bit SET-dominated
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.line_bytes < 1:
+            raise ConfigError("banks and line size must be positive")
+        for field_name in ("read_latency_ns", "set_latency_ns",
+                           "reset_latency_ns", "data_burst_ns"):
+            if getattr(self, field_name) <= 0.0:
+                raise ConfigError(f"{field_name} must be positive")
+
+    @property
+    def write_latency_ns(self) -> float:
+        """Array write latency: SET-limited (the asymmetric worst case)."""
+        return self.set_latency_ns
+
+    @property
+    def write_asymmetry(self) -> float:
+        """SET/RESET latency ratio (the DyPhase [19] pain point)."""
+        return self.set_latency_ns / self.reset_latency_ns
+
+
+#: The instance used by the Fig. 9 comparison.
+EPCM_MM = EpcmConfig()

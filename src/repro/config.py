@@ -1,0 +1,262 @@
+"""Central configuration: every paper parameter in one place.
+
+This module is the single source of truth for the numeric parameters the
+paper publishes:
+
+* **Table I** — optical loss and power parameters used for COMET power
+  modeling (:class:`OpticalParameters`).
+* **Table II** — architectural details of the two photonic memory systems
+  (:class:`PhotonicMemoryTimings` instances ``COMET_TIMINGS`` and
+  ``COSMOS_TIMINGS``).
+* **Section III/IV organization constants** — bank counts, subarray
+  geometry for each bit density (:func:`comet_organization`), the COSMOS
+  organization of Section IV.B (:func:`cosmos_organization` lives in
+  :mod:`repro.baselines.cosmos` but consumes constants from here).
+
+No other module may hard-code one of these numbers; they all import from
+here so that a design sweep (e.g. the Fig. 7 bit-density study) can swap a
+single dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# Table I — optical loss and power parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpticalParameters:
+    """Optical loss/power parameters of Table I (plus laser assumptions).
+
+    All losses are positive dB quantities; powers are in watts.
+    """
+
+    coupling_loss_db: float = 1.0              # fiber-to-chip coupler [33]
+    mr_drop_loss_db: float = 0.5               # passive MR drop [34]
+    mr_through_loss_db: float = 0.02           # passive MR through [35]
+    eo_mr_drop_loss_db: float = 1.6            # EO-tuned MR drop [36]
+    eo_mr_through_loss_db: float = 0.33        # EO-tuned MR through [36]
+    propagation_loss_db_per_cm: float = 0.1    # waveguide propagation [37]
+    bending_loss_db_per_90deg: float = 0.01    # bend loss [38]
+    splitter_loss_db: float = 0.5              # 1x2 Y-junction excess loss
+    pcm_switch_loss_db: float = 0.2            # amorphous GST switch [39]
+    soa_gain_db: float = 20.0                  # booster SOA gain (Table I)
+    intra_soa_gain_db: float = 15.2            # intra-subarray SOA gain [29]
+    laser_wall_plug_efficiency: float = 0.20   # 20 %
+    eo_tuning_power_w_per_nm: float = 4e-6     # P_EO = 4 uW/nm [25]
+    eo_tuning_latency_s: float = 2e-9          # EO MR tuning latency [36]
+    thermal_tuning_latency_s: float = 4e-6     # thermal MR tuning latency
+    thermal_tuning_power_w_per_nm: float = 2.4e-3  # thermo-optic heater
+    max_power_at_gst_cell_w: float = 1e-3      # Table I: 1 mW
+    write_power_at_gst_cell_w: float = 5e-3    # Sec III.C: 5 mW (amorphous
+                                               # reset programming mode)
+    intra_soa_power_w: float = 1.4e-3          # 1.4 mW per active SOA [29]
+    intra_soa_output_power_w: float = 1e-3     # 0 dBm output [29]
+    pcm_switch_time_s: float = 100e-9          # GST switch transition [39]
+    detector_sensitivity_dbm: float = -20.0    # receiver sensitivity floor
+    mr_tuning_range_nm: float = 1.0            # resonance shift for on/off
+
+    def __post_init__(self) -> None:
+        for name in (
+            "coupling_loss_db",
+            "mr_drop_loss_db",
+            "mr_through_loss_db",
+            "eo_mr_drop_loss_db",
+            "eo_mr_through_loss_db",
+            "propagation_loss_db_per_cm",
+            "bending_loss_db_per_90deg",
+            "pcm_switch_loss_db",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"{name} must be non-negative")
+        if not 0.0 < self.laser_wall_plug_efficiency <= 1.0:
+            raise ConfigError("laser wall-plug efficiency must be in (0, 1]")
+
+    @property
+    def eo_tuning_power_w(self) -> float:
+        """Electrical power to hold one MR shifted by the tuning range."""
+        return self.eo_tuning_power_w_per_nm * self.mr_tuning_range_nm
+
+
+#: Module-level default mirroring Table I exactly.
+TABLE_I = OpticalParameters()
+
+
+# ---------------------------------------------------------------------------
+# Table II — architectural details of the photonic memory systems
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhotonicMemoryTimings:
+    """Timing/bus parameters of one photonic memory system (Table II)."""
+
+    name: str
+    banks: int
+    ranks_per_channel: int
+    devices_per_rank: int
+    bus_width_bits: int
+    burst_length: int
+    write_time_ns: float          # max write for COMET; write for COSMOS
+    erase_time_ns: float
+    read_time_ns: float
+    data_burst_time_ns: float
+    electrical_interface_delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0 or self.bus_width_bits <= 0 or self.burst_length <= 0:
+            raise ConfigError("banks, bus width and burst length must be positive")
+        for name in ("write_time_ns", "erase_time_ns", "read_time_ns",
+                     "data_burst_time_ns", "electrical_interface_delay_ns"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def cache_line_bits(self) -> int:
+        """Bits moved by one full burst."""
+        return self.bus_width_bits * self.burst_length
+
+    @property
+    def burst_total_time_ns(self) -> float:
+        """Time occupied on the data bus by one full burst."""
+        return self.data_burst_time_ns * self.burst_length
+
+
+#: COMET row of Table II.
+COMET_TIMINGS = PhotonicMemoryTimings(
+    name="COMET",
+    banks=4,
+    ranks_per_channel=1,
+    devices_per_rank=1,
+    bus_width_bits=256,
+    burst_length=4,
+    write_time_ns=170.0,
+    erase_time_ns=210.0,
+    read_time_ns=10.0,
+    data_burst_time_ns=1.0,
+    electrical_interface_delay_ns=105.0,
+)
+
+#: COSMOS row of Table II (after the Section IV.B re-modeling).
+COSMOS_TIMINGS = PhotonicMemoryTimings(
+    name="COSMOS",
+    banks=8,
+    ranks_per_channel=1,
+    devices_per_rank=1,
+    bus_width_bits=128,
+    burst_length=8,
+    write_time_ns=1600.0,
+    erase_time_ns=250.0,
+    read_time_ns=25.0,
+    data_burst_time_ns=1.0,
+    electrical_interface_delay_ns=105.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# COMET organization per bit density (Section IV.A)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CometOrganizationSpec:
+    """The (B x Sr x Mr x Mc x b) tuple of Section IV.A for one bit density."""
+
+    bits_per_cell: int
+    banks: int
+    subarrays_per_bank: int     # Sr  (Sc = 1 in COMET: Mc = Nc)
+    rows_per_subarray: int      # Mr
+    cols_per_subarray: int      # Mc
+
+    @property
+    def capacity_bits(self) -> int:
+        return (self.banks * self.subarrays_per_bank * self.rows_per_subarray
+                * self.cols_per_subarray * self.bits_per_cell)
+
+
+#: Section IV.A: (4 x 4096 x 512 x 1024 x 1), (4 x 4096 x 512 x 512 x 2),
+#: (4 x 4096 x 512 x 256 x 4) — all 8 GB.
+COMET_ORGANIZATIONS: Dict[int, CometOrganizationSpec] = {
+    1: CometOrganizationSpec(1, 4, 4096, 512, 1024),
+    2: CometOrganizationSpec(2, 4, 4096, 512, 512),
+    4: CometOrganizationSpec(4, 4, 4096, 512, 256),
+}
+
+
+def comet_organization(bits_per_cell: int) -> CometOrganizationSpec:
+    """Return the paper's COMET organization for a bit density in {1, 2, 4}."""
+    try:
+        return COMET_ORGANIZATIONS[bits_per_cell]
+    except KeyError:
+        raise ConfigError(
+            f"COMET bit density must be one of {sorted(COMET_ORGANIZATIONS)}, "
+            f"got {bits_per_cell}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Derived constants used by the power/reliability models
+# ---------------------------------------------------------------------------
+
+#: Rows an in-array signal can traverse between SOA stages (Section III.E):
+#: 15.2 dB SOA gain / 0.33 dB EO-tuned MR through loss -> one SOA array
+#: every 46 rows.
+SOA_ROW_INTERVAL = 46
+
+#: Mode-division multiplexing degree selected in Section III.C.
+MDM_DEGREE = 4
+
+#: Target main-memory capacity of the evaluation (Section IV).
+MAIN_MEMORY_CAPACITY_BYTES = 8 * (2 ** 30)
+
+#: Channels making up the 8 GB part.  The paper's per-channel organization
+#: (4 x 4096 x 512 x 256 x 4) holds 2^33 bits = 1 GiB, and Eq. (1) carries
+#: an explicit ChannelID, so the 8 GB evaluation part is 8 such channels.
+MAIN_MEMORY_CHANNELS = 8
+
+#: Capacity of one channel's device.
+CHANNEL_CAPACITY_BYTES = MAIN_MEMORY_CAPACITY_BYTES // MAIN_MEMORY_CHANNELS
+
+#: Cache line size used for the Fig. 9 evaluation [bytes]. COMET interleaves
+#: one line across the B banks: 4 banks x 256 bits = 128 B.
+CACHE_LINE_BYTES = 128
+
+
+def validate_capacity(spec: CometOrganizationSpec) -> None:
+    """Check a COMET organization provides one channel's capacity."""
+    if spec.capacity_bits != CHANNEL_CAPACITY_BYTES * 8:
+        raise ConfigError(
+            f"organization {spec} yields {spec.capacity_bits} bits, expected "
+            f"{CHANNEL_CAPACITY_BYTES * 8} per channel"
+        )
+
+
+def table_i_rows() -> Dict[str, str]:
+    """Render Table I as printable rows (used by the Table I bench)."""
+    p = TABLE_I
+    return {
+        "Coupling loss": f"{p.coupling_loss_db:g} dB",
+        "MR drop loss": f"{p.mr_drop_loss_db:g} dB",
+        "MR through loss": f"{p.mr_through_loss_db:g} dB",
+        "EO tuned MR drop loss": f"{p.eo_mr_drop_loss_db:g} dB",
+        "EO tuned MR through loss": f"{p.eo_mr_through_loss_db:g} dB",
+        "Propagation loss": f"{p.propagation_loss_db_per_cm:g} dB/cm",
+        "Bending loss": f"{p.bending_loss_db_per_90deg:g} dB/90deg",
+        "SOA gain": f"{p.soa_gain_db:g} dB",
+        "Laser wall plug efficiency": f"{p.laser_wall_plug_efficiency:.0%}",
+        "EO tuning power": f"{p.eo_tuning_power_w_per_nm * 1e6:g} uW/nm",
+        "Max. power at GST cell": f"{p.max_power_at_gst_cell_w * 1e3:g} mW",
+        "Intra-subarray SOA power": f"{p.intra_soa_power_w * 1e3:g} mW",
+    }
+
+
+def replace(params: OpticalParameters, **updates) -> OpticalParameters:
+    """Return a copy of ``params`` with the given fields replaced."""
+    return dataclasses.replace(params, **updates)

@@ -1,0 +1,57 @@
+"""Physical constants used across the COMET reproduction.
+
+All values are CODATA-2018 in SI units. Only constants that the physics
+models actually consume are defined here; architecture-level parameters
+(Table I/II of the paper) live in :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Planck constant [J*s].
+PLANCK = 6.626_070_15e-34
+
+#: Planck constant [eV*s].
+PLANCK_EV = 4.135_667_696e-15
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380_649e-23
+
+#: Boltzmann constant [eV/K].
+BOLTZMANN_EV = 8.617_333_262e-5
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY = 8.854_187_8128e-12
+
+#: Room / ambient temperature assumed by the thermal models [K].
+AMBIENT_TEMPERATURE_K = 300.0
+
+#: Optical C-band edges used throughout the paper [m].
+C_BAND_MIN_M = 1530e-9
+C_BAND_MAX_M = 1565e-9
+
+#: Reference telecom wavelength [m].
+WAVELENGTH_1550_M = 1550e-9
+
+
+def photon_energy_ev(wavelength_m: float) -> float:
+    """Return the photon energy in eV for a vacuum wavelength in meters.
+
+    >>> round(photon_energy_ev(1550e-9), 4)
+    0.7999
+    """
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    return PLANCK_EV * SPEED_OF_LIGHT / wavelength_m
+
+
+def wavelength_from_energy_ev(energy_ev: float) -> float:
+    """Return the vacuum wavelength in meters for a photon energy in eV."""
+    if energy_ev <= 0.0:
+        raise ValueError(f"photon energy must be positive, got {energy_ev}")
+    return PLANCK_EV * SPEED_OF_LIGHT / energy_ev

@@ -1,0 +1,70 @@
+"""OPCM cell device models (paper Section III.B, Figs. 4–6).
+
+The device layer replaces the paper's Ansys Lumerical FDTD + HEAT flow:
+
+* :class:`repro.device.cell.OpticalGstCell` — transmission/absorption of a
+  PCM-on-waveguide cell versus crystalline fraction and wavelength.
+* :class:`repro.device.heat.LayeredHeatSolver` /
+  :class:`repro.device.heat.LumpedThermalModel` — transient thermal response
+  of the cell stack to programming pulses.
+* :class:`repro.device.kinetics.CrystallizationKinetics` — JMAK/Scheil
+  crystallization and melt-quench amorphization.
+* :class:`repro.device.programming.CellProgrammer` — maps target levels to
+  (power, duration, energy) pulses; regenerates Fig. 6.
+* :class:`repro.device.mlc.MultiLevelCell` — level maps, readout thresholds
+  and the per-bit-density loss tolerances of Section III.C.
+* :func:`repro.device.sweep.geometry_sweep` — the Fig. 4 design-space scan.
+"""
+
+from .geometry import CellGeometry
+from .cell import OpticalGstCell, CellOpticalResponse
+from .heat import (
+    LumpedThermalModel,
+    LayeredHeatSolver,
+    ThermalLayer,
+    THERMAL_LIBRARY,
+    calibrate_lumped_from_layered,
+)
+from .kinetics import CrystallizationKinetics, MeltQuenchResult
+from .programming import (
+    CellProgrammer,
+    ProgrammingConfig,
+    ProgrammingMode,
+    PulseSpec,
+    LevelProgram,
+)
+from .mlc import MultiLevelCell, paper_loss_tolerance_db, paper_loss_tolerance_fraction
+from .readout import PhotodetectorModel, ReadoutModel
+from .drift import TransmissionDriftModel, TEN_YEARS_S
+from .thermal_crosstalk import ThermalCrosstalkModel, comet_write_disturb_report
+from .sweep import GeometrySweepPoint, geometry_sweep, select_design_point
+
+__all__ = [
+    "CellGeometry",
+    "OpticalGstCell",
+    "CellOpticalResponse",
+    "LumpedThermalModel",
+    "LayeredHeatSolver",
+    "ThermalLayer",
+    "THERMAL_LIBRARY",
+    "calibrate_lumped_from_layered",
+    "CrystallizationKinetics",
+    "MeltQuenchResult",
+    "CellProgrammer",
+    "ProgrammingConfig",
+    "ProgrammingMode",
+    "PulseSpec",
+    "LevelProgram",
+    "MultiLevelCell",
+    "paper_loss_tolerance_db",
+    "paper_loss_tolerance_fraction",
+    "PhotodetectorModel",
+    "ReadoutModel",
+    "TransmissionDriftModel",
+    "TEN_YEARS_S",
+    "ThermalCrosstalkModel",
+    "comet_write_disturb_report",
+    "GeometrySweepPoint",
+    "geometry_sweep",
+    "select_design_point",
+]

@@ -1,0 +1,96 @@
+"""Transmission drift and retention of OPCM multi-level cells.
+
+Amorphous (and partially amorphous) PCM relaxes structurally over time,
+shifting the refractive index — the optical analogue of the resistance
+drift that limits *electrical* PCM bit density (Section I).  The
+conclusion claims the designed cell's 16 levels "with 6 % spacing ...
+makes COMET tolerant to transmission drift"; this module makes that claim
+checkable, and shows why 5 bits/cell (which [17] demonstrates physically)
+is the riskier choice.
+
+The standard empirical law is logarithmic: the stored transmission
+shifts as
+
+    dT(t) = nu * (1 - fc) * log10(1 + t / tau0)
+
+where ``nu`` is the drift coefficient per decade and the ``(1 - fc)``
+factor captures that fully crystalline material does not drift (only the
+amorphous phase relaxes).  A level is lost when its shift reaches half
+the level spacing; retention is the time that takes for the worst level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .mlc import MultiLevelCell
+
+#: Ten years, the usual NVM retention spec, in seconds.
+TEN_YEARS_S = 10 * 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class TransmissionDriftModel:
+    """Logarithmic transmission drift of a partially amorphous cell.
+
+    ``nu_per_decade`` is the worst-case (fully amorphous) transmission
+    shift per decade of time; optical GST measurements put it at the
+    sub-percent level — far below electrical resistance-drift exponents,
+    which is the core reason OPCM supports more levels than EPCM.
+    """
+
+    nu_per_decade: float = 0.002
+    tau0_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nu_per_decade < 0.0:
+            raise ConfigError("drift coefficient must be non-negative")
+        if self.tau0_s <= 0.0:
+            raise ConfigError("drift onset time must be positive")
+
+    def transmission_shift(
+        self, crystalline_fraction: float, elapsed_s: float
+    ) -> float:
+        """Magnitude of the transmission shift after ``elapsed_s``."""
+        if not 0.0 <= crystalline_fraction <= 1.0:
+            raise ConfigError("crystalline fraction must be in [0, 1]")
+        if elapsed_s < 0.0:
+            raise ConfigError("elapsed time must be non-negative")
+        decades = math.log10(1.0 + elapsed_s / self.tau0_s)
+        return self.nu_per_decade * (1.0 - crystalline_fraction) * decades
+
+    def level_retention_s(
+        self, mlc: MultiLevelCell, crystalline_fraction: float = 0.0
+    ) -> float:
+        """Time until a level drifts half the spacing (decision flip).
+
+        The worst case is the most amorphous stored level
+        (``crystalline_fraction = 0``).
+        """
+        budget = mlc.level_spacing / 2.0
+        effective_nu = self.nu_per_decade * (1.0 - crystalline_fraction)
+        if effective_nu == 0.0:
+            return math.inf
+        decades = budget / effective_nu
+        # Guard against overflow for very tolerant level maps.
+        if decades > 300.0:
+            return math.inf
+        return self.tau0_s * (10.0 ** decades - 1.0)
+
+    def retention_meets_spec(
+        self, mlc: MultiLevelCell, spec_s: float = TEN_YEARS_S
+    ) -> bool:
+        """Does the worst-case level survive the retention spec?"""
+        return self.level_retention_s(mlc) >= spec_s
+
+    def max_bits_for_retention(
+        self, spec_s: float = TEN_YEARS_S, max_bits: int = 6
+    ) -> int:
+        """Largest bit density whose level map meets the retention spec."""
+        best = 0
+        for bits in range(1, max_bits + 1):
+            if self.retention_meets_spec(MultiLevelCell(bits), spec_s):
+                best = bits
+        return best

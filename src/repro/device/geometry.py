@@ -1,0 +1,62 @@
+"""Cell geometry description (the Fig. 5(a) cross-section)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..photonics.indices import SILICON_INDEX, SILICON_NITRIDE_INDEX
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """Geometry of one GST-on-waveguide cell.
+
+    Paper defaults (Section III.B): 480 nm x 220 nm SOI strip, 20 nm GST of
+    the same width, 2 um cell length, silicon platform.
+    """
+
+    waveguide_width_m: float = 480e-9
+    core_thickness_m: float = 220e-9
+    pcm_thickness_m: float = 20e-9
+    cell_length_m: float = 2e-6
+    platform: str = "Si"
+
+    def __post_init__(self) -> None:
+        for name in ("waveguide_width_m", "core_thickness_m",
+                     "pcm_thickness_m", "cell_length_m"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(f"{name} must be positive")
+        if self.platform not in ("Si", "SiN"):
+            raise ConfigError(f"platform must be 'Si' or 'SiN', got {self.platform!r}")
+
+    @property
+    def platform_index(self) -> float:
+        """Core refractive index of the chosen platform."""
+        return SILICON_INDEX if self.platform == "Si" else SILICON_NITRIDE_INDEX
+
+    @property
+    def pcm_volume_m3(self) -> float:
+        """Volume of the PCM film (used by the thermal models)."""
+        return (self.waveguide_width_m * self.pcm_thickness_m
+                * self.cell_length_m)
+
+    def with_pcm_thickness(self, thickness_m: float) -> "CellGeometry":
+        """Copy with a different PCM film thickness (Fig. 4 sweeps)."""
+        return CellGeometry(
+            waveguide_width_m=self.waveguide_width_m,
+            core_thickness_m=self.core_thickness_m,
+            pcm_thickness_m=thickness_m,
+            cell_length_m=self.cell_length_m,
+            platform=self.platform,
+        )
+
+    def with_width(self, width_m: float) -> "CellGeometry":
+        """Copy with a different waveguide width (Fig. 4 sweeps)."""
+        return CellGeometry(
+            waveguide_width_m=width_m,
+            core_thickness_m=self.core_thickness_m,
+            pcm_thickness_m=self.pcm_thickness_m,
+            cell_length_m=self.cell_length_m,
+            platform=self.platform,
+        )

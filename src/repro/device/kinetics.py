@@ -1,0 +1,177 @@
+"""Crystallization kinetics and melt-quench amorphization.
+
+The paper extracts phase maps from its transient HEAT simulations with a
+simple rule (Section III.B): "regions of the GST cell which have a
+temperature between Tl and Tg have a crystalline structure, whereas the
+regions with temperatures above Tl exist in an amorphous state because of
+the melt and quench mechanism."
+
+We add time to that rule with the standard PCM kinetics:
+
+* **Crystallization** follows JMAK with the Scheil additivity rule for
+  non-isothermal histories: progress ``theta = integral k(T(t)) dt`` and
+  crystalline fraction ``X = 1 - exp(-theta^n)``.  The rate ``k(T)`` is a
+  temperature-windowed peak between Tg and Tl — Arrhenius-activated on the
+  cold side, driving-force-limited near the melt — which is the shape every
+  measured GST TTT diagram has.
+* **Amorphization** happens when material melts (T > Tl) and is quenched
+  faster than the critical rate; melted-and-quenched volume becomes
+  amorphous.  Partial amorphization (MLC RESET-side levels) corresponds to
+  partial melt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import ProgrammingError
+from ..materials.database import KineticsParameters, ThermalProperties
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class MeltQuenchResult:
+    """Outcome of a melt-quench attempt."""
+
+    melted_fraction: float
+    quench_rate_k_per_s: float
+    amorphized: bool
+    resulting_crystalline_fraction: float
+
+
+class CrystallizationKinetics:
+    """JMAK/Scheil crystallization plus melt-quench rules for one material."""
+
+    def __init__(
+        self,
+        params: KineticsParameters,
+        thermal: ThermalProperties,
+        full_melt_margin_k: float = 50.0,
+    ) -> None:
+        if full_melt_margin_k <= 0.0:
+            raise ProgrammingError("full-melt margin must be positive")
+        self.params = params
+        self.thermal = thermal
+        self.full_melt_margin_k = full_melt_margin_k
+
+    # ------------------------------------------------------------------
+    # Crystallization
+    # ------------------------------------------------------------------
+
+    def rate_per_s(self, temperature_k: ArrayLike) -> ArrayLike:
+        """Crystallization rate k(T): a windowed peak between Tg and Tl."""
+        temp = np.asarray(temperature_k, dtype=float)
+        p = self.params
+        in_window = ((temp > self.thermal.crystallization_temperature_k)
+                     & (temp < self.thermal.melting_temperature_k))
+        arg = ((temp - p.optimal_temperature_k) / p.window_sigma_k) ** 2
+        rate = np.where(in_window, p.k_max_per_s * np.exp(-arg), 0.0)
+        if np.isscalar(temperature_k):
+            return float(rate)
+        return rate
+
+    def progress(self, temperatures_k: np.ndarray, dt_s: float) -> float:
+        """Scheil progress integral over a sampled temperature history."""
+        if dt_s <= 0.0:
+            raise ProgrammingError("time step must be positive")
+        rates = self.rate_per_s(np.asarray(temperatures_k, dtype=float))
+        return float(np.sum(rates) * dt_s)
+
+    def fraction_from_progress(self, theta: float) -> float:
+        """JMAK: X = 1 - exp(-theta^n)."""
+        if theta < 0.0:
+            raise ProgrammingError("progress must be non-negative")
+        return 1.0 - math.exp(-(theta ** self.params.avrami_exponent))
+
+    def progress_for_fraction(self, fraction: float) -> float:
+        """Inverse JMAK: theta needed to reach a crystalline fraction."""
+        if not 0.0 <= fraction < 1.0:
+            raise ProgrammingError(
+                f"target fraction must be in [0, 1), got {fraction}"
+            )
+        if fraction == 0.0:
+            return 0.0
+        return (-math.log(1.0 - fraction)) ** (1.0 / self.params.avrami_exponent)
+
+    def isothermal_fraction(self, temperature_k: float, time_s: float) -> float:
+        """Crystalline fraction grown from X=0 after an isothermal hold."""
+        if time_s < 0.0:
+            raise ProgrammingError("time must be non-negative")
+        theta = self.rate_per_s(temperature_k) * time_s
+        return self.fraction_from_progress(theta)
+
+    def time_to_fraction_s(self, temperature_k: float, fraction: float) -> float:
+        """Isothermal hold time to reach a target crystalline fraction."""
+        rate = self.rate_per_s(temperature_k)
+        if rate <= 0.0:
+            raise ProgrammingError(
+                f"no crystallization at {temperature_k:.0f} K (outside the "
+                f"Tg–Tl window)"
+            )
+        return self.progress_for_fraction(fraction) / rate
+
+    def evolve_fraction(
+        self,
+        initial_fraction: float,
+        temperatures_k: np.ndarray,
+        dt_s: float,
+    ) -> float:
+        """Evolve a starting fraction through a temperature history.
+
+        Uses additivity: converts the initial fraction to an equivalent
+        progress, accumulates the history's progress, and converts back.
+        Melting is handled separately (see :meth:`melt_quench`).
+        """
+        if not 0.0 <= initial_fraction <= 1.0:
+            raise ProgrammingError("initial fraction must be in [0, 1]")
+        if initial_fraction >= 1.0:
+            return 1.0
+        theta0 = self.progress_for_fraction(min(initial_fraction, 0.999999))
+        theta = theta0 + self.progress(temperatures_k, dt_s)
+        return self.fraction_from_progress(theta)
+
+    # ------------------------------------------------------------------
+    # Amorphization (melt-quench)
+    # ------------------------------------------------------------------
+
+    def melt_fraction_from_peak(self, peak_temperature_k: float) -> float:
+        """Fraction of the film volume melted by a pulse peaking at ``T``.
+
+        Zero below Tl; complete at ``Tl + full_melt_margin``; linear in
+        between (a proxy for the melt front sweeping the film thickness,
+        which the 1-D solver resolves explicitly).
+        """
+        t_melt = self.thermal.melting_temperature_k
+        if peak_temperature_k <= t_melt:
+            return 0.0
+        fraction = (peak_temperature_k - t_melt) / self.full_melt_margin_k
+        return min(fraction, 1.0)
+
+    def melt_quench(
+        self,
+        initial_fraction: float,
+        peak_temperature_k: float,
+        quench_rate_k_per_s: float,
+    ) -> MeltQuenchResult:
+        """Apply a melt-quench event to a cell state.
+
+        The melted share of the volume re-freezes amorphous when the quench
+        is fast enough, otherwise it recrystallizes (the pulse failed).
+        """
+        if quench_rate_k_per_s < 0.0:
+            raise ProgrammingError("quench rate must be non-negative")
+        melted = self.melt_fraction_from_peak(peak_temperature_k)
+        fast_enough = quench_rate_k_per_s >= self.params.critical_quench_rate_k_per_s
+        if melted == 0.0:
+            return MeltQuenchResult(0.0, quench_rate_k_per_s, False, initial_fraction)
+        if fast_enough:
+            resulting = initial_fraction * (1.0 - melted)
+            return MeltQuenchResult(melted, quench_rate_k_per_s, True, resulting)
+        # Slow quench: melted volume recrystallizes on the way down.
+        resulting = initial_fraction * (1.0 - melted) + melted
+        return MeltQuenchResult(melted, quench_rate_k_per_s, False, min(resulting, 1.0))

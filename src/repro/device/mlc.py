@@ -1,0 +1,174 @@
+"""Multi-level cell model: level maps, thresholds, loss tolerances.
+
+Section III.B's cell stores ``2^b`` equally spaced transmission levels —
+16 levels with 6 % spacing for the selected 4-bit cell.  Section III.C then
+derives per-bit-density *loss tolerances*: how much optical loss a readout
+can absorb before one level aliases into its neighbour (50 % / 3.01 dB at
+b=1, 25 % / 1.2 dB at b=2, 6 % / 0.26 dB at b=4).  Those tolerances drive
+the SOA placement and LUT sizing in :mod:`repro.arch.reliability`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def paper_loss_tolerance_fraction(bits_per_cell: int) -> float:
+    """The Section III.C loss-tolerance fraction: ``2^-b``.
+
+    >>> paper_loss_tolerance_fraction(1)
+    0.5
+    >>> paper_loss_tolerance_fraction(4)
+    0.0625
+    """
+    if bits_per_cell < 1:
+        raise ConfigError("bits per cell must be at least 1")
+    return 2.0 ** (-bits_per_cell)
+
+
+def paper_loss_tolerance_db(bits_per_cell: int) -> float:
+    """Loss tolerance in dB: ``-10 log10(1 - 2^-b)``.
+
+    Reproduces the paper's numbers: 3.01 dB (b=1), ~1.2 dB (b=2),
+    ~0.26 dB (b=4).
+    """
+    fraction = paper_loss_tolerance_fraction(bits_per_cell)
+    return -10.0 * math.log10(1.0 - fraction)
+
+
+@dataclass(frozen=True)
+class MultiLevelCell:
+    """Level map of a ``b``-bit OPCM cell.
+
+    Levels are equally spaced transmissions spanning
+    ``[min_transmission, max_transmission]``; for the paper's 4-bit cell the
+    defaults give 16 levels with exactly 6 % spacing. Level 0 is the
+    brightest (most transmissive, most amorphous) state.
+    """
+
+    bits_per_cell: int = 4
+    min_transmission: float = 0.05
+    max_transmission: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.bits_per_cell < 1:
+            raise ConfigError("bits per cell must be at least 1")
+        if not 0.0 < self.min_transmission < self.max_transmission <= 1.0:
+            raise ConfigError("transmission bounds must satisfy 0 < min < max <= 1")
+
+    @classmethod
+    def for_cell(cls, cell, bits_per_cell: int = 4,
+                 margin: float = 0.001) -> "MultiLevelCell":
+        """Level map spanning a specific cell's achievable range.
+
+        The paper's 4-bit cell stores 16 levels with 6 % spacing — i.e. a
+        ~90 % transmission span, which is what the designed cell's
+        [T(crystalline), T(amorphous)] range provides.  This constructor
+        ties the two together for a concrete :class:`OpticalGstCell`.
+        """
+        t_max = cell.transmission(0.0) - margin
+        t_min = cell.transmission(1.0) + margin
+        return cls(bits_per_cell=bits_per_cell,
+                   min_transmission=t_min, max_transmission=t_max)
+
+    @property
+    def num_levels(self) -> int:
+        return 2 ** self.bits_per_cell
+
+    @property
+    def level_spacing(self) -> float:
+        """Transmission gap between adjacent levels (6 % for 4-bit)."""
+        return (self.max_transmission - self.min_transmission) / (self.num_levels - 1)
+
+    def level_transmissions(self) -> np.ndarray:
+        """Transmission targets, brightest (level 0) first."""
+        return np.linspace(
+            self.max_transmission, self.min_transmission, self.num_levels
+        )
+
+    def transmission_for_level(self, level: int) -> float:
+        """Target transmission of one level."""
+        self._check_level(level)
+        return float(self.level_transmissions()[level])
+
+    def level_for_value(self, value: int) -> int:
+        """Identity map for stored values (values are levels); bounds-checked."""
+        self._check_level(value)
+        return value
+
+    # -- readout ------------------------------------------------------------
+
+    def decide_level(self, measured_transmission: float) -> int:
+        """Nearest-level decision on a measured transmission."""
+        levels = self.level_transmissions()
+        return int(np.argmin(np.abs(levels - measured_transmission)))
+
+    def decision_thresholds(self) -> np.ndarray:
+        """Midpoint thresholds between adjacent levels (descending)."""
+        levels = self.level_transmissions()
+        return (levels[:-1] + levels[1:]) / 2.0
+
+    def readout_error(
+        self, stored_level: int, loss_fraction: float
+    ) -> bool:
+        """Would a readout suffering ``loss_fraction`` decode the wrong level?"""
+        self._check_level(stored_level)
+        if not 0.0 <= loss_fraction < 1.0:
+            raise ConfigError("loss fraction must be in [0, 1)")
+        true_t = self.transmission_for_level(stored_level)
+        measured = true_t * (1.0 - loss_fraction)
+        return self.decide_level(measured) != stored_level
+
+    # -- loss tolerance -------------------------------------------------------
+
+    def loss_tolerance_fraction(self) -> float:
+        """Worst-case tolerable loss before any level aliases downward.
+
+        Computed from this level map (the brightest adjacent pair is the
+        tightest); the paper's coarser ``2^-b`` rule is available as
+        :func:`paper_loss_tolerance_fraction`.
+        """
+        levels = self.level_transmissions()
+        # Losing exactly half the spacing relative to the stored level flips
+        # the nearest-level decision.
+        ratios = (levels[:-1] - levels[1:]) / (2.0 * levels[:-1])
+        return float(np.min(ratios))
+
+    def loss_tolerance_db(self) -> float:
+        """Worst-case tolerable loss in dB from this level map."""
+        return -10.0 * math.log10(1.0 - self.loss_tolerance_fraction())
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ConfigError(
+                f"level {level} outside [0, {self.num_levels - 1}]"
+            )
+
+    def pack_values(self, values: List[int]) -> int:
+        """Pack per-cell values into an integer (row readout helper)."""
+        word = 0
+        for value in values:
+            self._check_level(value)
+            word = (word << self.bits_per_cell) | value
+        return word
+
+    def unpack_values(self, word: int, cells: int) -> List[int]:
+        """Inverse of :meth:`pack_values`."""
+        if word < 0 or cells < 0:
+            raise ConfigError("word and cell count must be non-negative")
+        mask = self.num_levels - 1
+        values = []
+        for _ in range(cells):
+            values.append(word & mask)
+            word >>= self.bits_per_cell
+        if word:
+            raise ConfigError("word has more bits than the requested cells")
+        return list(reversed(values))

@@ -1,0 +1,272 @@
+"""Cell programming: pulses, levels, energies and latencies (Fig. 6).
+
+Combines the cell's optical response, the lumped thermal model and the
+crystallization kinetics into the paper's two programming case studies
+(Section III.B):
+
+* **Case 1 — crystalline-deposited**: the reset state is crystalline.
+  RESET = full (re)crystallization with a 1 mW pulse held at the
+  temperature that the 1 mW steady state reaches; the paper reports 880 pJ.
+  WRITE = partial amorphization: a 5 mW pulse melts part of the film and
+  quenches it; deeper melt -> lower crystalline fraction.
+* **Case 2 — amorphous-deposited**: the reset state is amorphous.
+  RESET = full melt-quench at 5 mW; the paper reports 280 pJ.
+  WRITE = partial crystallization: a pulse at the power whose steady state
+  sits at the kinetics' optimal temperature grows the target fraction.
+
+``level_table`` generates the Fig. 6 dataset: per level, the crystalline
+fraction, optical transmission, pulse (power, duration, energy) and total
+latency (pulse + thermal settle back below Tg).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ProgrammingError
+from .cell import OpticalGstCell
+from .heat import LumpedThermalModel
+from .kinetics import CrystallizationKinetics
+from .mlc import MultiLevelCell
+
+
+class ProgrammingMode(enum.Enum):
+    """Which endpoint phase the cell is deposited in / reset to."""
+
+    CRYSTALLINE_DEPOSITED = "crystalline-deposited"
+    AMORPHOUS_DEPOSITED = "amorphous-deposited"
+
+
+@dataclass(frozen=True)
+class PulseSpec:
+    """One optical programming pulse at the GST cell."""
+
+    power_w: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0.0 or self.duration_s <= 0.0:
+            raise ProgrammingError("pulse power and duration must be positive")
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.duration_s
+
+
+@dataclass(frozen=True)
+class LevelProgram:
+    """A fully resolved level write: target state, pulse and latency."""
+
+    level: int
+    crystalline_fraction: float
+    transmission: float
+    pulse: PulseSpec
+    settle_time_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Pulse plus thermal settle (cell ready for the next operation)."""
+        return self.pulse.duration_s + self.settle_time_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.pulse.energy_j
+
+
+@dataclass(frozen=True)
+class ProgrammingConfig:
+    """Knobs of the programming model (paper anchors in defaults).
+
+    ``crystallization_power_w = None`` derives the power whose steady-state
+    temperature equals the kinetics' optimal crystallization temperature.
+    """
+
+    amorphization_power_w: float = 5e-3       # Sec. III.C: 5 mW write power
+    reset_power_crystalline_w: float = 1e-3   # Table I: 1 mW max at cell
+    crystallization_power_w: Optional[float] = None
+    reset_target_fraction: float = 0.99
+    melt_hold_margin_s: float = 5e-9          # dwell above full melt
+
+
+class CellProgrammer:
+    """Maps target levels to pulses for one cell + thermal + kinetics set."""
+
+    def __init__(
+        self,
+        cell: OpticalGstCell,
+        thermal: Optional[LumpedThermalModel] = None,
+        kinetics: Optional[CrystallizationKinetics] = None,
+        config: ProgrammingConfig = ProgrammingConfig(),
+    ) -> None:
+        self.cell = cell
+        self.thermal = thermal if thermal is not None else LumpedThermalModel()
+        self.kinetics = kinetics if kinetics is not None else CrystallizationKinetics(
+            cell.material.kinetics, cell.material.thermal
+        )
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Derived operating points
+    # ------------------------------------------------------------------
+
+    @property
+    def crystallization_power_w(self) -> float:
+        """Power for SET pulses: steady state at the optimal temperature."""
+        if self.config.crystallization_power_w is not None:
+            return self.config.crystallization_power_w
+        return self.thermal.power_for_temperature_w(
+            self.kinetics.params.optimal_temperature_k
+        )
+
+    def _crystallization_temperature_k(self) -> float:
+        return self.thermal.steady_state_k(self.crystallization_power_w)
+
+    def _settle_time_from(self, start_k: float) -> float:
+        """Cooling time back below the crystallization window."""
+        target = self.kinetics.thermal.crystallization_temperature_k
+        return self.thermal.time_to_cool_s(start_k, target)
+
+    # ------------------------------------------------------------------
+    # Elementary operations
+    # ------------------------------------------------------------------
+
+    def crystallize_to(self, target_fraction: float) -> PulseSpec:
+        """SET pulse growing crystalline fraction from 0 to the target.
+
+        The pulse ramps to 95 % of the SET power's steady-state rise (an
+        asymptote the ramp never fully reaches) and holds there for the
+        isothermal time the kinetics require; crystallization during the
+        ramp itself is conservatively ignored.
+        """
+        if not 0.0 < target_fraction < 1.0:
+            raise ProgrammingError("target fraction must be in (0, 1)")
+        hold_k = self._hold_temperature_k(self.crystallization_power_w)
+        ramp = self.thermal.time_to_temperature_s(
+            self.crystallization_power_w, hold_k
+        )
+        hold = self.kinetics.time_to_fraction_s(hold_k, target_fraction)
+        return PulseSpec(self.crystallization_power_w, ramp + hold)
+
+    def _hold_temperature_k(self, power_w: float) -> float:
+        """The 95 %-rise temperature a SET pulse effectively holds at."""
+        steady = self.thermal.steady_state_k(power_w)
+        return self.thermal.ambient_k + 0.95 * (steady - self.thermal.ambient_k)
+
+    def amorphize_to_melt_fraction(self, melt_fraction: float) -> PulseSpec:
+        """RESET-side pulse melting the requested share of the film."""
+        if not 0.0 < melt_fraction <= 1.0:
+            raise ProgrammingError("melt fraction must be in (0, 1]")
+        power = self.config.amorphization_power_w
+        t_melt = self.kinetics.thermal.melting_temperature_k
+        peak_needed = t_melt + melt_fraction * self.kinetics.full_melt_margin_k
+        duration = self.thermal.time_to_temperature_s(power, peak_needed)
+        return PulseSpec(power, duration + self.config.melt_hold_margin_s)
+
+    def verify_quench(self, pulse: PulseSpec) -> bool:
+        """Check the free-cooling quench through Tl beats the critical rate."""
+        peak = self.thermal.temperature_k(pulse.power_w, pulse.duration_s)
+        t_melt = self.kinetics.thermal.melting_temperature_k
+        if peak <= t_melt:
+            return False
+        rate = self.thermal.quench_rate_k_per_s(t_melt)
+        return rate >= self.kinetics.params.critical_quench_rate_k_per_s
+
+    # ------------------------------------------------------------------
+    # Reset pulses (the Section III.B case studies)
+    # ------------------------------------------------------------------
+
+    def reset_pulse(self, mode: ProgrammingMode) -> PulseSpec:
+        """The RESET pulse of the given deposition mode."""
+        if mode is ProgrammingMode.CRYSTALLINE_DEPOSITED:
+            # Full crystallization at the (lower) 1 mW cell power.
+            power = self.config.reset_power_crystalline_w
+            hold_k = self.thermal.steady_state_k(power)
+            window_min = self.kinetics.thermal.crystallization_temperature_k
+            if hold_k <= window_min:
+                raise ProgrammingError(
+                    f"reset power {power * 1e3:.1f} mW only reaches "
+                    f"{hold_k:.0f} K, below the {window_min:.0f} K window"
+                )
+            # Steady state is reached asymptotically; the pulse effectively
+            # holds at the 95 %-rise temperature.
+            effective_k = self._hold_temperature_k(power)
+            if effective_k <= window_min:
+                raise ProgrammingError(
+                    f"reset hold temperature {effective_k:.0f} K below the "
+                    f"{window_min:.0f} K crystallization window"
+                )
+            duration = self.kinetics.time_to_fraction_s(
+                effective_k, self.config.reset_target_fraction
+            )
+            return PulseSpec(power, duration)
+        # Amorphous-deposited: full melt-quench.
+        return self.amorphize_to_melt_fraction(1.0)
+
+    def reset_energy_j(self, mode: ProgrammingMode) -> float:
+        """Energy of the RESET pulse (compare: paper's 880 pJ / 280 pJ)."""
+        return self.reset_pulse(mode).energy_j
+
+    # ------------------------------------------------------------------
+    # Level programming
+    # ------------------------------------------------------------------
+
+    def program_level(
+        self, mode: ProgrammingMode, target_fraction: float
+    ) -> PulseSpec:
+        """WRITE pulse taking a freshly reset cell to a target fraction."""
+        if mode is ProgrammingMode.AMORPHOUS_DEPOSITED:
+            # Grow crystalline fraction from 0.
+            if target_fraction <= 0.0:
+                raise ProgrammingError("level 0 is the reset state; no pulse")
+            return self.crystallize_to(min(target_fraction, 0.999))
+        # Crystalline-deposited: melt away (1 - fc) of the film.
+        melt = 1.0 - target_fraction
+        if melt <= 0.0:
+            raise ProgrammingError("level 0 is the reset state; no pulse")
+        return self.amorphize_to_melt_fraction(min(melt, 1.0))
+
+    def level_table(
+        self,
+        mlc: MultiLevelCell,
+        mode: ProgrammingMode = ProgrammingMode.AMORPHOUS_DEPOSITED,
+    ) -> List[LevelProgram]:
+        """The Fig. 6 dataset: every level's fraction/transmission/latency.
+
+        Levels are ordered by transmission (level 0 brightest).  The reset
+        state occupies the extreme level and needs no write pulse; it is
+        reported with the reset pulse instead so the table is complete.
+        """
+        programs: List[LevelProgram] = []
+        for level, target_t in enumerate(mlc.level_transmissions()):
+            fraction = self.cell.fc_for_transmission(target_t)
+            if mode is ProgrammingMode.AMORPHOUS_DEPOSITED:
+                is_reset_level = fraction <= 0.01
+            else:
+                is_reset_level = fraction >= 0.99
+            if is_reset_level:
+                pulse = self.reset_pulse(mode)
+            else:
+                pulse = self.program_level(mode, fraction)
+            peak_k = self.thermal.temperature_k(pulse.power_w, pulse.duration_s)
+            settle = self._settle_time_from(
+                max(peak_k, self.kinetics.thermal.crystallization_temperature_k + 1.0)
+            )
+            programs.append(LevelProgram(
+                level=level,
+                crystalline_fraction=fraction,
+                transmission=target_t,
+                pulse=pulse,
+                settle_time_s=settle,
+            ))
+        return programs
+
+    def max_write_latency_s(
+        self, mlc: MultiLevelCell,
+        mode: ProgrammingMode = ProgrammingMode.AMORPHOUS_DEPOSITED,
+    ) -> float:
+        """Worst-case level-write latency (feeds the Table II derivation)."""
+        table = self.level_table(mlc, mode)
+        return max(entry.latency_s for entry in table)

@@ -1,0 +1,106 @@
+"""Cell geometry design-space sweep (Fig. 4).
+
+Scans waveguide width and GST film thickness, computing the optical
+absorption contrast and optical transmission contrast of the resulting
+cell, and selects the design point the way Section III.B does: maximize
+both contrasts jointly (so the transmission contrast is absorption-driven,
+not mismatch-driven), with a thickness preference for fast thermal response
+baked in by capping the film thickness scanned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..constants import WAVELENGTH_1550_M
+from ..errors import ConfigError
+from ..materials.pcm import PhaseChangeMaterial
+from .cell import OpticalGstCell
+from .geometry import CellGeometry
+
+#: Paper-matching default scan ranges (Fig. 4 axes).
+DEFAULT_WIDTHS_M = tuple(np.array([400, 440, 480, 520, 560, 600]) * 1e-9)
+DEFAULT_THICKNESSES_M = tuple(np.array([10, 15, 20, 25, 30, 40, 50]) * 1e-9)
+
+
+@dataclass(frozen=True)
+class GeometrySweepPoint:
+    """One (width, thickness) evaluation of the Fig. 4 scan."""
+
+    width_m: float
+    thickness_m: float
+    transmission_amorphous: float
+    transmission_crystalline: float
+    absorption_amorphous: float
+    absorption_crystalline: float
+
+    @property
+    def transmission_contrast(self) -> float:
+        return self.transmission_amorphous - self.transmission_crystalline
+
+    @property
+    def absorption_contrast(self) -> float:
+        return self.absorption_crystalline - self.absorption_amorphous
+
+    @property
+    def joint_score(self) -> float:
+        """Selection score: product of the two contrasts (both must be high)."""
+        return (max(self.transmission_contrast, 0.0)
+                * max(self.absorption_contrast, 0.0))
+
+
+def geometry_sweep(
+    material: PhaseChangeMaterial,
+    widths_m: Sequence[float] = DEFAULT_WIDTHS_M,
+    thicknesses_m: Sequence[float] = DEFAULT_THICKNESSES_M,
+    cell_length_m: float = 2e-6,
+    platform: str = "Si",
+    wavelength_m: float = WAVELENGTH_1550_M,
+) -> List[GeometrySweepPoint]:
+    """Evaluate the cell contrasts over a width x thickness grid."""
+    if not widths_m or not thicknesses_m:
+        raise ConfigError("sweep needs at least one width and one thickness")
+    points: List[GeometrySweepPoint] = []
+    for width in widths_m:
+        for thickness in thicknesses_m:
+            geometry = CellGeometry(
+                waveguide_width_m=width,
+                pcm_thickness_m=thickness,
+                cell_length_m=cell_length_m,
+                platform=platform,
+            )
+            cell = OpticalGstCell(material, geometry)
+            resp_a = cell.response(0.0, wavelength_m)
+            resp_c = cell.response(1.0, wavelength_m)
+            points.append(GeometrySweepPoint(
+                width_m=width,
+                thickness_m=thickness,
+                transmission_amorphous=resp_a.transmission,
+                transmission_crystalline=resp_c.transmission,
+                absorption_amorphous=resp_a.absorption,
+                absorption_crystalline=resp_c.absorption,
+            ))
+    return points
+
+
+def select_design_point(
+    points: Sequence[GeometrySweepPoint],
+    max_thickness_m: Optional[float] = 25e-9,
+) -> GeometrySweepPoint:
+    """Pick the design point: best joint contrast under a thickness cap.
+
+    The cap encodes Section III.B's thermal argument — thicker films heat
+    (and therefore write/reset) slower — so among near-equal contrasts the
+    thin film wins.  With the paper's ranges this lands on
+    (480 nm-class width, 20 nm thickness).
+    """
+    if not points:
+        raise ConfigError("empty sweep")
+    eligible = [p for p in points
+                if max_thickness_m is None or p.thickness_m <= max_thickness_m]
+    if not eligible:
+        raise ConfigError("thickness cap excluded every sweep point")
+    return max(eligible, key=lambda p: p.joint_score)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the COMET reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """An architecture or device configuration is inconsistent."""
+
+
+class MaterialError(ReproError):
+    """A material model was queried outside its validity range."""
+
+
+class SolverError(ReproError):
+    """A numerical solver (mode solver, heat solver, root find) failed."""
+
+
+class ProgrammingError(ReproError):
+    """A cell programming request cannot be satisfied (level/energy bounds)."""
+
+
+class AddressError(ReproError):
+    """A physical address falls outside the memory organization."""
+
+
+class TraceError(ReproError):
+    """A memory trace file or record is malformed."""
+
+
+class SimulationError(ReproError):
+    """The memory simulator reached an inconsistent state."""

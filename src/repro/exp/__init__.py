@@ -1,0 +1,13 @@
+"""Experiment registry: one module per paper table/figure.
+
+Each experiment module exposes a ``run()`` returning a plain result object
+and a ``main()`` that prints the same rows/series the paper plots.  The
+registry maps experiment ids ("fig3", "table2", ...) to those runners so
+benches, tests and the command line all share one entry point:
+
+    python -m repro.exp fig9
+"""
+
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,24 @@
+"""Command-line entry point: ``python -m repro.exp [experiment ...]``.
+
+With no arguments, runs every registered experiment in paper order.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .registry import EXPERIMENTS, get_experiment
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    ids = args if args else list(EXPERIMENTS)
+    for exp_id in ids:
+        experiment = get_experiment(exp_id)
+        print(f"=== {experiment.exp_id}: {experiment.description} ===")
+        experiment.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Fig. 10 — EPB of the DOTA accelerator with each main memory.
+
+DeiT-T and DeiT-B inference traffic through every candidate memory, plus
+the electro-optic conversion tax electronic memories pay at the photonic
+tensor core's boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..accel.dota import DotaResult, dota_case_study
+from .report import print_table
+
+#: Paper-reported Fig. 10 ratios (COMET vs other, per model).
+PAPER_RATIOS = {
+    ("DeiT-T", "3D_DDR4"): 1.3,
+    ("DeiT-B", "3D_DDR4"): 2.06,
+    ("DeiT-T", "COSMOS"): 2.7,
+    ("DeiT-B", "COSMOS"): 1.45,
+}
+
+
+@dataclass
+class Fig10Result:
+    results: Dict[str, Dict[str, DotaResult]]
+
+    def ratio(self, model: str, other: str) -> float:
+        """How much lower COMET's system EPB is than ``other``'s."""
+        per_mem = self.results[model]
+        return per_mem[other].system_epb_pj / per_mem["COMET"].system_epb_pj
+
+
+def run(num_requests: int = 6000) -> Fig10Result:
+    return Fig10Result(results=dota_case_study(num_requests=num_requests))
+
+
+def main() -> Fig10Result:
+    result = run()
+    for model, per_mem in result.results.items():
+        rows = []
+        for memory, res in per_mem.items():
+            rows.append([
+                memory,
+                f"{res.memory_epb_pj:.1f}",
+                f"{res.conversion_pj_per_bit:.1f}",
+                f"{res.system_epb_pj:.1f}",
+            ])
+        print_table(
+            ["memory", "memory EPB (pJ/b)", "conversion (pJ/b)",
+             "system EPB (pJ/b)"],
+            rows, title=f"Fig. 10 — DOTA + {model}",
+        )
+    print("COMET ratios (measured | paper):")
+    for (model, other), paper in PAPER_RATIOS.items():
+        print(f"  {model} vs {other}: {result.ratio(model, other):5.2f}x "
+              f"| {paper:.2f}x")
+    print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

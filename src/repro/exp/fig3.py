@@ -1,0 +1,74 @@
+"""Fig. 3 — n and kappa of GST, GSST and Sb2Se3 across the C-band.
+
+The figure that drives material selection: GST shows the largest
+refractive-index contrast *and* a strong crystalline extinction, so it
+wins the Section III.A figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..materials import MATERIAL_NAMES, get_material
+from .report import print_table
+
+
+@dataclass
+class Fig3Result:
+    """Dispersion series per material, plus the selection ranking."""
+
+    wavelengths_m: np.ndarray
+    #: series[material][state] -> (n array, kappa array)
+    series: Dict[str, Dict[str, tuple]]
+    figure_of_merit: Dict[str, float]
+
+    @property
+    def selected_material(self) -> str:
+        return max(self.figure_of_merit, key=self.figure_of_merit.get)
+
+
+def run(points: int = 8) -> Fig3Result:
+    """Compute the Fig. 3 dispersion series."""
+    wavelengths = np.linspace(1530e-9, 1565e-9, points)
+    series: Dict[str, Dict[str, tuple]] = {}
+    fom: Dict[str, float] = {}
+    for name in MATERIAL_NAMES:
+        material = get_material(name)
+        n_a, k_a = material.amorphous.nk(wavelengths)
+        n_c, k_c = material.crystalline.nk(wavelengths)
+        series[name] = {
+            "amorphous": (n_a, k_a),
+            "crystalline": (n_c, k_c),
+        }
+        fom[name] = material.figure_of_merit()
+    return Fig3Result(wavelengths_m=wavelengths, series=series,
+                      figure_of_merit=fom)
+
+
+def main() -> Fig3Result:
+    result = run()
+    rows: List[list] = []
+    for i, wl in enumerate(result.wavelengths_m):
+        for name in MATERIAL_NAMES:
+            n_a, k_a = result.series[name]["amorphous"]
+            n_c, k_c = result.series[name]["crystalline"]
+            rows.append([f"{wl * 1e9:.1f}", name,
+                         f"{n_a[i]:.3f}", f"{k_a[i]:.4f}",
+                         f"{n_c[i]:.3f}", f"{k_c[i]:.4f}"])
+    print_table(
+        ["lambda (nm)", "material", "n_amor", "k_amor", "n_cryst", "k_cryst"],
+        rows, title="Fig. 3 — PCM dispersion across the C-band",
+    )
+    fom_rows = [[name, f"{fom:.4f}"]
+                for name, fom in sorted(result.figure_of_merit.items(),
+                                        key=lambda kv: -kv[1])]
+    print_table(["material", "contrast FOM"], fom_rows,
+                title=f"Selection (paper picks GST): {result.selected_material}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Fig. 6 — latency and transmission of the 16 intermediate GST levels.
+
+Reproduces the level table of the designed 4-bit cell for both
+programming case studies (Section III.B), along with the two reset-pulse
+energies the paper anchors on (880 pJ crystalline-deposited, 280 pJ
+amorphous-deposited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..device import (
+    CellProgrammer,
+    LevelProgram,
+    MultiLevelCell,
+    OpticalGstCell,
+    ProgrammingMode,
+)
+from ..materials import get_material
+from .report import print_table
+
+PAPER_RESET_ENERGY_PJ = {
+    ProgrammingMode.CRYSTALLINE_DEPOSITED: 880.0,
+    ProgrammingMode.AMORPHOUS_DEPOSITED: 280.0,
+}
+
+
+@dataclass
+class Fig6Result:
+    levels: Dict[ProgrammingMode, List[LevelProgram]]
+    reset_energy_pj: Dict[ProgrammingMode, float]
+    level_spacing: float
+
+
+def run(bits_per_cell: int = 4) -> Fig6Result:
+    cell = OpticalGstCell(get_material("GST"))
+    mlc = MultiLevelCell.for_cell(cell, bits_per_cell)
+    programmer = CellProgrammer(cell)
+    levels = {}
+    resets = {}
+    for mode in ProgrammingMode:
+        levels[mode] = programmer.level_table(mlc, mode)
+        resets[mode] = programmer.reset_energy_j(mode) * 1e12
+    return Fig6Result(levels=levels, reset_energy_pj=resets,
+                      level_spacing=mlc.level_spacing)
+
+
+def main() -> Fig6Result:
+    result = run()
+    for mode, table in result.levels.items():
+        rows = []
+        for entry in table:
+            rows.append([
+                entry.level,
+                f"{entry.crystalline_fraction:.3f}",
+                f"{entry.transmission:.3f}",
+                f"{entry.pulse.duration_s * 1e9:.1f}",
+                f"{entry.energy_j * 1e12:.0f}",
+                f"{entry.latency_s * 1e9:.1f}",
+            ])
+        print_table(
+            ["level", "cryst frac", "transmission", "pulse (ns)",
+             "energy (pJ)", "latency (ns)"],
+            rows,
+            title=(f"Fig. 6 — 16 levels, {mode.value} "
+                   f"(spacing {result.level_spacing:.3f})"),
+        )
+        print(f"  reset energy: {result.reset_energy_pj[mode]:.0f} pJ "
+              f"(paper: {PAPER_RESET_ENERGY_PJ[mode]:.0f} pJ)\n")
+    return result
+
+
+if __name__ == "__main__":
+    main()

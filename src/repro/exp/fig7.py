@@ -1,0 +1,56 @@
+"""Fig. 7 — COMET power stacks for bit densities 1, 2 and 4.
+
+The study behind the b=4 choice: halving Nc with each doubling of b
+halves both the laser comb and the active SOA population, so total power
+drops ~2x per step while capacity and cache-line bandwidth stay fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..arch.power import PowerBreakdown, bit_density_study
+from .report import print_table
+
+
+@dataclass
+class Fig7Result:
+    stacks: Dict[int, PowerBreakdown]
+
+    @property
+    def selected_bits(self) -> int:
+        """The paper selects the lowest-power configuration (b=4)."""
+        return min(self.stacks, key=lambda b: self.stacks[b].total_w)
+
+    def power_ratio(self, bits_a: int, bits_b: int) -> float:
+        return self.stacks[bits_a].total_w / self.stacks[bits_b].total_w
+
+
+def run() -> Fig7Result:
+    return Fig7Result(stacks=bit_density_study())
+
+
+def main() -> Fig7Result:
+    result = run()
+    rows = []
+    for bits, stack in sorted(result.stacks.items()):
+        rows.append([
+            stack.name,
+            f"{stack.laser_w:.1f}",
+            f"{stack.soa_w:.1f}",
+            f"{stack.tuning_w * 1e3:.1f} mW",
+            f"{stack.total_w:.1f}",
+        ])
+    print_table(
+        ["config", "laser (W)", "SOA (W)", "EO tuning", "total (W)"],
+        rows,
+        title="Fig. 7 — COMET power stacks vs bit density (paper picks b=4)",
+    )
+    print(f"  selected: b={result.selected_bits} "
+          f"(b=1 is {result.power_ratio(1, 4):.1f}x the b=4 power)\n")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Fig. 9 — bandwidth, EPB and BW/EPB across all architectures.
+
+Runs the full (architecture x workload) grid through the memory simulator
+and prints the per-workload series plus the cross-workload geomeans and
+the COMET-vs-everything ratios the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.factory import ARCHITECTURE_NAMES
+from ..sim.simulator import run_evaluation, summarize
+from ..sim.stats import SimStats
+from .report import print_table
+
+#: Paper-reported average ratios (COMET vs each architecture).
+PAPER_BW_RATIOS = {
+    "2D_DDR3": 100.3, "3D_DDR3": 47.2, "2D_DDR4": 58.7,
+    "3D_DDR4": 42.1, "EPCM-MM": 40.6, "COSMOS": 5.1,
+}
+PAPER_EPB_RATIOS = {"2D_DDR3": 4.1, "2D_DDR4": 2.3, "COSMOS": 12.9}
+PAPER_BW_PER_EPB_RATIOS = {"3D_DDR4": 6.5, "COSMOS": 65.8}
+
+
+@dataclass
+class Fig9Result:
+    results: Dict[str, Dict[str, SimStats]]
+    summary: Dict[str, Dict[str, float]]
+
+    def bw_ratio(self, other: str) -> float:
+        return (self.summary["COMET"]["bandwidth_gbps"]
+                / self.summary[other]["bandwidth_gbps"])
+
+    def epb_ratio(self, other: str) -> float:
+        """How much lower COMET's EPB is than ``other``'s."""
+        return (self.summary[other]["epb_pj"]
+                / self.summary["COMET"]["epb_pj"])
+
+    def latency_ratio(self, other: str) -> float:
+        return (self.summary[other]["avg_latency_ns"]
+                / self.summary["COMET"]["avg_latency_ns"])
+
+    def bw_per_epb_ratio(self, other: str) -> float:
+        return (self.summary["COMET"]["bw_per_epb"]
+                / self.summary[other]["bw_per_epb"])
+
+
+def run(num_requests: int = 8000, seed: int = 1) -> Fig9Result:
+    results = run_evaluation(num_requests=num_requests, seed=seed)
+    return Fig9Result(results=results, summary=summarize(results))
+
+
+def main(num_requests: int = 8000) -> Fig9Result:
+    result = run(num_requests=num_requests)
+
+    workloads = sorted(next(iter(result.results.values())))
+    for metric, fmt in (("bandwidth_gbps", "{:.2f}"),
+                        ("energy_per_bit_pj", "{:.1f}"),
+                        ("bw_per_epb", "{:.4f}")):
+        rows: List[list] = []
+        for arch in ARCHITECTURE_NAMES:
+            row = [arch]
+            for workload in workloads:
+                stats = result.results[arch][workload]
+                row.append(fmt.format(getattr(stats, metric)))
+            rows.append(row)
+        print_table(["arch"] + workloads, rows,
+                    title=f"Fig. 9 — {metric} per workload")
+
+    rows = []
+    for arch in ARCHITECTURE_NAMES:
+        s = result.summary[arch]
+        rows.append([arch, f"{s['bandwidth_gbps']:.2f}",
+                     f"{s['avg_latency_ns']:.1f}", f"{s['epb_pj']:.1f}",
+                     f"{s['bw_per_epb']:.4f}"])
+    print_table(["arch", "BW (GB/s)", "latency (ns)", "EPB (pJ/b)",
+                 "BW/EPB"], rows, title="Fig. 9 — geomean summary")
+
+    print("COMET ratios (measured | paper):")
+    for other, paper in PAPER_BW_RATIOS.items():
+        print(f"  BW vs {other:8s}: {result.bw_ratio(other):6.1f}x | {paper:.1f}x")
+    for other, paper in PAPER_EPB_RATIOS.items():
+        print(f"  EPB vs {other:8s}: {result.epb_ratio(other):6.1f}x | {paper:.1f}x")
+    for other, paper in PAPER_BW_PER_EPB_RATIOS.items():
+        print(f"  BW/EPB vs {other:8s}: {result.bw_per_epb_ratio(other):6.1f}x | {paper:.1f}x")
+    print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

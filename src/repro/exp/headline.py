@@ -1,0 +1,67 @@
+"""Headline claims — the abstract/conclusion numbers, measured.
+
+The paper's headline: versus the best-known prior photonic main memory
+(COSMOS), COMET offers 7.1x better bandwidth, 15.1x lower EPB and 3x
+lower latency (abstract; Section IV.C quotes 5.1x / 12.9x for the
+trace-averaged variants), consumes 26 % of the power, and achieves 65.8x
+better BW/EPB (6.5x over the best electronic platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .fig8 import run as run_fig8
+from .fig9 import run as run_fig9
+
+
+@dataclass
+class HeadlineResult:
+    measured: Dict[str, float]
+    paper: Dict[str, float]
+
+    def comparison_rows(self):
+        rows = []
+        for key, paper_value in self.paper.items():
+            rows.append((key, self.measured[key], paper_value))
+        return rows
+
+
+#: Paper claims (abstract + Section IV).  Ranges collapse to the
+#: Section IV.C trace-averaged values where both exist.
+PAPER_CLAIMS = {
+    "bandwidth_vs_cosmos": 5.1,
+    "epb_vs_cosmos": 12.9,
+    "latency_vs_cosmos": 3.0,
+    "bw_per_epb_vs_cosmos": 65.8,
+    "bw_per_epb_vs_3d_ddr4": 6.5,
+    "power_ratio_vs_cosmos": 0.26,
+}
+
+
+def run(num_requests: int = 8000) -> HeadlineResult:
+    fig9 = run_fig9(num_requests=num_requests)
+    fig8 = run_fig8()
+    measured = {
+        "bandwidth_vs_cosmos": fig9.bw_ratio("COSMOS"),
+        "epb_vs_cosmos": fig9.epb_ratio("COSMOS"),
+        "latency_vs_cosmos": fig9.latency_ratio("COSMOS"),
+        "bw_per_epb_vs_cosmos": fig9.bw_per_epb_ratio("COSMOS"),
+        "bw_per_epb_vs_3d_ddr4": fig9.bw_per_epb_ratio("3D_DDR4"),
+        "power_ratio_vs_cosmos": fig8.power_ratio,
+    }
+    return HeadlineResult(measured=measured, paper=dict(PAPER_CLAIMS))
+
+
+def main() -> HeadlineResult:
+    result = run()
+    print("Headline claims (measured | paper):")
+    for key, measured, paper in result.comparison_rows():
+        print(f"  {key:28s}: {measured:7.2f} | {paper:.2f}")
+    print()
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Experiment registry mapping paper artifact ids to runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import ConfigError
+from . import fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10
+from . import headline, reliability, table1, table2
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    description: str
+    run: Callable[[], object]
+    main: Callable[[], object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig2": Experiment(
+        "fig2", "Crossbar image corruption from write crosstalk",
+        fig2.run, fig2.main),
+    "fig3": Experiment(
+        "fig3", "PCM dispersion (n, kappa) across the C-band",
+        fig3.run, fig3.main),
+    "fig4": Experiment(
+        "fig4", "Cell contrast vs geometry; design-point selection",
+        fig4.run, fig4.main),
+    "fig6": Experiment(
+        "fig6", "16-level latency/transmission tables + reset energies",
+        fig6.run, fig6.main),
+    "fig7": Experiment(
+        "fig7", "COMET power stacks for b = 1, 2, 4",
+        fig7.run, fig7.main),
+    "fig8": Experiment(
+        "fig8", "COSMOS vs COMET power stacks",
+        fig8.run, fig8.main),
+    "fig9": Experiment(
+        "fig9", "Bandwidth / EPB / BW-per-EPB across architectures",
+        fig9.run, fig9.main),
+    "fig10": Experiment(
+        "fig10", "DOTA accelerator EPB with each main memory",
+        fig10.run, fig10.main),
+    "table1": Experiment(
+        "table1", "Optical loss and power parameters",
+        table1.run, table1.main),
+    "table2": Experiment(
+        "table2", "Architectural details + derived timing validation",
+        table2.run, table2.main),
+    "headline": Experiment(
+        "headline", "Abstract/conclusion headline ratios",
+        headline.run, headline.main),
+    "reliability": Experiment(
+        "reliability", "Disturb/drift/endurance/WDM envelope (extension)",
+        reliability.run, reliability.main),
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(exp_id: str) -> object:
+    """Run an experiment quietly; returns its result object."""
+    return get_experiment(exp_id).run()

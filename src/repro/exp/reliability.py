@@ -1,0 +1,97 @@
+"""Reliability envelope — the extension study (not a paper figure).
+
+Collects the four adopter-facing reliability analyses in one runner:
+thermal write disturb, transmission-drift retention, endurance with
+Start-Gap wear leveling, and WDM addressability.  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..arch.endurance import EnduranceModel, StartGapWearLeveler
+from ..device.drift import TEN_YEARS_S, TransmissionDriftModel
+from ..device.mlc import MultiLevelCell
+from ..device.thermal_crosstalk import comet_write_disturb_report
+from ..errors import ConfigError
+from ..photonics.wdm import comet_wavelength_plan, ring_addressability
+from .report import print_table
+
+
+@dataclass
+class ReliabilityResult:
+    disturb: Dict[str, object]
+    retention_ok_by_bits: Dict[int, bool]
+    lifetime_years_per_channel: float
+    leveling_efficiency: float
+    leveling_overhead: float
+    wdm_feasible_by_count: Dict[int, bool]
+
+    @property
+    def envelope_holds(self) -> bool:
+        """Every reliability requirement of the b=4 design point."""
+        return (bool(self.disturb["comet_disturb_free"])
+                and self.retention_ok_by_bits[4]
+                and self.lifetime_years_per_channel > 40.0
+                and self.wdm_feasible_by_count[256])
+
+
+def run() -> ReliabilityResult:
+    drift = TransmissionDriftModel()
+    retention = {bits: drift.retention_meets_spec(MultiLevelCell(bits),
+                                                  TEN_YEARS_S)
+                 for bits in (1, 2, 4, 5)}
+
+    endurance = EnduranceModel()
+    leveler = StartGapWearLeveler(rows=512, gap_move_interval=100)
+    for _ in range(5_000):
+        leveler.record_write()
+
+    wdm_feasible = {}
+    for count in (256, 512, 1024):
+        try:
+            comet_wavelength_plan(count)
+            wdm_feasible[count] = True
+        except ConfigError:
+            wdm_feasible[count] = False
+
+    return ReliabilityResult(
+        disturb=comet_write_disturb_report(),
+        retention_ok_by_bits=retention,
+        lifetime_years_per_channel=endurance.lifetime_years(3.0 / 8),
+        leveling_efficiency=leveler.leveling_efficiency(),
+        leveling_overhead=leveler.write_overhead(),
+        wdm_feasible_by_count=wdm_feasible,
+    )
+
+
+def main() -> ReliabilityResult:
+    result = run()
+    print_table(
+        ["check", "value"],
+        [
+            ["thermal disturb-free at COMET pitch",
+             str(result.disturb["comet_disturb_free"])],
+            ["minimum safe pitch",
+             f"{result.disturb['minimum_safe_pitch_m'] * 1e6:.2f} um"],
+            ["10-year retention b=4 / b=5",
+             f"{result.retention_ok_by_bits[4]} / "
+             f"{result.retention_ok_by_bits[5]}"],
+            ["per-channel lifetime (Fig. 9 write load)",
+             f"{result.lifetime_years_per_channel:.0f} years"],
+            ["Start-Gap efficiency / overhead",
+             f"{result.leveling_efficiency:.2f} / "
+             f"{result.leveling_overhead:.1%}"],
+            ["WDM feasible 256 / 512 / 1024 wavelengths",
+             " / ".join(str(result.wdm_feasible_by_count[c])
+                        for c in (256, 512, 1024))],
+            ["full envelope holds", str(result.envelope_holds)],
+        ],
+        title="Reliability envelope (extension study)",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

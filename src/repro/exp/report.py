@@ -1,0 +1,71 @@
+"""Plain-text table rendering and CSV output for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    print(format_table(headers, rows, title))
+    print()
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as CSV text (for saving series to disk)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_fmt(value) for value in row])
+    return buffer.getvalue()
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(to_csv(headers, rows))
+
+
+def ratio_line(label: str, ours: float, paper: float, unit: str = "x") -> str:
+    """One paper-vs-measured comparison line."""
+    return (f"{label}: measured {ours:.2f}{unit}  |  paper {paper:.2f}{unit}  "
+            f"({ours / paper:.2f} of paper)")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

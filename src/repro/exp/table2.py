@@ -1,0 +1,66 @@
+"""Table II — architectural details, with device-derived validation.
+
+Prints both photonic memory configurations and compares the COMET timing
+values against what our device + circuit models derive from first
+principles (Section III.B pulses, EO tuning, GST switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.comet import CometArchitecture
+from ..arch.timing import DerivedTimings
+from ..config import COMET_TIMINGS, COSMOS_TIMINGS, PhotonicMemoryTimings
+from .report import print_table
+
+
+@dataclass
+class Table2Result:
+    comet: PhotonicMemoryTimings
+    cosmos: PhotonicMemoryTimings
+    derived: DerivedTimings
+
+
+def run() -> Table2Result:
+    arch = CometArchitecture()
+    return Table2Result(
+        comet=COMET_TIMINGS,
+        cosmos=COSMOS_TIMINGS,
+        derived=arch.derived_timings(),
+    )
+
+
+def main() -> Table2Result:
+    result = run()
+    rows = []
+    for cfg in (result.comet, result.cosmos):
+        rows.append([
+            cfg.name, cfg.banks, cfg.bus_width_bits, cfg.burst_length,
+            f"{cfg.write_time_ns:.0f}", f"{cfg.erase_time_ns:.0f}",
+            f"{cfg.read_time_ns:.0f}", f"{cfg.data_burst_time_ns:.0f}",
+            f"{cfg.electrical_interface_delay_ns:.0f}",
+        ])
+    print_table(
+        ["system", "banks", "bus (bits)", "burst", "write (ns)",
+         "erase (ns)", "read (ns)", "burst (ns)", "interface (ns)"],
+        rows, title="Table II — photonic memory configurations",
+    )
+    derived = result.derived
+    print_table(
+        ["timing", "derived (ns)", "Table II (ns)"],
+        [
+            ["read", f"{derived.read_time_ns:.1f}",
+             f"{result.comet.read_time_ns:.0f}"],
+            ["max write", f"{derived.max_write_time_ns:.1f}",
+             f"{result.comet.write_time_ns:.0f}"],
+            ["erase", f"{derived.erase_time_ns:.1f}",
+             f"{result.comet.erase_time_ns:.0f}"],
+        ],
+        title="COMET timings derived from the device/circuit models",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

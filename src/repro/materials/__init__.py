@@ -1,0 +1,46 @@
+"""Phase-change material optical/thermal models (paper Section III.A, Fig. 3).
+
+Public API:
+
+* :class:`repro.materials.lorentz.LorentzOscillator` — single-pole Lorentz
+  dispersion model, the "Lorenz model" of Ref. [27].
+* :func:`repro.materials.lorentz.fit_single_oscillator` — exact fit of an
+  oscillator to a published (n, k) point.
+* :class:`repro.materials.pcm.PhaseChangeMaterial` — a PCM with amorphous and
+  crystalline dispersion plus intermediate states via effective-medium
+  blending.
+* :func:`repro.materials.database.get_material` — GST / GSST / Sb2Se3 models
+  built from the literature values the paper cites.
+"""
+
+from .lorentz import LorentzOscillator, fit_single_oscillator
+from .effective_medium import (
+    lorentz_lorenz_mix,
+    linear_mix,
+    effective_permittivity,
+)
+from .pcm import PhaseChangeMaterial, OpticalState
+from .database import (
+    MATERIAL_NAMES,
+    MaterialRecord,
+    ThermalProperties,
+    KineticsParameters,
+    get_material,
+    get_record,
+)
+
+__all__ = [
+    "LorentzOscillator",
+    "fit_single_oscillator",
+    "lorentz_lorenz_mix",
+    "linear_mix",
+    "effective_permittivity",
+    "PhaseChangeMaterial",
+    "OpticalState",
+    "MATERIAL_NAMES",
+    "MaterialRecord",
+    "ThermalProperties",
+    "KineticsParameters",
+    "get_material",
+    "get_record",
+]

@@ -1,0 +1,236 @@
+"""Material database: GST, GSST and Sb2Se3 optical + thermal parameters.
+
+Optical anchor points (n, kappa at 1550 nm) come from the literature the
+paper builds on:
+
+* **GST (Ge2Sb2Te5)** — amorphous n = 3.94, k = 0.045; crystalline n = 6.11,
+  k = 0.83 (Rios et al. [21]; Li et al. [17]).  Highest index contrast and
+  a strong crystalline extinction — the property pair that makes the paper
+  select GST (Fig. 3).
+* **GSST (Ge2Sb2Se4Te)** — amorphous n = 3.33, k = 0.002; crystalline
+  n = 5.08, k = 0.35 (Zhang et al., "broadband transparent optical phase
+  change materials").  Lower loss, lower contrast.
+* **Sb2Se3** — amorphous n = 3.285, k ~ 0; crystalline n = 4.05, k ~ 1e-4
+  (Delaney et al.).  Ultra-low loss but the smallest contrast of the three.
+
+Thermal/kinetic parameters are representative GST values used by the heat
+and crystallization models (Section III.B of the paper uses Lumerical HEAT;
+our substitute consumes these numbers — see DESIGN.md):
+
+* melting temperature  Tl ~ 900 K, crystallization onset Tg ~ 430 K;
+* density 6150 kg/m^3, specific heat 218 J/(kg K);
+* thermal conductivity: amorphous 0.19, crystalline 0.57 W/(m K).
+
+Kinetics calibration targets the paper's two device-level case studies:
+a 880 pJ crystalline-deposited reset and a 280 pJ amorphous-deposited
+reset (Section III.B), and the Table II max-write/erase envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..constants import WAVELENGTH_1550_M
+from ..errors import MaterialError
+from .lorentz import LorentzOscillator, fit_single_oscillator
+
+MATERIAL_NAMES = ("GST", "GSST", "Sb2Se3")
+
+
+@dataclass(frozen=True)
+class ThermalProperties:
+    """Bulk thermal constants of a PCM (plus its phase-transition points)."""
+
+    melting_temperature_k: float           # Tl
+    crystallization_temperature_k: float   # Tg (onset of crystallization)
+    density_kg_m3: float
+    specific_heat_j_kg_k: float
+    conductivity_amorphous_w_mk: float
+    conductivity_crystalline_w_mk: float
+    latent_heat_fusion_j_kg: float
+
+    def __post_init__(self) -> None:
+        if self.melting_temperature_k <= self.crystallization_temperature_k:
+            raise MaterialError("Tl must exceed Tg")
+
+    def conductivity(self, crystalline_fraction: float) -> float:
+        """Linear mix of the phase conductivities."""
+        fc = min(max(crystalline_fraction, 0.0), 1.0)
+        return (fc * self.conductivity_crystalline_w_mk
+                + (1.0 - fc) * self.conductivity_amorphous_w_mk)
+
+    def volumetric_heat_capacity(self) -> float:
+        """rho * c_p in J/(m^3 K)."""
+        return self.density_kg_m3 * self.specific_heat_j_kg_k
+
+
+@dataclass(frozen=True)
+class KineticsParameters:
+    """Crystallization-rate model parameters (see repro.device.kinetics).
+
+    The crystallization rate uses a temperature-windowed peak model,
+    ``k(T) = k_max * exp(-((T - T_opt)/sigma)^2)`` for Tg < T < Tl, which
+    captures the nucleation/growth trade-off (Arrhenius activation versus
+    vanishing thermodynamic driving force near the melt).  ``avrami_n`` is
+    the JMAK exponent.
+    """
+
+    k_max_per_s: float
+    optimal_temperature_k: float
+    window_sigma_k: float
+    avrami_exponent: float
+    critical_quench_rate_k_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.k_max_per_s <= 0.0 or self.window_sigma_k <= 0.0:
+            raise MaterialError("kinetics rates must be positive")
+        if self.avrami_exponent <= 0.0:
+            raise MaterialError("Avrami exponent must be positive")
+
+
+@dataclass(frozen=True)
+class MaterialRecord:
+    """Everything the library knows about one PCM candidate."""
+
+    name: str
+    nk_amorphous_1550: Tuple[float, float]
+    nk_crystalline_1550: Tuple[float, float]
+    resonance_amorphous_ev: float
+    resonance_crystalline_ev: float
+    damping_amorphous_ev: float
+    damping_crystalline_ev: float
+    thermal: ThermalProperties
+    kinetics: KineticsParameters
+
+    def build_oscillators(self) -> Tuple[LorentzOscillator, LorentzOscillator]:
+        """Fit (amorphous, crystalline) oscillators to the 1550 nm anchors."""
+        n_a, k_a = self.nk_amorphous_1550
+        n_c, k_c = self.nk_crystalline_1550
+        osc_a = fit_single_oscillator(
+            n_a, k_a, WAVELENGTH_1550_M,
+            self.resonance_amorphous_ev, self.damping_amorphous_ev,
+        )
+        osc_c = fit_single_oscillator(
+            n_c, k_c, WAVELENGTH_1550_M,
+            self.resonance_crystalline_ev, self.damping_crystalline_ev,
+        )
+        return osc_a, osc_c
+
+
+_GST_THERMAL = ThermalProperties(
+    melting_temperature_k=900.0,
+    crystallization_temperature_k=430.0,
+    density_kg_m3=6150.0,
+    specific_heat_j_kg_k=218.0,
+    conductivity_amorphous_w_mk=0.19,
+    conductivity_crystalline_w_mk=0.57,
+    latent_heat_fusion_j_kg=4.2e5,
+)
+
+# Calibrated so that (a) full crystallization at the 1 mW programming
+# temperature takes ~850 ns (the paper's 880 pJ crystalline-deposited reset)
+# and (b) partial-SET pulses at 5 mW stay within the 170 ns Table II write
+# envelope.  See repro/device/kinetics.py and tests/device/test_kinetics.py.
+_GST_KINETICS = KineticsParameters(
+    k_max_per_s=6.0e7,
+    optimal_temperature_k=650.0,
+    window_sigma_k=115.0,
+    avrami_exponent=2.0,
+    critical_quench_rate_k_per_s=1.0e9,
+)
+
+# GSST crystallizes markedly slower than GST (the Se substitution);
+# Sb2Se3 slower still, with a lower melting point.
+_GSST_THERMAL = ThermalProperties(
+    melting_temperature_k=900.0,
+    crystallization_temperature_k=460.0,
+    density_kg_m3=5900.0,
+    specific_heat_j_kg_k=220.0,
+    conductivity_amorphous_w_mk=0.17,
+    conductivity_crystalline_w_mk=0.45,
+    latent_heat_fusion_j_kg=4.0e5,
+)
+_GSST_KINETICS = KineticsParameters(
+    k_max_per_s=1.0e7,
+    optimal_temperature_k=680.0,
+    window_sigma_k=110.0,
+    avrami_exponent=2.0,
+    critical_quench_rate_k_per_s=8.0e8,
+)
+
+_SB2SE3_THERMAL = ThermalProperties(
+    melting_temperature_k=885.0,
+    crystallization_temperature_k=473.0,
+    density_kg_m3=5840.0,
+    specific_heat_j_kg_k=230.0,
+    conductivity_amorphous_w_mk=0.24,
+    conductivity_crystalline_w_mk=0.65,
+    latent_heat_fusion_j_kg=3.7e5,
+)
+_SB2SE3_KINETICS = KineticsParameters(
+    k_max_per_s=2.0e6,
+    optimal_temperature_k=560.0,
+    window_sigma_k=80.0,
+    avrami_exponent=2.0,
+    critical_quench_rate_k_per_s=5.0e8,
+)
+
+_RECORDS: Dict[str, MaterialRecord] = {
+    "GST": MaterialRecord(
+        name="GST",
+        nk_amorphous_1550=(3.94, 0.045),
+        nk_crystalline_1550=(6.11, 0.83),
+        resonance_amorphous_ev=2.4,
+        resonance_crystalline_ev=1.8,
+        damping_amorphous_ev=1.0,
+        damping_crystalline_ev=1.2,
+        thermal=_GST_THERMAL,
+        kinetics=_GST_KINETICS,
+    ),
+    "GSST": MaterialRecord(
+        name="GSST",
+        nk_amorphous_1550=(3.33, 0.002),
+        nk_crystalline_1550=(5.08, 0.35),
+        resonance_amorphous_ev=2.6,
+        resonance_crystalline_ev=2.0,
+        damping_amorphous_ev=0.9,
+        damping_crystalline_ev=1.1,
+        thermal=_GSST_THERMAL,
+        kinetics=_GSST_KINETICS,
+    ),
+    "Sb2Se3": MaterialRecord(
+        name="Sb2Se3",
+        nk_amorphous_1550=(3.285, 1e-4),
+        nk_crystalline_1550=(4.05, 2e-4),
+        resonance_amorphous_ev=2.9,
+        resonance_crystalline_ev=2.5,
+        damping_amorphous_ev=0.8,
+        damping_crystalline_ev=0.9,
+        thermal=_SB2SE3_THERMAL,
+        kinetics=_SB2SE3_KINETICS,
+    ),
+}
+
+
+def get_record(name: str) -> MaterialRecord:
+    """Look up the raw :class:`MaterialRecord` for a material name."""
+    key = _canonical(name)
+    return _RECORDS[key]
+
+
+def get_material(name: str):
+    """Build a :class:`repro.materials.pcm.PhaseChangeMaterial` by name."""
+    from .pcm import PhaseChangeMaterial
+
+    return PhaseChangeMaterial.from_record(get_record(name))
+
+
+def _canonical(name: str) -> str:
+    lookup = {n.lower(): n for n in _RECORDS}
+    try:
+        return lookup[name.lower()]
+    except KeyError:
+        raise MaterialError(
+            f"unknown material {name!r}; known: {sorted(_RECORDS)}"
+        ) from None

@@ -1,0 +1,154 @@
+"""Single-pole Lorentz oscillator dispersion model.
+
+The paper (Section III.A) models the refractive index ``n`` and extinction
+coefficient ``kappa`` of each PCM phase "using the Lorenz model [27]"
+(Wang et al., npj Comput. Mater. 7, 183, 2021).  The complex relative
+permittivity of a single Lorentz oscillator is
+
+    eps(E) = eps_inf + A / (E0^2 - E^2 - i * Gamma * E)
+
+with photon energy ``E`` in eV, resonance energy ``E0``, oscillator
+strength ``A`` (eV^2) and damping ``Gamma`` (eV).  The complex refractive
+index is ``n + i*kappa = sqrt(eps)`` (positive branch).
+
+:func:`fit_single_oscillator` inverts the model analytically so that the
+oscillator reproduces a published ``(n, kappa)`` point *exactly* at a chosen
+wavelength, given a resonance energy and damping appropriate for the
+material class.  Because all PCM resonances sit far above the telecom band
+(visible/UV), this yields smooth, physically-shaped normal dispersion
+across the C-band, which is all Fig. 3 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..constants import photon_energy_ev
+from ..errors import MaterialError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LorentzOscillator:
+    """Single-pole Lorentz oscillator.
+
+    Parameters
+    ----------
+    eps_inf:
+        High-frequency (background) permittivity, dimensionless.
+    amplitude:
+        Oscillator strength ``A`` in eV^2.
+    resonance_ev:
+        Resonance energy ``E0`` in eV.
+    damping_ev:
+        Damping ``Gamma`` in eV (must be positive for causality).
+    """
+
+    eps_inf: float
+    amplitude: float
+    resonance_ev: float
+    damping_ev: float
+
+    def __post_init__(self) -> None:
+        if self.resonance_ev <= 0.0:
+            raise MaterialError("resonance energy must be positive")
+        if self.damping_ev <= 0.0:
+            raise MaterialError("damping must be positive")
+        if self.amplitude < 0.0:
+            raise MaterialError("oscillator strength must be non-negative")
+
+    # -- core model --------------------------------------------------------
+
+    def permittivity(self, wavelength_m: ArrayLike) -> ArrayLike:
+        """Complex relative permittivity at the given vacuum wavelength(s)."""
+        energy = _photon_energy(wavelength_m)
+        denom = (self.resonance_ev ** 2 - energy ** 2) - 1j * self.damping_ev * energy
+        return self.eps_inf + self.amplitude / denom
+
+    def complex_index(self, wavelength_m: ArrayLike) -> ArrayLike:
+        """Complex refractive index ``n + i*kappa`` (principal square root)."""
+        eps = self.permittivity(wavelength_m)
+        return np.sqrt(eps + 0j)
+
+    def nk(self, wavelength_m: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
+        """Return ``(n, kappa)`` at the given wavelength(s)."""
+        index = self.complex_index(wavelength_m)
+        n = np.real(index)
+        kappa = np.imag(index)
+        if np.isscalar(wavelength_m):
+            return float(n), float(kappa)
+        return np.asarray(n), np.asarray(kappa)
+
+    def refractive_index(self, wavelength_m: ArrayLike) -> ArrayLike:
+        """Real refractive index ``n``."""
+        return self.nk(wavelength_m)[0]
+
+    def extinction_coefficient(self, wavelength_m: ArrayLike) -> ArrayLike:
+        """Extinction coefficient ``kappa``."""
+        return self.nk(wavelength_m)[1]
+
+
+def _photon_energy(wavelength_m: ArrayLike) -> ArrayLike:
+    if np.isscalar(wavelength_m):
+        return photon_energy_ev(float(wavelength_m))
+    arr = np.asarray(wavelength_m, dtype=float)
+    if np.any(arr <= 0.0):
+        raise MaterialError("wavelengths must be positive")
+    return np.array([photon_energy_ev(w) for w in arr.ravel()]).reshape(arr.shape)
+
+
+def fit_single_oscillator(
+    n: float,
+    kappa: float,
+    wavelength_m: float,
+    resonance_ev: float,
+    damping_ev: float,
+) -> LorentzOscillator:
+    """Build an oscillator that reproduces ``(n, kappa)`` exactly.
+
+    Given the target complex permittivity ``eps_t = (n + i*kappa)^2`` at
+    photon energy ``E`` and a chosen ``(E0, Gamma)``, solve
+
+        A     = Im(eps_t) * |D|^2 / (Gamma * E)
+        eps_inf = Re(eps_t) - A * (E0^2 - E^2) / |D|^2
+
+    where ``D = (E0^2 - E^2) - i*Gamma*E``.  The imaginary part pins the
+    oscillator strength; the real part absorbs the remainder into
+    ``eps_inf``.
+
+    Raises
+    ------
+    MaterialError
+        If the target extinction is negative or the fit produces a negative
+        oscillator strength (i.e. the resonance sits below the fit point).
+    """
+    if n <= 0.0:
+        raise MaterialError(f"refractive index must be positive, got {n}")
+    if kappa < 0.0:
+        raise MaterialError(f"extinction must be non-negative, got {kappa}")
+    energy = photon_energy_ev(wavelength_m)
+    if resonance_ev <= energy:
+        raise MaterialError(
+            "oscillator resonance must lie above the fit photon energy "
+            f"({resonance_ev} eV <= {energy:.3f} eV)"
+        )
+    # A strictly zero kappa makes A = 0 and the model dispersionless; use a
+    # tiny floor so weakly-absorbing phases still show normal dispersion.
+    kappa_eff = max(kappa, 1e-6)
+    eps_target = complex(n, kappa_eff) ** 2
+    denom = (resonance_ev ** 2 - energy ** 2) - 1j * damping_ev * energy
+    denom_sq = abs(denom) ** 2
+    amplitude = eps_target.imag * denom_sq / (damping_ev * energy)
+    eps_inf = eps_target.real - amplitude * (resonance_ev ** 2 - energy ** 2) / denom_sq
+    if amplitude < 0.0:
+        raise MaterialError("fit produced a negative oscillator strength")
+    return LorentzOscillator(
+        eps_inf=eps_inf,
+        amplitude=amplitude,
+        resonance_ev=resonance_ev,
+        damping_ev=damping_ev,
+    )

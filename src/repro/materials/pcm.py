@@ -1,0 +1,127 @@
+"""Phase-change material facade: dispersion of arbitrary crystalline fractions.
+
+This is the object the device layer consumes.  It bundles the amorphous and
+crystalline Lorentz oscillators of a material, blends them with the
+Lorentz–Lorenz effective-medium rule for intermediate crystalline fractions
+(the Wang et al. multi-level scheme the paper adopts), and exposes the two
+figures of merit Section III.A reasons about: refractive-index contrast and
+extinction-coefficient contrast across the C-band.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..constants import C_BAND_MAX_M, C_BAND_MIN_M, WAVELENGTH_1550_M
+from ..errors import MaterialError
+from .database import KineticsParameters, MaterialRecord, ThermalProperties
+from .effective_medium import effective_permittivity
+from .lorentz import LorentzOscillator
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class OpticalState(enum.Enum):
+    """The two endpoint phases of a PCM."""
+
+    AMORPHOUS = "amorphous"
+    CRYSTALLINE = "crystalline"
+
+
+@dataclass(frozen=True)
+class PhaseChangeMaterial:
+    """A PCM with full-dispersion endpoint phases and blended mid-states."""
+
+    name: str
+    amorphous: LorentzOscillator
+    crystalline: LorentzOscillator
+    thermal: ThermalProperties
+    kinetics: KineticsParameters
+    blending_scheme: str = "lorentz-lorenz"
+
+    @classmethod
+    def from_record(cls, record: MaterialRecord) -> "PhaseChangeMaterial":
+        osc_a, osc_c = record.build_oscillators()
+        return cls(
+            name=record.name,
+            amorphous=osc_a,
+            crystalline=osc_c,
+            thermal=record.thermal,
+            kinetics=record.kinetics,
+        )
+
+    # -- dispersion at arbitrary crystalline fraction -----------------------
+
+    def permittivity(
+        self, wavelength_m: ArrayLike, crystalline_fraction: float
+    ) -> ArrayLike:
+        """Complex permittivity at the given wavelength(s) and fraction."""
+        eps_a = self.amorphous.permittivity(wavelength_m)
+        eps_c = self.crystalline.permittivity(wavelength_m)
+        return effective_permittivity(
+            eps_a, eps_c, crystalline_fraction, scheme=self.blending_scheme
+        )
+
+    def complex_index(
+        self, wavelength_m: ArrayLike, crystalline_fraction: float
+    ) -> ArrayLike:
+        """Complex refractive index ``n + i*kappa`` of the blended state."""
+        return np.sqrt(np.asarray(
+            self.permittivity(wavelength_m, crystalline_fraction)
+        ) + 0j)
+
+    def nk(
+        self, wavelength_m: ArrayLike, crystalline_fraction: float
+    ) -> Tuple[ArrayLike, ArrayLike]:
+        """Return ``(n, kappa)`` of the blended state."""
+        index = self.complex_index(wavelength_m, crystalline_fraction)
+        n, kappa = np.real(index), np.imag(index)
+        if np.isscalar(wavelength_m):
+            return float(n), float(kappa)
+        return np.asarray(n), np.asarray(kappa)
+
+    def nk_state(
+        self, wavelength_m: ArrayLike, state: OpticalState
+    ) -> Tuple[ArrayLike, ArrayLike]:
+        """Endpoint-phase ``(n, kappa)`` without blending round-off."""
+        osc = self.crystalline if state is OpticalState.CRYSTALLINE else self.amorphous
+        return osc.nk(wavelength_m)
+
+    # -- Section III.A figures of merit -------------------------------------
+
+    def index_contrast(self, wavelength_m: ArrayLike = WAVELENGTH_1550_M) -> ArrayLike:
+        """Refractive-index contrast ``n_c - n_a`` (the Fig. 3 blue/yellow gap)."""
+        n_a, _ = self.amorphous.nk(wavelength_m)
+        n_c, _ = self.crystalline.nk(wavelength_m)
+        return n_c - n_a
+
+    def extinction_contrast(
+        self, wavelength_m: ArrayLike = WAVELENGTH_1550_M
+    ) -> ArrayLike:
+        """Extinction-coefficient contrast ``kappa_c - kappa_a``."""
+        _, k_a = self.amorphous.nk(wavelength_m)
+        _, k_c = self.crystalline.nk(wavelength_m)
+        return k_c - k_a
+
+    def c_band_wavelengths(self, points: int = 36) -> np.ndarray:
+        """A convenience C-band wavelength grid (1530–1565 nm)."""
+        if points < 2:
+            raise MaterialError("need at least two wavelength points")
+        return np.linspace(C_BAND_MIN_M, C_BAND_MAX_M, points)
+
+    def figure_of_merit(self, wavelength_m: float = WAVELENGTH_1550_M) -> float:
+        """Scalar OPCM suitability score used to rank candidates.
+
+        Section III.A argues the best OPCM material maximizes *both* the
+        index contrast (read SNR, MLC headroom) and the extinction contrast
+        (efficient write-power absorption).  We score with the product of
+        the two positive contrasts; GST must rank first for the paper's
+        selection to be reproduced.
+        """
+        dn = float(self.index_contrast(wavelength_m))
+        dk = float(self.extinction_contrast(wavelength_m))
+        return max(dn, 0.0) * max(dk, 0.0)

@@ -1,0 +1,53 @@
+"""Silicon-photonics substrate: waveguides, rings, SOAs, lasers, losses.
+
+This package is the reproduction's substitute for the commercial tooling
+the paper uses (Ansys Lumerical FDTD for cell electromagnetics) plus the
+circuit-level component models (microrings with EO/thermal tuning, SOAs,
+GST waveguide switches, WDM/MDM links, itemized loss budgets, and the
+COSMOS crossbar crosstalk model).
+"""
+
+from .indices import (
+    SILICON_INDEX,
+    SILICA_INDEX,
+    SILICON_NITRIDE_INDEX,
+    AIR_INDEX,
+)
+from .slab import Layer, SlabMode, MultilayerSlabSolver
+from .waveguide import StripWaveguide, WaveguideMode, PcmLoadedWaveguide
+from .ring import MicroringResonator, TuningMechanism, RingTuningModel
+from .soa import SemiconductorOpticalAmplifier
+from .laser import LaserSource
+from .losses import LossElement, LossBudget
+from .switch import GstWaveguideSwitch, SwitchState
+from .crosstalk import CrossbarCrosstalkModel, CrosstalkEvent
+from .links import WdmMdmLink
+from .wdm import WdmGrid, ring_addressability, comet_wavelength_plan
+
+__all__ = [
+    "SILICON_INDEX",
+    "SILICA_INDEX",
+    "SILICON_NITRIDE_INDEX",
+    "AIR_INDEX",
+    "Layer",
+    "SlabMode",
+    "MultilayerSlabSolver",
+    "StripWaveguide",
+    "WaveguideMode",
+    "PcmLoadedWaveguide",
+    "MicroringResonator",
+    "TuningMechanism",
+    "RingTuningModel",
+    "SemiconductorOpticalAmplifier",
+    "LaserSource",
+    "LossElement",
+    "LossBudget",
+    "GstWaveguideSwitch",
+    "SwitchState",
+    "CrossbarCrosstalkModel",
+    "CrosstalkEvent",
+    "WdmMdmLink",
+    "WdmGrid",
+    "ring_addressability",
+    "comet_wavelength_plan",
+]

@@ -1,0 +1,144 @@
+"""Crossbar crosstalk and thermo-optic corruption model (Figs. 1–2).
+
+Section II.B quantifies why the COSMOS crossbar cell is unreliable: a write
+pulse on one row leaks ~ -18 dB of its power into the adjacent rows'
+crossings.  With the 750 pJ pulses GST actually needs, that is ~12.6 pJ of
+parasitic energy per adjacent cell — enough, through the thermo-optic
+effect, to shift a neighbour's crystalline fraction by ~8 %, i.e. more than
+one whole level of a 16-level (4-bit) cell with <8 % level spacing.
+
+:class:`CrossbarCrosstalkModel` reproduces that arithmetic and then applies
+it to stored arrays: each write disturbs victim cells in adjacent rows,
+drifting their crystalline fraction toward the written state.  The Fig. 2
+image-corruption experiment drives this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import db_to_linear
+
+
+@dataclass(frozen=True)
+class CrosstalkEvent:
+    """One aggressor write and its effect on a victim cell."""
+
+    victim_row: int
+    victim_col: int
+    coupled_energy_j: float
+    fraction_shift: float
+
+
+@dataclass(frozen=True)
+class CrossbarCrosstalkModel:
+    """Thermo-optic crosstalk in a waveguide-crossing OPCM crossbar.
+
+    Parameters mirror Section II.B: write pulses of ``write_energy_j``
+    couple at ``crosstalk_db`` into each adjacent row, and the reference
+    point (12.6 pJ -> 8 % crystalline-fraction shift) sets the thermo-optic
+    sensitivity.  The shift is directional: parasitic heating anneals the
+    victim toward the crystallization window, so victims drift toward
+    *higher* crystalline fraction until they saturate.
+    """
+
+    crosstalk_db: float = -18.0
+    write_energy_j: float = 750e-12
+    reference_energy_j: float = 12.6e-12
+    reference_shift: float = 0.08
+    neighbor_reach: int = 1
+
+    def __post_init__(self) -> None:
+        if self.crosstalk_db >= 0.0:
+            raise ConfigError("crosstalk must be negative dB (a leak, not gain)")
+        if self.write_energy_j <= 0.0 or self.reference_energy_j <= 0.0:
+            raise ConfigError("energies must be positive")
+        if not 0.0 < self.reference_shift < 1.0:
+            raise ConfigError("reference shift must be a fraction in (0, 1)")
+        if self.neighbor_reach < 1:
+            raise ConfigError("neighbor reach must be at least 1")
+
+    # -- single-event arithmetic (the Section II.B numbers) -----------------
+
+    @property
+    def coupled_energy_j(self) -> float:
+        """Energy leaked into one adjacent cell per write pulse."""
+        return self.write_energy_j * db_to_linear(self.crosstalk_db)
+
+    @property
+    def fraction_shift_per_write(self) -> float:
+        """Crystalline-fraction drift of a victim per adjacent write."""
+        shift = (self.reference_shift
+                 * self.coupled_energy_j / self.reference_energy_j)
+        return min(shift, 1.0)
+
+    # -- array-level corruption --------------------------------------------
+
+    def disturb_row_write(
+        self,
+        fractions: np.ndarray,
+        row: int,
+        written_columns: np.ndarray,
+    ) -> List[CrosstalkEvent]:
+        """Apply one row-write's crosstalk to an array of cell fractions.
+
+        ``fractions`` is the (rows x cols) crystalline-fraction state and is
+        modified in place.  ``written_columns`` is a boolean mask (or index
+        array) of the columns actually pulsed.  Returns the victim events.
+        """
+        rows, cols = fractions.shape
+        if not 0 <= row < rows:
+            raise ConfigError(f"row {row} outside array of {rows} rows")
+        col_mask = np.zeros(cols, dtype=bool)
+        col_mask[written_columns] = True
+        shift = self.fraction_shift_per_write
+        events: List[CrosstalkEvent] = []
+        for offset in range(1, self.neighbor_reach + 1):
+            # Crosstalk decays ~linearly in dB with crossing distance.
+            scaled = shift * db_to_linear(self.crosstalk_db * (offset - 1))
+            for victim_row in (row - offset, row + offset):
+                if not 0 <= victim_row < rows:
+                    continue
+                for col in np.nonzero(col_mask)[0]:
+                    old = fractions[victim_row, col]
+                    fractions[victim_row, col] = min(1.0, old + scaled)
+                    events.append(CrosstalkEvent(
+                        victim_row=victim_row,
+                        victim_col=int(col),
+                        coupled_energy_j=self.coupled_energy_j,
+                        fraction_shift=fractions[victim_row, col] - old,
+                    ))
+        return events
+
+    def corrupt_after_writes(
+        self,
+        fractions: np.ndarray,
+        write_rows: List[int],
+    ) -> np.ndarray:
+        """Full-row writes to each row in ``write_rows``; returns the state."""
+        state = np.array(fractions, dtype=float, copy=True)
+        all_cols = np.arange(state.shape[1])
+        for row in write_rows:
+            self.disturb_row_write(state, row, all_cols)
+        return state
+
+    def levels_corrupted(
+        self,
+        before_fractions: np.ndarray,
+        after_fractions: np.ndarray,
+        level_spacing: float,
+    ) -> Tuple[int, float]:
+        """Count cells whose stored *level* changed, given level spacing.
+
+        Returns ``(corrupted_cells, corrupted_fraction)``.
+        """
+        if level_spacing <= 0.0:
+            raise ConfigError("level spacing must be positive")
+        before_levels = np.round(before_fractions / level_spacing)
+        after_levels = np.round(after_fractions / level_spacing)
+        corrupted = int(np.count_nonzero(before_levels != after_levels))
+        return corrupted, corrupted / before_fractions.size

@@ -1,0 +1,21 @@
+"""Refractive indices of the passive platform materials near 1550 nm.
+
+Sellmeier-grade dispersion is unnecessary for the quantities the paper
+extracts (contrast ratios, confinement trends), so the platform materials
+use constant indices at their 1550 nm values; the PCM itself carries full
+Lorentz dispersion (see :mod:`repro.materials`).
+"""
+
+from __future__ import annotations
+
+#: Crystalline silicon, 1550 nm.
+SILICON_INDEX = 3.476
+
+#: Thermal SiO2 (BOX and cladding), 1550 nm.
+SILICA_INDEX = 1.444
+
+#: Stoichiometric Si3N4, 1550 nm (used for the Si-vs-SiN platform argument).
+SILICON_NITRIDE_INDEX = 1.996
+
+#: Air cladding.
+AIR_INDEX = 1.0

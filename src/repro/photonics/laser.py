@@ -1,0 +1,67 @@
+"""Off-chip laser source model.
+
+COMET assumes an off-chip comb/laser bank supplying the ``N_c`` WDM
+wavelengths (Section III.C).  The only laser quantities the architecture
+model needs are (i) the optical launch power per wavelength required to
+meet a target power at some point of the link given the loss budget, and
+(ii) the electrical wall-plug power, using the 20 % efficiency of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from ..units import db_to_linear
+
+
+@dataclass(frozen=True)
+class LaserSource:
+    """An off-chip laser bank with a shared wall-plug efficiency."""
+
+    wall_plug_efficiency: float = TABLE_I.laser_wall_plug_efficiency
+    max_optical_power_per_channel_w: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ConfigError("wall-plug efficiency must be in (0, 1]")
+
+    def launch_power_w(self, target_power_w: float, path_loss_db: float) -> float:
+        """Optical power to launch so ``target_power_w`` survives the path."""
+        if target_power_w <= 0.0:
+            raise ConfigError("target power must be positive")
+        if path_loss_db < 0.0:
+            raise ConfigError("path loss must be non-negative")
+        required = target_power_w / db_to_linear(-path_loss_db)
+        if required > self.max_optical_power_per_channel_w:
+            raise ConfigError(
+                f"required launch power {required * 1e3:.1f} mW exceeds the "
+                f"per-channel limit "
+                f"{self.max_optical_power_per_channel_w * 1e3:.1f} mW; "
+                "add SOA stages to the loss budget"
+            )
+        return required
+
+    def electrical_power_w(self, optical_power_w: float) -> float:
+        """Wall-plug electrical power for a total optical output."""
+        if optical_power_w < 0.0:
+            raise ConfigError("optical power must be non-negative")
+        return optical_power_w / self.wall_plug_efficiency
+
+    def electrical_power_for_link_w(
+        self,
+        target_power_w: float,
+        path_loss_db: float,
+        channels: int,
+    ) -> float:
+        """Wall-plug power for ``channels`` identical WDM channels."""
+        if channels <= 0:
+            raise ConfigError("channel count must be positive")
+        per_channel = self.launch_power_w(target_power_w, path_loss_db)
+        return self.electrical_power_w(per_channel * channels)
+
+
+def default_laser(params: OpticalParameters = TABLE_I) -> LaserSource:
+    """Laser built from an :class:`OpticalParameters` record."""
+    return LaserSource(wall_plug_efficiency=params.laser_wall_plug_efficiency)

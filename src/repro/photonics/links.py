@@ -1,0 +1,117 @@
+"""WDM + MDM photonic link model (Section III.C/E).
+
+COMET reaches its banks over silicon-photonic links carrying ``N_c``
+wavelengths (WDM) on each of ``B`` spatial modes (MDM, degree 4 per [28]).
+The link model computes:
+
+* the MR population the link needs (``2 * B * N_c`` passive rings),
+* aggregate raw bandwidth from per-channel rate x channels,
+* the end-to-end loss budget from laser to bank input, and
+* the wall-plug laser power required to deliver a target per-wavelength
+  power at the GST cells, given that budget.
+
+Higher-order MDM modes are leakier (Section III.C); we model that with a
+per-mode excess propagation loss that grows with mode order, which is why
+the paper caps the MDM degree at 4 — the model reproduces that knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from .laser import LaserSource
+from .losses import LossBudget
+
+
+@dataclass(frozen=True)
+class WdmMdmLink:
+    """A WDM x MDM link from the electrical interface to the memory banks."""
+
+    num_wavelengths: int
+    mdm_degree: int = 4
+    channel_rate_gbps: float = 10.0
+    link_length_cm: float = 2.0
+    bends_90deg: int = 4
+    mode_excess_loss_db_per_cm: float = 0.05   # per mode order above 0
+    params: OpticalParameters = field(default_factory=lambda: TABLE_I)
+
+    def __post_init__(self) -> None:
+        if self.num_wavelengths <= 0:
+            raise ConfigError("need at least one wavelength")
+        if self.mdm_degree <= 0:
+            raise ConfigError("MDM degree must be positive")
+        if self.channel_rate_gbps <= 0.0:
+            raise ConfigError("channel rate must be positive")
+
+    # -- component counts --------------------------------------------------
+
+    @property
+    def total_channels(self) -> int:
+        return self.num_wavelengths * self.mdm_degree
+
+    @property
+    def access_mr_count(self) -> int:
+        """2 x B x N_c passive rings (column access + readout), Sec. III.E."""
+        return 2 * self.mdm_degree * self.num_wavelengths
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        return self.total_channels * self.channel_rate_gbps
+
+    # -- loss/power ---------------------------------------------------------
+
+    def mode_loss_db(self, mode_order: int) -> float:
+        """Propagation loss for one spatial mode (higher orders leak more)."""
+        if not 0 <= mode_order < self.mdm_degree:
+            raise ConfigError(
+                f"mode order {mode_order} outside MDM degree {self.mdm_degree}"
+            )
+        base = self.params.propagation_loss_db_per_cm * self.link_length_cm
+        excess = self.mode_excess_loss_db_per_cm * mode_order * self.link_length_cm
+        return base + excess
+
+    def path_budget(self, mode_order: int = 0) -> LossBudget:
+        """Laser-to-bank-input loss budget for one wavelength on one mode."""
+        p = self.params
+        budget = LossBudget(f"link-mode{mode_order}")
+        budget.add("coupling", p.coupling_loss_db)
+        budget.add("modulator MR drop", p.mr_drop_loss_db)
+        budget.add("propagation+mode excess", self.mode_loss_db(mode_order))
+        budget.add("bending", p.bending_loss_db_per_90deg, self.bends_90deg)
+        budget.add("PCM subarray switch", p.pcm_switch_loss_db)
+        # Through-traffic past the other wavelengths' access rings.
+        budget.add("passive MR through", p.mr_through_loss_db,
+                   max(self.num_wavelengths - 1, 0))
+        return budget
+
+    def worst_mode_budget(self) -> LossBudget:
+        """Budget of the leakiest (highest-order) mode."""
+        return self.path_budget(self.mdm_degree - 1)
+
+    def laser_wall_plug_power_w(
+        self,
+        target_power_at_bank_w: float,
+        laser: LaserSource = None,
+    ) -> float:
+        """Total laser electrical power for every wavelength on every mode.
+
+        Each mode's budget differs; sum the per-mode requirements across the
+        full WDM comb.
+        """
+        if target_power_at_bank_w <= 0.0:
+            raise ConfigError("target power must be positive")
+        source = laser if laser is not None else LaserSource(
+            wall_plug_efficiency=self.params.laser_wall_plug_efficiency
+        )
+        total_optical = 0.0
+        for mode in range(self.mdm_degree):
+            budget = self.path_budget(mode)
+            per_wavelength = budget.required_launch_power_w(target_power_at_bank_w)
+            total_optical += per_wavelength * self.num_wavelengths
+        return source.electrical_power_w(total_optical)
+
+    def per_mode_budgets(self) -> List[LossBudget]:
+        return [self.path_budget(mode) for mode in range(self.mdm_degree)]

@@ -1,0 +1,116 @@
+"""Itemized optical loss budgets.
+
+Every laser-power number in the paper follows from "the various losses the
+signal will experience on its way to and from the OPCM arrays"
+(Section III.E).  :class:`LossBudget` makes those calculations auditable:
+each contribution is a named :class:`LossElement`; budgets compose; and the
+required launch power for a target delivered power falls out directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from ..units import db_to_linear
+
+
+@dataclass(frozen=True)
+class LossElement:
+    """One named loss contribution: ``count`` instances of ``unit_db`` each."""
+
+    name: str
+    unit_db: float
+    count: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_db < 0.0:
+            raise ConfigError(f"loss element {self.name!r} must be non-negative")
+        if self.count < 0.0:
+            raise ConfigError(f"count for {self.name!r} must be non-negative")
+
+    @property
+    def total_db(self) -> float:
+        return self.unit_db * self.count
+
+
+class LossBudget:
+    """An ordered, itemized collection of loss elements."""
+
+    def __init__(self, name: str = "budget") -> None:
+        self.name = name
+        self._elements: List[LossElement] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, name: str, unit_db: float, count: float = 1.0) -> "LossBudget":
+        """Append an element; returns self for chaining."""
+        self._elements.append(LossElement(name, unit_db, count))
+        return self
+
+    def extend(self, other: "LossBudget") -> "LossBudget":
+        """Append every element of another budget."""
+        self._elements.extend(other.elements)
+        return self
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def elements(self) -> Tuple[LossElement, ...]:
+        return tuple(self._elements)
+
+    @property
+    def total_db(self) -> float:
+        return sum(element.total_db for element in self._elements)
+
+    @property
+    def transmission(self) -> float:
+        return db_to_linear(-self.total_db)
+
+    def itemize(self) -> Dict[str, float]:
+        """Map of element name -> total dB (merging repeated names)."""
+        out: Dict[str, float] = {}
+        for element in self._elements:
+            out[element.name] = out.get(element.name, 0.0) + element.total_db
+        return out
+
+    def __iter__(self) -> Iterator[LossElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return f"LossBudget({self.name!r}, total={self.total_db:.2f} dB)"
+
+    # -- power helpers ------------------------------------------------------
+
+    def required_launch_power_w(self, target_power_w: float) -> float:
+        """Power to launch so that ``target_power_w`` arrives after the path."""
+        if target_power_w <= 0.0:
+            raise ConfigError("target power must be positive")
+        return target_power_w / self.transmission
+
+    def delivered_power_w(self, launch_power_w: float) -> float:
+        """Power surviving the path for a given launch power."""
+        if launch_power_w < 0.0:
+            raise ConfigError("launch power must be non-negative")
+        return launch_power_w * self.transmission
+
+
+def waveguide_path_budget(
+    length_cm: float,
+    bends_90deg: int = 0,
+    params: OpticalParameters = TABLE_I,
+    name: str = "waveguide-path",
+) -> LossBudget:
+    """Budget for a plain routed waveguide: propagation plus bends."""
+    if length_cm < 0.0:
+        raise ConfigError("path length must be non-negative")
+    budget = LossBudget(name)
+    budget.add("propagation", params.propagation_loss_db_per_cm, length_cm)
+    if bends_90deg:
+        budget.add("bending", params.bending_loss_db_per_90deg, bends_90deg)
+    return budget

@@ -1,0 +1,188 @@
+"""Add-drop microring resonator model with EO and thermal tuning.
+
+COMET gates every GST cell with a pair of microrings (Fig. 5(b)): switching
+a ring into resonance grants the column wavelength access to the cell.
+The paper uses 6 um-radius rings [36] and *electro-optic* (carrier
+injection) tuning for its 2 ns access latency, accepting the higher
+through/drop losses of an EO-tuned ring (Table I) over the us-scale
+latency of thermal tuning (the choice Section II.B argues).
+
+The transmission model is the standard add-drop ring response:
+
+    T_through(phi) = (t2^2 a^2 - 2 t1 t2 a cos(phi) + t1^2) / D
+    T_drop(phi)    = (1 - t1^2)(1 - t2^2) a / D
+    D              = 1 - 2 t1 t2 a cos(phi) + (t1 t2 a)^2
+
+with self-coupling coefficients ``t1``/``t2``, single-pass amplitude ``a``
+and round-trip phase ``phi = 2*pi*n_eff*L / lambda``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from ..units import db_to_linear, linear_to_db
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class TuningMechanism(enum.Enum):
+    """How a ring's resonance is shifted."""
+
+    ELECTRO_OPTIC = "electro-optic"   # carrier injection, ns-scale
+    THERMAL = "thermal"               # heater, us-scale
+
+
+@dataclass(frozen=True)
+class RingTuningModel:
+    """Latency/power/loss bundle for one tuning mechanism (Table I values)."""
+
+    mechanism: TuningMechanism
+    latency_s: float
+    power_w_per_nm: float
+    through_loss_db: float
+    drop_loss_db: float
+
+    @classmethod
+    def from_parameters(
+        cls, mechanism: TuningMechanism, params: OpticalParameters = TABLE_I
+    ) -> "RingTuningModel":
+        if mechanism is TuningMechanism.ELECTRO_OPTIC:
+            return cls(
+                mechanism=mechanism,
+                latency_s=params.eo_tuning_latency_s,
+                power_w_per_nm=params.eo_tuning_power_w_per_nm,
+                through_loss_db=params.eo_mr_through_loss_db,
+                drop_loss_db=params.eo_mr_drop_loss_db,
+            )
+        return cls(
+            mechanism=mechanism,
+            latency_s=params.thermal_tuning_latency_s,
+            power_w_per_nm=params.thermal_tuning_power_w_per_nm,
+            through_loss_db=params.mr_through_loss_db,
+            drop_loss_db=params.mr_drop_loss_db,
+        )
+
+    def tuning_power_w(self, shift_nm: float) -> float:
+        """Electrical power to hold a resonance shift of ``shift_nm``."""
+        if shift_nm < 0.0:
+            raise ConfigError("resonance shift must be non-negative")
+        return self.power_w_per_nm * shift_nm
+
+
+@dataclass(frozen=True)
+class MicroringResonator:
+    """A single add-drop microring.
+
+    Defaults follow the paper: 6 um radius [36], SOI group index ~4.2.
+    """
+
+    radius_m: float = 6e-6
+    effective_index: float = 2.35
+    group_index: float = 4.2
+    self_coupling_t1: float = 0.93
+    self_coupling_t2: float = 0.93
+    round_trip_loss_db: float = 0.05
+    resonance_wavelength_m: float = 1550e-9
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ConfigError("ring radius must be positive")
+        for t in (self.self_coupling_t1, self.self_coupling_t2):
+            if not 0.0 < t < 1.0:
+                raise ConfigError("self-coupling coefficients must be in (0, 1)")
+
+    # -- geometry-derived quantities ----------------------------------------
+
+    @property
+    def circumference_m(self) -> float:
+        return 2.0 * math.pi * self.radius_m
+
+    @property
+    def free_spectral_range_m(self) -> float:
+        """FSR = lambda^2 / (n_g * L) near the reference resonance."""
+        return (self.resonance_wavelength_m ** 2
+                / (self.group_index * self.circumference_m))
+
+    @property
+    def single_pass_amplitude(self) -> float:
+        """Round-trip field amplitude ``a`` from the round-trip loss."""
+        return math.sqrt(db_to_linear(-self.round_trip_loss_db))
+
+    def quality_factor(self) -> float:
+        """Loaded Q from the FWHM of the drop response."""
+        fwhm = self.linewidth_m()
+        return self.resonance_wavelength_m / fwhm
+
+    def linewidth_m(self) -> float:
+        """FWHM linewidth of the resonance (analytic for the all-pass form)."""
+        a = self.single_pass_amplitude
+        t1, t2 = self.self_coupling_t1, self.self_coupling_t2
+        # FWHM in round-trip phase, standard result.
+        num = 2.0 * (1.0 - t1 * t2 * a)
+        den = math.sqrt(t1 * t2 * a)
+        dphi = 2.0 * math.asin(min(1.0, num / (2.0 * den)))
+        return dphi * self.free_spectral_range_m / (2.0 * math.pi)
+
+    # -- spectral response ----------------------------------------------------
+
+    def round_trip_phase(self, wavelength_m: ArrayLike, shift_nm: float = 0.0) -> ArrayLike:
+        """Round-trip phase including an applied resonance shift (nm)."""
+        # A resonance shift of d_lambda corresponds to an index change
+        # dn = n_g * d_lambda / lambda; fold it into the phase.
+        wl = np.asarray(wavelength_m, dtype=float)
+        shifted_res = self.resonance_wavelength_m + shift_nm * 1e-9
+        # Phase measured relative to the (shifted) resonance, exact at
+        # resonance and first-order in detuning elsewhere.
+        detuning = (wl - shifted_res) / self.free_spectral_range_m
+        phase = 2.0 * math.pi * detuning
+        return phase if isinstance(wavelength_m, np.ndarray) else float(phase)
+
+    def through_transmission(
+        self, wavelength_m: ArrayLike, shift_nm: float = 0.0
+    ) -> ArrayLike:
+        """Power transmission at the through port."""
+        phi = np.asarray(self.round_trip_phase(wavelength_m, shift_nm))
+        a = self.single_pass_amplitude
+        t1, t2 = self.self_coupling_t1, self.self_coupling_t2
+        den = 1.0 - 2.0 * t1 * t2 * a * np.cos(phi) + (t1 * t2 * a) ** 2
+        num = (t2 * a) ** 2 - 2.0 * t1 * t2 * a * np.cos(phi) + t1 ** 2
+        out = num / den
+        return out if isinstance(wavelength_m, np.ndarray) else float(out)
+
+    def drop_transmission(
+        self, wavelength_m: ArrayLike, shift_nm: float = 0.0
+    ) -> ArrayLike:
+        """Power transmission at the drop port."""
+        phi = np.asarray(self.round_trip_phase(wavelength_m, shift_nm))
+        a = self.single_pass_amplitude
+        t1, t2 = self.self_coupling_t1, self.self_coupling_t2
+        den = 1.0 - 2.0 * t1 * t2 * a * np.cos(phi) + (t1 * t2 * a) ** 2
+        num = (1.0 - t1 ** 2) * (1.0 - t2 ** 2) * a
+        out = num / den
+        return out if isinstance(wavelength_m, np.ndarray) else float(out)
+
+    def drop_loss_db(self) -> float:
+        """Insertion loss of the drop path exactly on resonance."""
+        return -linear_to_db(self.drop_transmission(self.resonance_wavelength_m))
+
+    def off_resonance_through_loss_db(self) -> float:
+        """Through loss for a signal half an FSR away from resonance."""
+        wl = self.resonance_wavelength_m + self.free_spectral_range_m / 2.0
+        return -linear_to_db(self.through_transmission(wl))
+
+    def extinction_ratio_db(self) -> float:
+        """On/off contrast at the drop port between tuned and detuned states."""
+        on = self.drop_transmission(self.resonance_wavelength_m)
+        off = self.drop_transmission(
+            self.resonance_wavelength_m,
+            shift_nm=self.free_spectral_range_m / 2.0 * 1e9,
+        )
+        return linear_to_db(on / off)

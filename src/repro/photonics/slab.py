@@ -1,0 +1,249 @@
+"""Multilayer slab waveguide TE mode solver (transfer-matrix method).
+
+This solver is one half of the reproduction's substitute for Ansys
+Lumerical FDTD (see DESIGN.md).  It finds the guided TE modes of an
+arbitrary 1-D layer stack (semi-infinite claddings top and bottom) by
+
+1. propagating the tangential field vector ``(Ey, dEy/dx)`` through the
+   stack with per-layer 2x2 transfer matrices, starting from an
+   exponentially decaying solution in the bottom cladding, and
+2. root-finding the dispersion function ``F(n_eff) = Ey' + gamma_top*Ey``
+   at the top interface, whose zeros are the guided modes.
+
+Losses are handled perturbatively: the solver uses the *real* parts of the
+layer indices to find ``n_eff`` and the field profile, then computes the
+modal extinction from the per-layer confinement factors:
+
+    kappa_eff = sum_i  Gamma_i * kappa_i * (n_i / n_eff)
+
+which is the standard first-order result for weakly absorbing layers and
+is accurate for the thin GST films used here (kappa << n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..errors import SolverError
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One finite layer of the stack.
+
+    ``index`` may be complex; its imaginary part (extinction coefficient)
+    only enters the perturbative loss computation.  ``name`` identifies the
+    layer in confinement-factor queries.
+    """
+
+    name: str
+    index: complex
+    thickness_m: float
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0.0:
+            raise SolverError(f"layer {self.name!r} must have positive thickness")
+        if self.index.real <= 0.0:
+            raise SolverError(f"layer {self.name!r} must have positive index")
+
+
+@dataclass(frozen=True)
+class SlabMode:
+    """A guided TE mode of a layer stack."""
+
+    effective_index: float
+    modal_extinction: float
+    confinement: Dict[str, float]          # per finite layer, plus claddings
+    order: int
+
+    @property
+    def complex_effective_index(self) -> complex:
+        return complex(self.effective_index, self.modal_extinction)
+
+
+class MultilayerSlabSolver:
+    """TE-polarized guided-mode solver for a 1-D multilayer stack."""
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        bottom_cladding_index: complex,
+        top_cladding_index: complex,
+        wavelength_m: float,
+    ) -> None:
+        if not layers:
+            raise SolverError("stack needs at least one finite layer")
+        if wavelength_m <= 0.0:
+            raise SolverError("wavelength must be positive")
+        self.layers = list(layers)
+        self.n_bottom = bottom_cladding_index
+        self.n_top = top_cladding_index
+        self.wavelength_m = wavelength_m
+        self.k0 = 2.0 * math.pi / wavelength_m
+        self._n_clad_max = max(self.n_bottom.real, self.n_top.real)
+        self._n_core_max = max(layer.index.real for layer in self.layers)
+        if self._n_core_max <= self._n_clad_max:
+            raise SolverError(
+                "no guided modes possible: core index does not exceed cladding"
+            )
+
+    # ------------------------------------------------------------------
+    # Dispersion function
+    # ------------------------------------------------------------------
+
+    def _transverse_k(self, index_real: float, n_eff: float) -> complex:
+        """Transverse wavenumber in a layer; imaginary when evanescent."""
+        arg = complex(index_real ** 2 - n_eff ** 2)
+        return self.k0 * np.sqrt(arg)
+
+    def _decay_const(self, index_real: float, n_eff: float) -> float:
+        """Cladding decay constant gamma (guided modes only)."""
+        val = n_eff ** 2 - index_real ** 2
+        if val <= 0.0:
+            raise SolverError("mode is not guided against this cladding")
+        return self.k0 * math.sqrt(val)
+
+    def dispersion(self, n_eff: float) -> float:
+        """Dispersion function whose zeros are guided TE modes."""
+        gamma_b = self._decay_const(self.n_bottom.real, n_eff)
+        gamma_t = self._decay_const(self.n_top.real, n_eff)
+        # Field vector (Ey, Ey') at the bottom interface for a decaying
+        # bottom-cladding solution exp(+gamma_b * x), x < 0.
+        field = np.array([1.0 + 0j, gamma_b + 0j])
+        for layer in self.layers:
+            k = self._transverse_k(layer.index.real, n_eff)
+            d = layer.thickness_m
+            kd = k * d
+            cos_kd = np.cos(kd)
+            if abs(k) < 1e-12:
+                sinc_term = d        # lim sin(kd)/k as k -> 0
+                ksin_term = 0.0
+            else:
+                sinc_term = np.sin(kd) / k
+                ksin_term = -k * np.sin(kd)
+            matrix = np.array([[cos_kd, sinc_term], [ksin_term, cos_kd]])
+            field = matrix @ field
+        # Top cladding must decay: Ey' = -gamma_t * Ey.
+        residual = field[1] + gamma_t * field[0]
+        return float(residual.real)
+
+    # ------------------------------------------------------------------
+    # Mode finding
+    # ------------------------------------------------------------------
+
+    def find_effective_indices(self, samples: int = 1200) -> List[float]:
+        """Scan + bisect for all guided-mode effective indices (descending)."""
+        lo = self._n_clad_max + 1e-6
+        hi = self._n_core_max - 1e-9
+        if hi <= lo:
+            return []
+        grid = np.linspace(lo, hi, samples)
+        values = np.array([self.dispersion(float(x)) for x in grid])
+        roots: List[float] = []
+        for i in range(len(grid) - 1):
+            a, b = values[i], values[i + 1]
+            if a == 0.0:
+                roots.append(float(grid[i]))
+            elif a * b < 0.0:
+                root = brentq(self.dispersion, float(grid[i]), float(grid[i + 1]),
+                              xtol=1e-12, rtol=1e-12)
+                roots.append(float(root))
+        return sorted(set(roots), reverse=True)
+
+    def solve(self, max_modes: int = 4, samples: int = 1200) -> List[SlabMode]:
+        """Return up to ``max_modes`` guided TE modes, fundamental first."""
+        indices = self.find_effective_indices(samples=samples)[:max_modes]
+        modes = []
+        for order, n_eff in enumerate(indices):
+            confinement = self._confinement_factors(n_eff)
+            kappa_eff = self._modal_extinction(n_eff, confinement)
+            modes.append(SlabMode(
+                effective_index=n_eff,
+                modal_extinction=kappa_eff,
+                confinement=confinement,
+                order=order,
+            ))
+        return modes
+
+    def fundamental(self, samples: int = 1200) -> SlabMode:
+        """The fundamental TE mode; raises if the stack guides nothing."""
+        modes = self.solve(max_modes=1, samples=samples)
+        if not modes:
+            raise SolverError("stack supports no guided TE mode")
+        return modes[0]
+
+    # ------------------------------------------------------------------
+    # Field profile and confinement
+    # ------------------------------------------------------------------
+
+    def _field_coefficients(self, n_eff: float) -> List[Tuple[float, complex, complex]]:
+        """Per-layer (start position, Ey, Ey') at each layer's bottom edge."""
+        gamma_b = self._decay_const(self.n_bottom.real, n_eff)
+        field = np.array([1.0 + 0j, gamma_b + 0j])
+        coefficients = []
+        x = 0.0
+        for layer in self.layers:
+            coefficients.append((x, field[0], field[1]))
+            k = self._transverse_k(layer.index.real, n_eff)
+            d = layer.thickness_m
+            kd = k * d
+            cos_kd = np.cos(kd)
+            if abs(k) < 1e-12:
+                sinc_term = d
+                ksin_term = 0.0
+            else:
+                sinc_term = np.sin(kd) / k
+                ksin_term = -k * np.sin(kd)
+            matrix = np.array([[cos_kd, sinc_term], [ksin_term, cos_kd]])
+            field = matrix @ field
+            x += d
+        coefficients.append((x, field[0], field[1]))  # top interface
+        return coefficients
+
+    def _confinement_factors(self, n_eff: float) -> Dict[str, float]:
+        """Fraction of ``|Ey|^2`` in each layer (plus the two claddings)."""
+        coefficients = self._field_coefficients(n_eff)
+        gamma_b = self._decay_const(self.n_bottom.real, n_eff)
+        gamma_t = self._decay_const(self.n_top.real, n_eff)
+
+        integrals: Dict[str, float] = {}
+        # Bottom cladding: |Ey|^2 = exp(2 gamma_b x) for x<0, Ey(0)=1.
+        integrals["bottom_cladding"] = 1.0 / (2.0 * gamma_b)
+        # Finite layers: integrate the analytic piecewise field numerically.
+        for layer, (x0, ey0, eyp0) in zip(self.layers, coefficients[:-1]):
+            k = self._transverse_k(layer.index.real, n_eff)
+            d = layer.thickness_m
+            points = max(64, int(d / 0.25e-9))
+            xs = np.linspace(0.0, d, min(points, 4096))
+            if abs(k) < 1e-12:
+                ey = ey0 + eyp0 * xs
+            else:
+                ey = ey0 * np.cos(k * xs) + (eyp0 / k) * np.sin(k * xs)
+            integrals[layer.name] = float(np.trapezoid(np.abs(ey) ** 2, xs))
+        # Top cladding: decaying exponential from the top-interface value.
+        ey_top = coefficients[-1][1]
+        integrals["top_cladding"] = float(abs(ey_top) ** 2 / (2.0 * gamma_t))
+
+        total = sum(integrals.values())
+        if total <= 0.0:
+            raise SolverError("field normalization failed")
+        return {name: value / total for name, value in integrals.items()}
+
+    def _modal_extinction(self, n_eff: float, confinement: Dict[str, float]) -> float:
+        """First-order modal extinction from per-layer material extinction."""
+        kappa_eff = 0.0
+        for layer in self.layers:
+            kappa = layer.index.imag
+            if kappa != 0.0:
+                kappa_eff += (confinement[layer.name] * kappa
+                              * (layer.index.real / n_eff))
+        for name, index in (("bottom_cladding", self.n_bottom),
+                            ("top_cladding", self.n_top)):
+            if index.imag != 0.0:
+                kappa_eff += confinement[name] * index.imag * (index.real / n_eff)
+        return kappa_eff

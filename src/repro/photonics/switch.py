@@ -1,0 +1,64 @@
+"""Electrically controlled GST waveguide switch (subarray access gating).
+
+COMET gates each subarray with a GST cell at the waveguide coupler [39]
+(Fig. 5(d)): amorphous GST couples the wavelengths into the subarray
+(0.2 dB insertion loss), crystalline GST blocks them.  Switching takes
+100 ns but happens only on subarray-granularity access changes, and it
+removes the splitter-tree laser-power multiplication a passive fan-out
+would cost — the trade Section III.C makes explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import OpticalParameters, TABLE_I
+from ..errors import ConfigError
+from ..units import db_to_linear
+
+
+class SwitchState(enum.Enum):
+    """GST switch states; amorphous couples, crystalline blocks."""
+
+    COUPLING = "amorphous"
+    BLOCKING = "crystalline"
+
+
+@dataclass(frozen=True)
+class GstWaveguideSwitch:
+    """A 1x1 GST-based subarray access switch."""
+
+    insertion_loss_db: float = TABLE_I.pcm_switch_loss_db
+    blocking_extinction_db: float = 25.0
+    switch_time_s: float = TABLE_I.pcm_switch_time_s
+    switch_energy_j: float = 280e-12   # one amorphization-class pulse
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0.0 or self.blocking_extinction_db <= 0.0:
+            raise ConfigError("switch losses must be non-negative/positive")
+        if self.switch_time_s < 0.0:
+            raise ConfigError("switch time must be non-negative")
+
+    @classmethod
+    def from_parameters(cls, params: OpticalParameters = TABLE_I
+                        ) -> "GstWaveguideSwitch":
+        return cls(
+            insertion_loss_db=params.pcm_switch_loss_db,
+            switch_time_s=params.pcm_switch_time_s,
+        )
+
+    def transmission(self, state: SwitchState) -> float:
+        """Power transmission through the switch in the given state."""
+        if state is SwitchState.COUPLING:
+            return db_to_linear(-self.insertion_loss_db)
+        return db_to_linear(-(self.insertion_loss_db + self.blocking_extinction_db))
+
+    def loss_db(self, state: SwitchState) -> float:
+        if state is SwitchState.COUPLING:
+            return self.insertion_loss_db
+        return self.insertion_loss_db + self.blocking_extinction_db
+
+    def is_nonvolatile(self) -> bool:
+        """GST switches hold state with zero static power."""
+        return True

@@ -1,0 +1,148 @@
+"""WDM grid allocation and microring addressability analysis.
+
+COMET operates each bank with ``N_c`` wavelengths (256 at b=4, 1024 at
+b=1) supplied by an off-chip comb (Section III.C).  Two feasibility
+questions a designer must answer, which the paper leaves implicit:
+
+1. **Does the comb fit the band?**  ``N_c`` channels at a chosen spacing
+   must fit inside the C-band (35 nm).
+2. **Can a microring address its channel uniquely?**  A ring responds at
+   every multiple of its FSR; if the comb spans more than one FSR, a ring
+   tuned to channel *i* also drops channel *i + FSR/spacing*.  Rings must
+   either have FSR > comb span, or the architecture must interleave
+   (the classic serial-WDM constraint).
+
+:class:`WdmGrid` models the comb; :func:`ring_addressability` runs the
+aliasing analysis against a ring design and reports the maximum cleanly
+addressable channel count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..constants import C_BAND_MAX_M, C_BAND_MIN_M
+from ..errors import ConfigError
+from .ring import MicroringResonator
+
+
+@dataclass(frozen=True)
+class WdmGrid:
+    """A uniform WDM comb inside an optical band."""
+
+    num_channels: int
+    channel_spacing_m: float = 0.1e-9           # 12.5 GHz-class dense WDM
+    band_min_m: float = C_BAND_MIN_M
+    band_max_m: float = C_BAND_MAX_M
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ConfigError("need at least one channel")
+        if self.channel_spacing_m <= 0.0:
+            raise ConfigError("channel spacing must be positive")
+        if self.band_max_m <= self.band_min_m:
+            raise ConfigError("band limits inverted")
+
+    @property
+    def band_width_m(self) -> float:
+        return self.band_max_m - self.band_min_m
+
+    @property
+    def comb_span_m(self) -> float:
+        """Wavelength span of the full comb."""
+        return (self.num_channels - 1) * self.channel_spacing_m
+
+    def fits_band(self) -> bool:
+        """Does the comb fit inside the band?"""
+        return self.comb_span_m <= self.band_width_m
+
+    def wavelengths_m(self) -> np.ndarray:
+        """Channel wavelengths, centred in the band."""
+        if not self.fits_band():
+            raise ConfigError(
+                f"{self.num_channels} channels at "
+                f"{self.channel_spacing_m * 1e9:.3f} nm span "
+                f"{self.comb_span_m * 1e9:.1f} nm, exceeding the "
+                f"{self.band_width_m * 1e9:.1f} nm band"
+            )
+        center = 0.5 * (self.band_min_m + self.band_max_m)
+        start = center - self.comb_span_m / 2.0
+        return start + np.arange(self.num_channels) * self.channel_spacing_m
+
+    def max_channels_in_band(self) -> int:
+        """Largest channel count this spacing supports in the band."""
+        return int(self.band_width_m // self.channel_spacing_m) + 1
+
+
+@dataclass(frozen=True)
+class AddressabilityReport:
+    """Outcome of the ring-vs-comb aliasing analysis."""
+
+    num_channels: int
+    channel_spacing_m: float
+    ring_fsr_m: float
+    channels_per_fsr: int
+    aliased: bool
+    max_clean_channels: int
+    crosstalk_pairs: List[tuple]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.aliased
+
+
+def ring_addressability(
+    grid: WdmGrid,
+    ring: MicroringResonator = MicroringResonator(),
+) -> AddressabilityReport:
+    """Check whether one ring per channel can address the comb cleanly.
+
+    A ring centred on channel ``i`` also resonates at ``i + k * m`` for
+    integer ``k``, where ``m = FSR / spacing`` — if the comb spans beyond
+    one FSR those channels alias onto the same ring.
+    """
+    fsr = ring.free_spectral_range_m
+    channels_per_fsr = max(int(fsr // grid.channel_spacing_m), 1)
+    aliased = grid.comb_span_m > fsr
+    pairs = []
+    if aliased:
+        for base in range(min(grid.num_channels, channels_per_fsr)):
+            alias = base + channels_per_fsr
+            if alias < grid.num_channels:
+                pairs.append((base, alias))
+    return AddressabilityReport(
+        num_channels=grid.num_channels,
+        channel_spacing_m=grid.channel_spacing_m,
+        ring_fsr_m=fsr,
+        channels_per_fsr=channels_per_fsr,
+        aliased=aliased,
+        max_clean_channels=min(grid.num_channels, channels_per_fsr),
+        crosstalk_pairs=pairs,
+    )
+
+
+def comet_wavelength_plan(
+    num_wavelengths: int,
+    ring: MicroringResonator = MicroringResonator(),
+) -> WdmGrid:
+    """Pick the densest standard spacing that fits the comb in one FSR.
+
+    Walks the dense-WDM spacing ladder (100 / 50 / 25 / 12.5 GHz-class:
+    0.8, 0.4, 0.2, 0.1 nm) and returns the first grid that both fits the
+    C-band and stays within the ring's FSR; raises if none does — the
+    honest outcome for very large channel counts, which is why COMET-1b's
+    1024 wavelengths per bank are the paper's weakest configuration.
+    """
+    for spacing_nm in (0.8, 0.4, 0.2, 0.1, 0.05):
+        grid = WdmGrid(num_wavelengths, channel_spacing_m=spacing_nm * 1e-9)
+        if not grid.fits_band():
+            continue
+        if not ring_addressability(grid, ring).aliased:
+            return grid
+    raise ConfigError(
+        f"no standard spacing fits {num_wavelengths} channels in one "
+        f"{ring.free_spectral_range_m * 1e9:.1f} nm FSR inside the C-band"
+    )

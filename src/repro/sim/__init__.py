@@ -1,0 +1,49 @@
+"""Trace-driven main-memory simulator (the NVMain 2.0 substitute).
+
+The paper evaluates every architecture with a heavily modified NVMain 2.0
+[30].  This package provides the equivalent: a trace-driven, bank-accurate
+FCFS/FR-FCFS-lite memory simulator with row-buffer DRAM timing, refresh,
+data-bus contention, per-operation + static energy accounting, and the
+bandwidth / latency / EPB statistics Fig. 9 plots.
+
+Key entry points:
+
+* :func:`repro.sim.factory.build_device` — device model for any Fig. 9
+  architecture name ("COMET", "COSMOS", "EPCM-MM", "2D_DDR3", ...).
+* :class:`repro.sim.simulator.MainMemorySimulator` — runs a request list.
+* :mod:`repro.sim.tracegen` — deterministic SPEC-like workload generators.
+* :mod:`repro.sim.trace` — NVMain-format trace reader/writer.
+"""
+
+from .request import MemRequest, OpType
+from .trace import TraceReader, TraceWriter, parse_trace_line, format_trace_line
+from .tracegen import SyntheticWorkload, SPEC_WORKLOADS, generate_trace
+from .devices import (
+    MemoryDeviceModel,
+    RowBufferTiming,
+    RefreshSpec,
+    EnergyModel,
+)
+from .stats import SimStats
+from .simulator import MainMemorySimulator
+from .factory import build_device, ARCHITECTURE_NAMES
+
+__all__ = [
+    "MemRequest",
+    "OpType",
+    "TraceReader",
+    "TraceWriter",
+    "parse_trace_line",
+    "format_trace_line",
+    "SyntheticWorkload",
+    "SPEC_WORKLOADS",
+    "generate_trace",
+    "MemoryDeviceModel",
+    "RowBufferTiming",
+    "RefreshSpec",
+    "EnergyModel",
+    "SimStats",
+    "MainMemorySimulator",
+    "build_device",
+    "ARCHITECTURE_NAMES",
+]

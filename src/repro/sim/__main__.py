@@ -1,0 +1,65 @@
+"""Command-line simulator runner.
+
+Run a synthetic workload::
+
+    python -m repro.sim --arch COMET --workload mcf --requests 20000
+
+or an NVMain trace file::
+
+    python -m repro.sim --arch 2D_DDR3 --trace path/to/trace.nvt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .factory import ARCHITECTURE_NAMES
+from .simulator import MainMemorySimulator
+from .trace import TraceReader
+from .tracegen import SPEC_WORKLOADS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.sim",
+        description="Trace-driven main-memory simulation (NVMain substitute)",
+    )
+    parser.add_argument("--arch", required=True, choices=ARCHITECTURE_NAMES,
+                        help="architecture to simulate")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", choices=sorted(SPEC_WORKLOADS),
+                        help="synthetic SPEC-like workload")
+    source.add_argument("--trace", help="NVMain trace file")
+    parser.add_argument("--requests", type=int, default=20_000,
+                        help="request count for synthetic workloads")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--cpu-ghz", type=float, default=2.0,
+                        help="CPU frequency for trace cycle conversion")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    simulator = MainMemorySimulator(args.arch)
+    if args.workload:
+        stats = simulator.run_workload(args.workload, args.requests, args.seed)
+    else:
+        requests = TraceReader(args.trace, cpu_freq_ghz=args.cpu_ghz).read_all()
+        stats = simulator.run(requests, workload_name=args.trace)
+    print(f"architecture : {stats.device_name}")
+    print(f"workload     : {stats.workload_name}")
+    print(f"requests     : {stats.num_requests} "
+          f"({stats.num_reads} R / {stats.num_writes} W)")
+    print(f"bandwidth    : {stats.bandwidth_gbps:.2f} GB/s")
+    print(f"avg latency  : {stats.avg_latency_ns:.1f} ns "
+          f"(p95 {stats.p95_latency_ns:.1f} ns)")
+    print(f"EPB          : {stats.energy_per_bit_pj:.1f} pJ/bit")
+    print(f"BW/EPB       : {stats.bw_per_epb:.4f}")
+    if stats.row_hits or stats.row_misses:
+        print(f"row hit rate : {stats.row_hit_rate:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

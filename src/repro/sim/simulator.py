@@ -1,0 +1,81 @@
+"""Top-level simulator: run traces against architectures, collect stats.
+
+This is the reproduction's equivalent of invoking the paper's modified
+NVMain once per (architecture, trace) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import SimulationError
+from .controller import MemoryController
+from .devices import MemoryDeviceModel
+from .factory import ARCHITECTURE_NAMES, build_device
+from .request import MemRequest
+from .stats import SimStats, geometric_mean
+from .tracegen import SPEC_WORKLOADS, generate_trace
+
+
+class MainMemorySimulator:
+    """Runs request streams against one device model."""
+
+    def __init__(self, device: Union[str, MemoryDeviceModel],
+                 queue_depth_per_channel: int = 8) -> None:
+        self.device = build_device(device) if isinstance(device, str) else device
+        # Each channel brings its own transaction queue at the controller.
+        self.controller = MemoryController(
+            self.device,
+            queue_depth=queue_depth_per_channel * self.device.channels,
+        )
+
+    def run(self, requests: List[MemRequest],
+            workload_name: str = "trace") -> SimStats:
+        """Simulate one request list."""
+        ordered = sorted(requests, key=lambda r: r.arrival_ns)
+        return self.controller.run(ordered, workload_name=workload_name)
+
+    def run_workload(self, workload_name: str, num_requests: int = 20_000,
+                     seed: int = 1) -> SimStats:
+        """Generate and simulate one named SPEC-like workload."""
+        trace = generate_trace(workload_name, num_requests, seed)
+        return self.run(trace, workload_name=workload_name)
+
+
+def run_evaluation(
+    architectures: Sequence[str] = ARCHITECTURE_NAMES,
+    workloads: Optional[Iterable[str]] = None,
+    num_requests: int = 20_000,
+    seed: int = 1,
+) -> Dict[str, Dict[str, SimStats]]:
+    """The full Fig. 9 grid: every architecture on every workload.
+
+    Returns ``results[arch][workload] -> SimStats``.
+    """
+    workload_names = list(workloads) if workloads is not None \
+        else sorted(SPEC_WORKLOADS)
+    if not workload_names:
+        raise SimulationError("need at least one workload")
+    results: Dict[str, Dict[str, SimStats]] = {}
+    for arch in architectures:
+        simulator = MainMemorySimulator(arch)
+        results[arch] = {}
+        for workload in workload_names:
+            results[arch][workload] = simulator.run_workload(
+                workload, num_requests=num_requests, seed=seed
+            )
+    return results
+
+
+def summarize(results: Dict[str, Dict[str, SimStats]]) -> Dict[str, Dict[str, float]]:
+    """Per-architecture geomean summary of the Fig. 9 metrics."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for arch, per_workload in results.items():
+        stats = list(per_workload.values())
+        summary[arch] = {
+            "bandwidth_gbps": geometric_mean([s.bandwidth_gbps for s in stats]),
+            "avg_latency_ns": geometric_mean([s.avg_latency_ns for s in stats]),
+            "epb_pj": geometric_mean([s.energy_per_bit_pj for s in stats]),
+            "bw_per_epb": geometric_mean([s.bw_per_epb for s in stats]),
+        }
+    return summary

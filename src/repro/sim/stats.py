@@ -1,0 +1,136 @@
+"""Simulation statistics: the Fig. 9 metrics.
+
+``SimStats`` aggregates what the paper reports: sustained bandwidth,
+average (and tail) application latency, and energy-per-bit.  EPB follows
+the paper's accounting (Section IV.C): *all* energy spent while
+orchestrating the trace's reads and writes — background + gated active
+power + per-operation energy — divided by the bits transferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass
+class SimStats:
+    """Aggregated results of one trace on one device."""
+
+    device_name: str
+    workload_name: str
+    num_requests: int
+    num_reads: int
+    num_writes: int
+    total_bytes: int
+    sim_time_ns: float
+    busy_time_ns: float
+    active_time_ns: float
+    latencies_ns: List[float] = field(repr=False, default_factory=list)
+    op_energy_j: float = 0.0
+    refresh_energy_j: float = 0.0
+    refresh_count: int = 0
+    background_power_w: float = 0.0
+    active_power_w: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sim_time_ns <= 0.0:
+            raise SimulationError("simulation time must be positive")
+
+    # -- throughput ---------------------------------------------------------
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Sustained bandwidth in GB/s (bytes / wall time)."""
+        return self.total_bytes / self.sim_time_ns
+
+    @property
+    def bandwidth_bits_per_ns(self) -> float:
+        return self.total_bytes * 8.0 / self.sim_time_ns
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def avg_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            raise SimulationError("no completed requests")
+        return float(np.mean(self.latencies_ns))
+
+    @property
+    def p95_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            raise SimulationError("no completed requests")
+        return float(np.percentile(self.latencies_ns, 95.0))
+
+    @property
+    def max_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            raise SimulationError("no completed requests")
+        return float(np.max(self.latencies_ns))
+
+    # -- energy -----------------------------------------------------------------
+
+    @property
+    def background_energy_j(self) -> float:
+        return self.background_power_w * self.sim_time_ns * 1e-9
+
+    @property
+    def active_energy_j(self) -> float:
+        return self.active_power_w * self.active_time_ns * 1e-9
+
+    @property
+    def total_energy_j(self) -> float:
+        return (self.background_energy_j + self.active_energy_j
+                + self.op_energy_j + self.refresh_energy_j)
+
+    @property
+    def energy_per_bit_pj(self) -> float:
+        bits = self.total_bytes * 8
+        if bits == 0:
+            raise SimulationError("no bits transferred")
+        return self.total_energy_j / bits * 1e12
+
+    # -- composite ----------------------------------------------------------------
+
+    @property
+    def bw_per_epb(self) -> float:
+        """The Fig. 9(c) composite metric: GB/s per pJ/bit."""
+        return self.bandwidth_gbps / self.energy_per_bit_pj
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of wall time the device was serving."""
+        return min(self.busy_time_ns / (self.sim_time_ns * 1.0), 1.0)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for table printing / CSV."""
+        return {
+            "device": self.device_name,
+            "workload": self.workload_name,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "avg_latency_ns": self.avg_latency_ns,
+            "p95_latency_ns": self.p95_latency_ns,
+            "epb_pj": self.energy_per_bit_pj,
+            "bw_per_epb": self.bw_per_epb,
+            "row_hit_rate": self.row_hit_rate,
+            "utilization": self.utilization,
+        }
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geomean used for cross-workload averages."""
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0.0):
+        raise SimulationError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(arr))))

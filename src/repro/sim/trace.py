@@ -1,0 +1,138 @@
+"""NVMain 2.0 trace format support.
+
+NVMain traces are line-oriented text::
+
+    <cycle> <R|W> <hex address> [<hex data>] [<thread id>]
+
+Cycles are CPU cycles; NVMain converts with the CPU frequency.  The reader
+accepts both the full format (with the 64-byte data payload NVMain's
+tracer emits) and the compact form our generators write (no data).  Data
+payloads are parsed but not retained — the performance model does not need
+them (matching how the paper's evaluation uses the simulator).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..errors import TraceError
+from .request import MemRequest, OpType
+
+DEFAULT_CPU_FREQ_GHZ = 2.0
+
+
+def parse_trace_line(
+    line: str,
+    cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ,
+    line_bytes: int = 128,
+) -> MemRequest:
+    """Parse one NVMain trace line into a :class:`MemRequest`."""
+    if cpu_freq_ghz <= 0.0:
+        raise TraceError("CPU frequency must be positive")
+    tokens = line.split()
+    if len(tokens) < 3:
+        raise TraceError(f"malformed trace line: {line!r}")
+    try:
+        cycle = int(tokens[0])
+    except ValueError:
+        raise TraceError(f"bad cycle count in line: {line!r}") from None
+    try:
+        op = OpType.from_token(tokens[1])
+    except Exception:
+        raise TraceError(f"bad operation in line: {line!r}") from None
+    try:
+        address = int(tokens[2], 16)
+    except ValueError:
+        raise TraceError(f"bad address in line: {line!r}") from None
+    thread_id = 0
+    if len(tokens) >= 4:
+        # Token 3 is either a data payload (long hex) or a thread id.
+        candidate = tokens[-1]
+        if len(candidate) <= 4 and candidate.isdigit():
+            thread_id = int(candidate)
+    if cycle < 0:
+        raise TraceError(f"negative cycle in line: {line!r}")
+    return MemRequest(
+        address=address,
+        op=op,
+        arrival_ns=cycle / cpu_freq_ghz,
+        size_bytes=line_bytes,
+        thread_id=thread_id,
+    )
+
+
+def format_trace_line(
+    request: MemRequest,
+    cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ,
+) -> str:
+    """Format a request as an NVMain trace line (compact form)."""
+    cycle = int(round(request.arrival_ns * cpu_freq_ghz))
+    return f"{cycle} {request.op.value} 0x{request.address:X} {request.thread_id}"
+
+
+class TraceReader:
+    """Iterates :class:`MemRequest` objects from an NVMain trace stream."""
+
+    def __init__(
+        self,
+        source: Union[str, TextIO],
+        cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ,
+        line_bytes: int = 128,
+    ) -> None:
+        self._source = source
+        self.cpu_freq_ghz = cpu_freq_ghz
+        self.line_bytes = line_bytes
+
+    def __iter__(self) -> Iterator[MemRequest]:
+        if isinstance(self._source, str):
+            with open(self._source, "r", encoding="utf-8") as handle:
+                yield from self._iter_stream(handle)
+        else:
+            yield from self._iter_stream(self._source)
+
+    def _iter_stream(self, stream: TextIO) -> Iterator[MemRequest]:
+        for raw in stream:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield parse_trace_line(line, self.cpu_freq_ghz, self.line_bytes)
+
+    def read_all(self) -> List[MemRequest]:
+        """Materialize the whole trace."""
+        return list(self)
+
+
+class TraceWriter:
+    """Writes requests as NVMain trace lines."""
+
+    def __init__(
+        self,
+        sink: Union[str, TextIO],
+        cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ,
+    ) -> None:
+        self._sink = sink
+        self.cpu_freq_ghz = cpu_freq_ghz
+
+    def write(self, requests: Iterable[MemRequest]) -> int:
+        """Write all requests; returns the number written."""
+        if isinstance(self._sink, str):
+            with open(self._sink, "w", encoding="utf-8") as handle:
+                return self._write_stream(handle, requests)
+        return self._write_stream(self._sink, requests)
+
+    def _write_stream(self, stream: TextIO, requests: Iterable[MemRequest]) -> int:
+        count = 0
+        for request in requests:
+            stream.write(format_trace_line(request, self.cpu_freq_ghz) + "\n")
+            count += 1
+        return count
+
+
+def roundtrip(requests: List[MemRequest],
+              cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ) -> List[MemRequest]:
+    """Write-then-read a request list (testing helper)."""
+    buffer = io.StringIO()
+    TraceWriter(buffer, cpu_freq_ghz).write(requests)
+    buffer.seek(0)
+    return TraceReader(buffer, cpu_freq_ghz).read_all()

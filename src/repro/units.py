@@ -1,0 +1,147 @@
+"""Unit helpers: decibel conversions and SI prefixes.
+
+The photonic power models in the paper mix linear power (mW at a GST cell),
+decibel losses (Table I) and dBm launch powers. Centralising the
+conversions keeps every loss budget in the code base consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+Number = Union[float, np.ndarray]
+
+# ---------------------------------------------------------------------------
+# Decibel conversions
+# ---------------------------------------------------------------------------
+
+
+def db_to_linear(db: Number) -> Number:
+    """Convert a power ratio expressed in dB to a linear ratio.
+
+    >>> db_to_linear(3.0103)
+    2.0000...
+    """
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0) if isinstance(
+        db, np.ndarray
+    ) else 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: Number) -> Number:
+    """Convert a linear power ratio to dB.  Raises on non-positive input."""
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    out = 10.0 * np.log10(arr)
+    return out if isinstance(ratio, np.ndarray) else float(out)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts.
+
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return 10.0 * math.log10(watts / 1e-3)
+
+
+def transmission_to_loss_db(transmission: Number) -> Number:
+    """Loss in dB corresponding to a transmission fraction in (0, 1]."""
+    arr = np.asarray(transmission, dtype=float)
+    if np.any(arr <= 0.0) or np.any(arr > 1.0 + 1e-12):
+        raise ValueError(f"transmission must be in (0, 1], got {transmission}")
+    out = -10.0 * np.log10(arr)
+    return out if isinstance(transmission, np.ndarray) else float(out)
+
+
+def loss_db_to_transmission(loss_db: Number) -> Number:
+    """Transmission fraction corresponding to a non-negative loss in dB."""
+    arr = np.asarray(loss_db, dtype=float)
+    if np.any(arr < -1e-12):
+        raise ValueError(f"loss must be non-negative, got {loss_db}")
+    out = 10.0 ** (-arr / 10.0)
+    return out if isinstance(loss_db, np.ndarray) else float(out)
+
+
+# ---------------------------------------------------------------------------
+# Extinction / absorption coefficient conversions
+# ---------------------------------------------------------------------------
+
+
+def kappa_to_alpha_per_m(kappa: Number, wavelength_m: float) -> Number:
+    """Field extinction coefficient -> intensity absorption coefficient [1/m].
+
+    ``alpha = 4 * pi * kappa / lambda`` (intensity attenuation,
+    ``I(z) = I0 * exp(-alpha z)``).
+    """
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    return 4.0 * math.pi * kappa / wavelength_m
+
+
+def alpha_per_m_to_db_per_m(alpha_per_m: Number) -> Number:
+    """Convert an intensity absorption coefficient [1/m] to dB/m."""
+    return 10.0 * alpha_per_m / math.log(10.0)
+
+
+def kappa_to_db_per_m(kappa: Number, wavelength_m: float) -> Number:
+    """Extinction coefficient -> propagation loss in dB/m."""
+    return alpha_per_m_to_db_per_m(kappa_to_alpha_per_m(kappa, wavelength_m))
+
+
+# ---------------------------------------------------------------------------
+# SI prefixes (readability helpers for configs and reports)
+# ---------------------------------------------------------------------------
+
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+CM = 1e-2
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+PJ = 1e-12
+NJ = 1e-9
+
+MW = 1e-3
+UW = 1e-6
+
+GB = 2**30
+GIB = 2**30
+
+
+def nm(value: float) -> float:
+    """Meters from nanometers."""
+    return value * NM
+
+
+def um(value: float) -> float:
+    """Meters from micrometers."""
+    return value * UM
+
+
+def ns(value: float) -> float:
+    """Seconds from nanoseconds."""
+    return value * NS
+
+
+def mw(value: float) -> float:
+    """Watts from milliwatts."""
+    return value * MW
+
+
+def pj(value: float) -> float:
+    """Joules from picojoules."""
+    return value * PJ

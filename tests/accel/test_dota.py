@@ -1,0 +1,74 @@
+"""DOTA accelerator system model (Fig. 10)."""
+
+import pytest
+
+from repro.accel.dota import (
+    DotaEnergyModel,
+    DotaSystem,
+    PHOTONIC_MEMORIES,
+    dota_case_study,
+)
+from repro.accel.transformer import DEIT_TINY
+from repro.errors import ConfigError
+
+
+class TestConversionTax:
+    def test_photonic_memories_skip_conversion(self):
+        model = DotaEnergyModel()
+        for name in PHOTONIC_MEMORIES:
+            assert model.conversion_pj_per_bit(name) \
+                == model.photonic_injection_pj_per_bit
+        assert model.conversion_pj_per_bit("3D_DDR4") \
+            == model.electro_optic_pj_per_bit
+
+    def test_electro_optic_tax_is_significant(self):
+        model = DotaEnergyModel()
+        assert model.electro_optic_pj_per_bit \
+            > 10 * model.photonic_injection_pj_per_bit
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DotaEnergyModel(electro_optic_pj_per_bit=-1.0)
+
+
+class TestBuffering:
+    def test_deit_activations_fit_on_chip(self):
+        """DeiT per-layer working sets are under the 1 MB buffer, so main
+        memory sees (almost) pure weight streaming."""
+        system = DotaSystem("COMET", DEIT_TINY)
+        assert system._layer_spill_bytes() == 0
+        workload = system.traffic_workload()
+        assert workload.read_fraction > 0.99
+
+    def test_tiny_buffer_forces_spills(self):
+        system = DotaSystem("COMET", DEIT_TINY, on_chip_buffer_bytes=0)
+        assert system._layer_spill_bytes() > 0
+        assert system.traffic_workload().read_fraction < 0.99
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DotaSystem("COMET", DEIT_TINY, inference_rate_per_s=0.0)
+
+
+class TestFig10Shape:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return dota_case_study(
+            memories=["3D_DDR4", "COSMOS", "COMET"], num_requests=2500)
+
+    def test_comet_beats_3d_ddr4_at_system_level(self, study):
+        """The Fig. 10 crossover: 3D_DDR4 wins on raw memory EPB but loses
+        once the electro-optic conversion stage is charged."""
+        for per_mem in study.values():
+            assert per_mem["3D_DDR4"].memory_epb_pj \
+                < per_mem["COMET"].memory_epb_pj
+            assert per_mem["3D_DDR4"].system_epb_pj \
+                > per_mem["COMET"].system_epb_pj
+
+    def test_comet_beats_cosmos_everywhere(self, study):
+        for per_mem in study.values():
+            assert per_mem["COSMOS"].system_epb_pj \
+                > per_mem["COMET"].system_epb_pj
+
+    def test_both_models_present(self, study):
+        assert set(study) == {"DeiT-T", "DeiT-B"}

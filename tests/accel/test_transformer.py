@@ -1,0 +1,50 @@
+"""Transformer traffic models (DeiT-T / DeiT-B)."""
+
+import pytest
+
+from repro.accel.transformer import DEIT_BASE, DEIT_TINY, TransformerConfig
+from repro.errors import ConfigError
+
+
+class TestParameterCounts:
+    def test_deit_tiny_params(self):
+        """DeiT-T is a ~5.7 M parameter model."""
+        assert DEIT_TINY.total_params == pytest.approx(5.7e6, rel=0.05)
+
+    def test_deit_base_params(self):
+        """DeiT-B is a ~86 M parameter model."""
+        assert DEIT_BASE.total_params == pytest.approx(86e6, rel=0.05)
+
+    def test_base_much_bigger_than_tiny(self):
+        assert DEIT_BASE.total_params > 10 * DEIT_TINY.total_params
+
+
+class TestTraffic:
+    def test_reads_dominated_by_weights(self):
+        assert DEIT_TINY.read_fraction > 0.5
+        assert DEIT_BASE.read_fraction > DEIT_TINY.read_fraction
+
+    def test_batch_scales_activations_not_weights(self):
+        single = DEIT_TINY.inference_read_bytes(batch=1)
+        double = DEIT_TINY.inference_read_bytes(batch=2)
+        # weights are read once per batch, activations scale
+        assert single < double < 2 * single
+
+    def test_total_is_reads_plus_writes(self):
+        assert DEIT_TINY.inference_total_bytes() == (
+            DEIT_TINY.inference_read_bytes()
+            + DEIT_TINY.inference_write_bytes())
+
+    def test_batch_validation(self):
+        with pytest.raises(ConfigError):
+            DEIT_TINY.inference_read_bytes(batch=0)
+
+
+class TestValidation:
+    def test_heads_must_divide_dim(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig("bad", 2, 100, 3, 4.0, 16)
+
+    def test_positive_dimensions(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig("bad", 0, 64, 2, 4.0, 16)

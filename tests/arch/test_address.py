@@ -1,0 +1,86 @@
+"""Eq. (1)-(6) address mapping: correctness and bijectivity."""
+
+import pytest
+
+from repro.arch.address import AddressMapper, DecomposedAddress
+from repro.arch.organization import MemoryOrganization
+from repro.errors import AddressError
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return AddressMapper(MemoryOrganization.comet(4), channels=8)
+
+
+class TestEquations:
+    def test_eq2_to_eq6_comet(self, mapper):
+        """With Sc=1: ID2=0, SubarrayID = int(Row/Mr), ROW/COL are mods."""
+        org = mapper.org
+        row_id, col_id = 1234, 77
+        location = mapper.map_coordinates(DecomposedAddress(0, 2, row_id, col_id))
+        assert location.subarray_id == row_id // org.rows_per_subarray
+        assert location.subarray_row == row_id % org.rows_per_subarray
+        assert location.subarray_col == col_id % org.cols_per_subarray
+        assert location.bank == 2
+
+    def test_subarray_id_range(self, mapper):
+        org = mapper.org
+        last = mapper.subarray_id(org.rows_per_bank - 1, 0)
+        assert last == org.row_subarrays - 1
+
+    def test_out_of_range_coordinates(self, mapper):
+        org = mapper.org
+        with pytest.raises(AddressError):
+            mapper.map_coordinates(DecomposedAddress(0, 0, org.rows_per_bank, 0))
+        with pytest.raises(AddressError):
+            mapper.map_coordinates(DecomposedAddress(0, 99, 0, 0))
+        with pytest.raises(AddressError):
+            mapper.map_coordinates(DecomposedAddress(9, 0, 0, 0))
+
+
+class TestByteAddresses:
+    def test_line_is_128_bytes(self, mapper):
+        assert mapper.line_bytes == 128
+
+    def test_capacity_is_8gib(self, mapper):
+        assert mapper.capacity_bytes == 8 * 2**30
+
+    def test_consecutive_lines_rotate_banks(self, mapper):
+        banks = [mapper.decompose(i * 128).bank for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_compose_decompose_roundtrip(self, mapper):
+        for address in (0, 128, 4096, 123456 * 128, mapper.capacity_bytes - 128):
+            decomposed = mapper.decompose(address)
+            assert mapper.compose(decomposed) == address
+
+    def test_distinct_lines_map_to_distinct_cells(self, mapper):
+        seen = set()
+        for line in range(0, 4096):
+            loc = mapper.map_address(line * 128)
+            key = (loc.channel, loc.bank, loc.subarray_id,
+                   loc.subarray_row, loc.subarray_col)
+            assert key not in seen
+            seen.add(key)
+
+    def test_address_bounds(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decompose(-1)
+        with pytest.raises(AddressError):
+            mapper.decompose(mapper.capacity_bytes)
+
+
+class TestCosmosMapping:
+    def test_cosmos_grid_uses_dense_fallback(self):
+        """Sc=512 > sqrt(Sr): literal Eq. (4) would collide, the dense
+        form must stay bijective."""
+        mapper = AddressMapper(MemoryOrganization.cosmos())
+        org = mapper.org
+        seen = set()
+        for row in (0, 31, 32, 16383):
+            for col in (0, 31, 32, 16383):
+                sid = mapper.subarray_id(row, col)
+                key = (sid, row % 32, col % 32)
+                assert key not in seen
+                seen.add(key)
+                assert 0 <= sid < org.subarrays_per_bank

@@ -1,0 +1,97 @@
+"""Endurance model and Start-Gap wear leveling."""
+
+import pytest
+
+from repro.arch.endurance import EnduranceModel, StartGapWearLeveler
+from repro.errors import AddressError, ConfigError
+
+
+class TestEnduranceModel:
+    def test_uniform_writes_give_long_lifetime(self):
+        """At the Fig. 9 write loads with uniform wear, one channel device
+        lasts ~a decade; the 8-channel part spreads writes 8x further."""
+        model = EnduranceModel()
+        # One channel device at 3 GB/s of writes, ideal leveling.
+        assert model.lifetime_years(3.0) > 5.0
+        # The full part's write stream splits across 8 channel devices.
+        assert model.lifetime_years(3.0 / 8) > 40.0
+
+    def test_lifetime_inverse_in_bandwidth(self):
+        model = EnduranceModel()
+        assert model.lifetime_years(1.0) == pytest.approx(
+            2.0 * model.lifetime_years(2.0), rel=1e-9)
+
+    def test_leveling_efficiency_scales_lifetime(self):
+        model = EnduranceModel()
+        full = model.lifetime_years(3.0, leveling_efficiency=1.0)
+        half = model.lifetime_years(3.0, leveling_efficiency=0.5)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_hot_line_dies_fast_without_leveling(self):
+        """A single line rewritten at 1 MHz burns out in under an hour —
+        the reason wear leveling is mandatory."""
+        model = EnduranceModel()
+        years = model.hot_line_lifetime_years(1e6)
+        assert years * 365.25 * 24 < 1.0
+
+    def test_validation(self):
+        model = EnduranceModel()
+        with pytest.raises(ConfigError):
+            model.lifetime_years(0.0)
+        with pytest.raises(ConfigError):
+            model.lifetime_years(1.0, leveling_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            EnduranceModel(cell_endurance_cycles=0.0)
+
+
+class TestStartGap:
+    def test_mapping_bijective_initially(self):
+        leveler = StartGapWearLeveler(rows=16)
+        assert leveler.mapping_is_bijective()
+
+    def test_mapping_stays_bijective_through_rotation(self):
+        leveler = StartGapWearLeveler(rows=8, gap_move_interval=1)
+        for _ in range(100):     # several full laps
+            leveler.record_write()
+            assert leveler.mapping_is_bijective()
+
+    def test_gap_rotates_the_map(self):
+        leveler = StartGapWearLeveler(rows=8, gap_move_interval=1)
+        before = [leveler.physical_row(r) for r in range(8)]
+        for _ in range(9 * 3):   # three full gap laps
+            leveler.record_write()
+        after = [leveler.physical_row(r) for r in range(8)]
+        assert before != after
+
+    def test_hot_row_visits_many_physical_rows(self):
+        """The point of Start-Gap: one hot logical row spreads its writes
+        over (nearly) all physical rows."""
+        leveler = StartGapWearLeveler(rows=16, gap_move_interval=1)
+        visited = set()
+        for _ in range(17 * 20):
+            visited.add(leveler.physical_row(5))
+            leveler.record_write()
+        assert len(visited) >= leveler.rows
+
+    def test_write_overhead_matches_interval(self):
+        leveler = StartGapWearLeveler(rows=16, gap_move_interval=100)
+        for _ in range(10_000):
+            leveler.record_write()
+        assert leveler.write_overhead() == pytest.approx(0.01, rel=0.05)
+
+    def test_leveling_efficiency_high(self):
+        leveler = StartGapWearLeveler(rows=512, gap_move_interval=100)
+        for _ in range(5_000):
+            leveler.record_write()
+        assert leveler.leveling_efficiency() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StartGapWearLeveler(rows=1)
+        with pytest.raises(ConfigError):
+            StartGapWearLeveler(rows=8, gap_move_interval=0)
+        leveler = StartGapWearLeveler(rows=8)
+        with pytest.raises(AddressError):
+            leveler.physical_row(8)
+        with pytest.raises(ConfigError):
+            leveler.leveling_efficiency(hot_fraction=0.0)

@@ -1,0 +1,132 @@
+"""Functional COMET memory: data round-trips and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.arch.functional import FunctionalCometMemory
+from repro.device.mlc import paper_loss_tolerance_db
+from repro.errors import AddressError, ConfigError
+
+
+@pytest.fixture()
+def memory():
+    return FunctionalCometMemory()
+
+
+def random_line(seed: int, line_bytes: int = 128) -> bytes:
+    rng = np.random.RandomState(seed)
+    return bytes(rng.randint(0, 256, line_bytes, dtype=np.uint8))
+
+
+class TestRoundTrip:
+    def test_single_line(self, memory):
+        data = random_line(1)
+        memory.write_line(0, data)
+        assert memory.read_line(0) == data
+        assert memory.stats.level_errors == 0
+
+    def test_many_random_addresses(self, memory):
+        rng = np.random.RandomState(7)
+        lines = rng.randint(0, memory.capacity_bytes // 128, 64)
+        payloads = {}
+        for index, line in enumerate(lines):
+            address = int(line) * 128
+            payloads[address] = random_line(index)
+            memory.write_line(address, payloads[address])
+        for address, expected in payloads.items():
+            assert memory.read_line(address) == expected
+        assert memory.stats.cell_error_rate == 0.0
+
+    def test_far_rows_survive_thanks_to_lut(self, memory):
+        """Rows deep in the subarray lose up to 45 x 0.33 dB before their
+        SOA stage — the gain LUT must keep them readable at b=4."""
+        org = memory.org
+        # Row 45 of some subarray = line index 45 within a bank stride.
+        address = 45 * org.banks * 128
+        location = memory.write_line(address, random_line(3))
+        assert location.subarray_row == 45
+        assert memory.read_line(address) == random_line(3)
+
+    def test_overwrite_updates(self, memory):
+        memory.write_line(128, random_line(1))
+        memory.write_line(128, random_line(2))
+        assert memory.read_line(128) == random_line(2)
+
+    def test_blob_roundtrip(self, memory):
+        blob = bytes(range(256)) * 3 + b"tail"
+        memory.write_blob(0, blob)
+        assert memory.read_blob(0, len(blob)) == blob
+
+
+class TestAddressing:
+    def test_unaligned_address_rejected(self, memory):
+        with pytest.raises(AddressError):
+            memory.write_line(64, random_line(1))
+
+    def test_unwritten_read_rejected(self, memory):
+        with pytest.raises(AddressError):
+            memory.read_line(1024)
+
+    def test_wrong_line_size_rejected(self, memory):
+        with pytest.raises(ConfigError):
+            memory.write_line(0, b"short")
+
+    def test_out_of_capacity(self, memory):
+        with pytest.raises(AddressError):
+            memory.write_line(memory.capacity_bytes, random_line(1))
+
+
+class TestFailureInjection:
+    def test_disabled_lut_corrupts_far_rows(self):
+        """Section III.E in reverse: without loss-aware gain tuning, rows
+        beyond the b=4 reach (0 extra rows!) decode wrongly."""
+        memory = FunctionalCometMemory(gain_lut_enabled=False)
+        org = memory.org
+        far_address = 40 * org.banks * 128     # subarray row 40
+        memory.write_line(far_address, random_line(5))
+        memory.read_line(far_address)
+        assert memory.stats.level_errors > 0
+
+    def test_disabled_lut_row_zero_still_reads(self):
+        """Row 0 sits at its SOA stage: no loss, no gain needed."""
+        memory = FunctionalCometMemory(gain_lut_enabled=False)
+        memory.write_line(0, random_line(6))
+        assert memory.read_line(0) == random_line(6)
+
+    def test_loss_beyond_tolerance_breaks_readout(self):
+        """Uncompensated loss above the b=4 tolerance aliases levels.
+
+        Bright levels are the sensitive ones: a multiplicative loss moves
+        level 0 (T=0.95) by several spacings while barely moving the dark
+        levels — so the victim payload is all level 0 (0x00 bytes).
+        """
+        tolerance = paper_loss_tolerance_db(4)
+        memory = FunctionalCometMemory(extra_loss_db=3 * tolerance)
+        memory.write_line(0, bytes(128))            # every cell at level 0
+        memory.read_line(0)
+        assert memory.stats.level_errors > 0
+
+    def test_small_drift_absorbed_by_level_decision(self):
+        """Programming noise below half a level spacing is harmless."""
+        memory = FunctionalCometMemory(transmission_noise_sigma=0.005)
+        for index in range(8):
+            memory.write_line(index * 128, random_line(index))
+            assert memory.read_line(index * 128) == random_line(index)
+
+    def test_large_drift_corrupts(self):
+        memory = FunctionalCometMemory(transmission_noise_sigma=0.06)
+        corrupted = 0
+        for index in range(8):
+            data = random_line(index)
+            memory.write_line(index * 128, data)
+            if memory.read_line(index * 128) != data:
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_error_rate_accounting(self):
+        memory = FunctionalCometMemory(gain_lut_enabled=False)
+        org = memory.org
+        memory.write_line(40 * org.banks * 128, random_line(9))
+        memory.read_line(40 * org.banks * 128)
+        assert 0.0 < memory.stats.cell_error_rate <= 1.0
+        assert memory.stats.reads == memory.stats.writes == 1

@@ -1,0 +1,96 @@
+"""Dynamic laser power management extension (future work, Ref. [43])."""
+
+import pytest
+
+from repro.arch.laser_management import (
+    LaserPowerManager,
+    managed_epb_pj,
+)
+from repro.errors import ConfigError
+
+
+class TestGovernor:
+    def test_starts_asleep(self):
+        manager = LaserPowerManager(full_power_w=24.0)
+        assert not manager.is_awake
+        assert manager.access_penalty_ns() == 20.0
+
+    def test_wakes_under_load(self):
+        manager = LaserPowerManager(full_power_w=24.0)
+        for _ in range(10):
+            manager.observe(0.8)
+        assert manager.is_awake
+        assert manager.access_penalty_ns() == 0.0
+
+    def test_sleeps_when_idle(self):
+        manager = LaserPowerManager(full_power_w=24.0)
+        for _ in range(10):
+            manager.observe(0.8)
+        for _ in range(50):
+            manager.observe(0.0)
+        assert not manager.is_awake
+
+    def test_hysteresis_prevents_flapping(self):
+        manager = LaserPowerManager(full_power_w=24.0,
+                                    wake_threshold=0.2, sleep_threshold=0.05)
+        for _ in range(20):
+            manager.observe(0.5)
+        assert manager.is_awake
+        # Utilization between thresholds: stays awake.
+        for _ in range(3):
+            manager.observe(0.1)
+        assert manager.is_awake
+
+    def test_supplied_fraction_tracks_utilization_when_awake(self):
+        manager = LaserPowerManager(full_power_w=24.0, sleep_fraction=0.1)
+        for _ in range(10):
+            manager.observe(0.9)
+        assert manager.supplied_fraction(0.6) == pytest.approx(0.6)
+        assert manager.supplied_fraction(0.02) == pytest.approx(0.1)
+
+    def test_average_power_below_full_for_bursty_load(self):
+        manager = LaserPowerManager(full_power_w=24.0)
+        trace = [0.9] * 10 + [0.0] * 90
+        assert manager.average_power_w(trace) < 0.5 * 24.0
+
+    def test_trajectory_timestamps(self):
+        manager = LaserPowerManager(full_power_w=1.0)
+        states = manager.run_trajectory([0.1, 0.2], epoch_ns=50.0)
+        assert [s.time_ns for s in states] == [0.0, 50.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LaserPowerManager(full_power_w=0.0)
+        with pytest.raises(ConfigError):
+            LaserPowerManager(full_power_w=1.0, sleep_fraction=1.0)
+        with pytest.raises(ConfigError):
+            LaserPowerManager(full_power_w=1.0, wake_threshold=0.01,
+                              sleep_threshold=0.5)
+        manager = LaserPowerManager(full_power_w=1.0)
+        with pytest.raises(ConfigError):
+            manager.observe(1.5)
+        with pytest.raises(ConfigError):
+            manager.average_power_w([])
+
+
+class TestClosedForm:
+    def test_managed_never_exceeds_always_on(self):
+        for utilization in (0.05, 0.3, 1.0):
+            always_on, managed = managed_epb_pj(24.0, 10.0, utilization)
+            assert managed <= always_on + 1e-12
+
+    def test_full_utilization_no_benefit(self):
+        always_on, managed = managed_epb_pj(24.0, 10.0, 1.0)
+        assert managed == pytest.approx(always_on)
+
+    def test_low_utilization_big_benefit(self):
+        """At 10 % utilization the managed rail saves >4x EPB."""
+        always_on, managed = managed_epb_pj(24.0, 10.0, 0.1,
+                                            sleep_fraction=0.1)
+        assert always_on / managed > 4.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            managed_epb_pj(24.0, 0.0, 0.5)
+        with pytest.raises(ConfigError):
+            managed_epb_pj(24.0, 10.0, 0.0)

@@ -1,0 +1,96 @@
+"""Gain LUT sizing and the loss-aware reliability rules (Section IV.A)."""
+
+import pytest
+
+from repro.arch.lut import GainLUT
+from repro.arch.organization import MemoryOrganization
+from repro.arch.reliability import (
+    active_soa_count,
+    lut_granularity_rows,
+    max_gain_error_db,
+    rows_passable,
+    soa_row_interval,
+    total_soa_count,
+    worst_row_path_loss_db,
+)
+from repro.device.mlc import paper_loss_tolerance_db
+from repro.errors import ConfigError
+
+
+class TestReliabilityRules:
+    def test_soa_interval_is_46(self):
+        """floor(15.2 dB / 0.33 dB) = 46 (Section III.E)."""
+        assert soa_row_interval() == 46
+
+    @pytest.mark.parametrize("bits,expected", [(1, 9), (2, 3), (4, 0)])
+    def test_rows_passable(self, bits, expected):
+        """b=1 signals pass 9 rows beyond the source (Section IV.A)."""
+        assert rows_passable(bits) == expected
+
+    @pytest.mark.parametrize("bits,expected", [(1, 10), (2, 4), (4, 1)])
+    def test_lut_granularity(self, bits, expected):
+        assert lut_granularity_rows(bits) == expected
+
+    def test_soa_counts_formulas(self):
+        org = MemoryOrganization.comet(4)
+        # B * Nr * Nc / 46
+        assert total_soa_count(org) == -(-4 * 2097152 * 256 // 46)
+        # B * Mr * Mc / 46
+        assert active_soa_count(org) == -(-4 * 512 * 256 // 46)
+
+    def test_active_far_fewer_than_total(self):
+        org = MemoryOrganization.comet(4)
+        assert active_soa_count(org) * 1000 < total_soa_count(org)
+
+    def test_worst_path_loss_within_soa_gain(self):
+        org = MemoryOrganization.comet(4)
+        assert worst_row_path_loss_db(org) <= 15.2
+
+    def test_gain_error_within_tolerance(self):
+        for bits in (1, 2, 4):
+            assert max_gain_error_db(bits) <= paper_loss_tolerance_db(bits)
+
+
+class TestGainLut:
+    @pytest.mark.parametrize("bits,expected", [(1, 52), (2, 12), (4, 46)])
+    def test_paper_entry_counts(self, bits, expected):
+        """Section IV.A quotes 52 / 12 / 46 entries for b = 1 / 2 / 4."""
+        lut = GainLUT(rows_per_subarray=512, bits_per_cell=bits)
+        assert lut.paper_entry_count == expected
+
+    def test_b1_distinct_entries_is_5(self):
+        """'...making the entry requirement just 5 parameters' (b=1)."""
+        assert GainLUT(512, 1).distinct_entries == 5
+
+    def test_gain_monotone_within_period(self):
+        lut = GainLUT(512, 4)
+        gains = [lut.gain_db_for_row(row) for row in range(46)]
+        assert all(b >= a for a, b in zip(gains, gains[1:]))
+
+    def test_gain_resets_each_soa_period(self):
+        lut = GainLUT(512, 4)
+        assert lut.gain_db_for_row(46) == lut.gain_db_for_row(0)
+        assert lut.gain_db_for_row(47) == lut.gain_db_for_row(1)
+
+    def test_quantization_errs_toward_overgain(self):
+        """Quantized gain must never under-compensate (levels alias down)."""
+        lut = GainLUT(512, 1)
+        for row in range(100):
+            exact = (row % 46) * 0.33
+            assert lut.gain_db_for_row(row) >= exact - 1e-9
+
+    def test_residual_bounded_by_granularity(self):
+        lut = GainLUT(512, 2)
+        bound = lut.granularity_rows * 0.33 + 1e-9
+        for row in range(92):
+            assert lut.residual_loss_db_for_row(row) <= bound
+
+    def test_table_lists_distinct_gains(self):
+        lut = GainLUT(512, 2)
+        table = lut.table()
+        assert len(table) == lut.distinct_entries
+        assert all(b > a for a, b in zip(table, table[1:]))
+
+    def test_row_bounds(self):
+        with pytest.raises(ConfigError):
+            GainLUT(512, 4).gain_db_for_row(512)

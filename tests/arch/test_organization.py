@@ -1,0 +1,69 @@
+"""Memory organization algebra."""
+
+import pytest
+
+from repro.arch.organization import MemoryOrganization
+from repro.errors import ConfigError
+
+
+class TestComet:
+    @pytest.mark.parametrize("bits,cols", [(1, 1024), (2, 512), (4, 256)])
+    def test_paper_configurations(self, bits, cols):
+        org = MemoryOrganization.comet(bits)
+        assert org.banks == 4
+        assert org.row_subarrays == 4096
+        assert org.rows_per_subarray == 512
+        assert org.cols_per_subarray == cols
+        assert org.col_subarrays == 1
+
+    def test_capacity_one_gib_per_channel(self):
+        for bits in (1, 2, 4):
+            org = MemoryOrganization.comet(bits)
+            assert org.capacity_bytes == 2**30
+
+    def test_row_bits_constant_across_densities(self):
+        """Section IV.A: Nc shrinks as b grows so the line size holds."""
+        row_bits = {MemoryOrganization.comet(b).row_bits for b in (1, 2, 4)}
+        assert row_bits == {1024}
+
+    def test_wavelengths_required(self):
+        assert MemoryOrganization.comet(4).wavelengths_required == 256
+        assert MemoryOrganization.comet(1).wavelengths_required == 1024
+
+    def test_mr_counts(self):
+        org = MemoryOrganization.comet(4)
+        assert org.access_mr_count == 2 * 256
+        assert org.row_access_mr_count == 2 * 256
+
+    def test_subarray_grid_is_64(self):
+        assert MemoryOrganization.comet(4).subarray_grid_side == 64
+
+    def test_describe(self):
+        assert MemoryOrganization.comet(4).describe() \
+            == "(4 x 4096 x 512 x 256 x 4)"
+
+
+class TestCosmos:
+    def test_section_iv_b_shape(self):
+        org = MemoryOrganization.cosmos()
+        assert org.banks == 16
+        assert org.rows_per_bank == 16384
+        assert org.cols_per_bank == 16384
+        assert org.bits_per_cell == 2
+        assert org.rows_per_subarray == org.cols_per_subarray == 32
+
+    def test_capacity_matches_comet_channel_device(self):
+        """Both photonic devices hold 1 GiB (the 8 GB part is 8 of them)."""
+        assert MemoryOrganization.cosmos().capacity_bits \
+            == MemoryOrganization.comet(4).capacity_bits == 2**33
+
+
+class TestValidation:
+    def test_rejects_zero_fields(self):
+        with pytest.raises(ConfigError):
+            MemoryOrganization(0, 1, 1, 1, 1, 1)
+
+    def test_non_square_grid_raises(self):
+        org = MemoryOrganization(4, 48, 1, 512, 256, 4)
+        with pytest.raises(ConfigError):
+            org.subarray_grid_side

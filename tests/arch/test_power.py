@@ -1,0 +1,86 @@
+"""COMET power model (Figs. 7/8 components)."""
+
+import pytest
+
+from repro.arch.organization import MemoryOrganization
+from repro.arch.power import CometPowerModel, PowerBreakdown, bit_density_study
+from repro.config import TABLE_I, replace
+from repro.errors import ConfigError
+
+
+class TestComponents:
+    def test_soa_power_formula(self):
+        """(B * Mr * Mc / 46) * 1.4 mW, Section III.E verbatim."""
+        org = MemoryOrganization.comet(4)
+        model = CometPowerModel(org)
+        expected = -(-4 * 512 * 256 // 46) * 1.4e-3
+        assert model.soa_power_w() == pytest.approx(expected, rel=1e-6)
+
+    def test_tuning_power_formula(self):
+        """B * 2 * Mc * P_EO, Section III.E."""
+        org = MemoryOrganization.comet(4)
+        model = CometPowerModel(org)
+        assert model.tuning_power_w() == pytest.approx(
+            4 * 2 * 256 * TABLE_I.eo_tuning_power_w)
+
+    def test_laser_power_includes_wall_plug(self):
+        org = MemoryOrganization.comet(4)
+        model = CometPowerModel(org)
+        budget = model.laser_path_budget()
+        optical = (model.bank_input_power_w / budget.transmission
+                   * org.wavelengths_required * org.banks)
+        assert model.laser_power_w() == pytest.approx(
+            optical / TABLE_I.laser_wall_plug_efficiency)
+
+    def test_breakdown_total(self):
+        model = CometPowerModel(MemoryOrganization.comet(4))
+        stack = model.breakdown()
+        assert stack.total_w == pytest.approx(
+            stack.laser_w + stack.soa_w + stack.tuning_w)
+
+    def test_write_power_mode_costs_more_laser(self):
+        org = MemoryOrganization.comet(4)
+        read_mode = CometPowerModel(org, bank_input_power_w=1e-3)
+        write_mode = CometPowerModel(org, bank_input_power_w=5e-3)
+        assert write_mode.laser_power_w() == pytest.approx(
+            5 * read_mode.laser_power_w())
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CometPowerModel(MemoryOrganization.comet(4),
+                            bank_input_power_w=0.0)
+
+
+class TestFig7Study:
+    def test_power_halves_per_density_step(self):
+        """Fig. 7's shape: b=1 -> b=2 -> b=4 roughly halves total power."""
+        stacks = bit_density_study()
+        assert stacks[1].total_w / stacks[2].total_w == pytest.approx(2.0, rel=0.05)
+        assert stacks[2].total_w / stacks[4].total_w == pytest.approx(2.0, rel=0.05)
+
+    def test_b4_selected_as_lowest(self):
+        stacks = bit_density_study()
+        assert min(stacks.values(), key=lambda s: s.total_w) is stacks[4]
+
+    def test_soa_dominates_stack(self):
+        """With Table I values the SOA mesh is the largest component."""
+        stacks = bit_density_study()
+        for stack in stacks.values():
+            assert stack.soa_w > stack.laser_w > stack.tuning_w
+
+    def test_parameter_sensitivity(self):
+        """Halving SOA power must drop the stack accordingly (ablation)."""
+        cheap_soa = replace(TABLE_I, intra_soa_power_w=0.7e-3)
+        base = CometPowerModel(MemoryOrganization.comet(4)).breakdown()
+        cheap = CometPowerModel(MemoryOrganization.comet(4),
+                                params=cheap_soa).breakdown()
+        assert cheap.soa_w == pytest.approx(base.soa_w / 2)
+        assert cheap.laser_w == pytest.approx(base.laser_w)
+
+
+class TestBreakdownDataclass:
+    def test_as_dict(self):
+        stack = PowerBreakdown("X", 1.0, 2.0, 0.5)
+        d = stack.as_dict()
+        assert d["total"] == pytest.approx(3.5)
+        assert set(d) == {"laser", "soa", "tuning", "interface", "total"}

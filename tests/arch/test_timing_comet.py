@@ -1,0 +1,69 @@
+"""Table II timing derivation and the CometArchitecture facade."""
+
+import pytest
+
+from repro.arch import CometArchitecture
+from repro.config import COMET_TIMINGS
+from repro.device import ProgrammingMode
+from repro.errors import ConfigError
+
+
+class TestDerivedTimings:
+    def test_read_matches_table_ii(self, comet):
+        derived = comet.derived_timings()
+        assert derived.read_time_ns == pytest.approx(
+            COMET_TIMINGS.read_time_ns, rel=0.05)
+
+    def test_write_within_table_ii_envelope(self, comet):
+        derived = comet.derived_timings()
+        assert derived.max_write_time_ns <= COMET_TIMINGS.write_time_ns
+        assert derived.max_write_time_ns > 0.5 * COMET_TIMINGS.write_time_ns
+
+    def test_erase_close_to_table_ii(self, comet):
+        derived = comet.derived_timings()
+        assert derived.erase_time_ns == pytest.approx(
+            COMET_TIMINGS.erase_time_ns, rel=0.15)
+
+    def test_deviations_reported(self, comet):
+        deviations = comet.derived_timings().deviations()
+        assert set(deviations) == {"read", "write", "erase", "burst"}
+        assert all(abs(v) < 0.5 for v in deviations.values())
+
+
+class TestFacade:
+    def test_default_is_paper_configuration(self, comet):
+        assert comet.bits_per_cell == 4
+        assert comet.material.name == "GST"
+        assert comet.organization.describe() == "(4 x 4096 x 512 x 256 x 4)"
+
+    def test_part_capacity_8gib(self, comet):
+        assert comet.capacity_bytes == 8 * 2**30
+
+    def test_reset_energies_via_facade(self, comet):
+        assert comet.reset_energy_pj(
+            ProgrammingMode.CRYSTALLINE_DEPOSITED) == pytest.approx(880, rel=0.05)
+        assert comet.reset_energy_pj(
+            ProgrammingMode.AMORPHOUS_DEPOSITED) == pytest.approx(280, rel=0.05)
+
+    def test_describe_mentions_key_facts(self, comet):
+        text = comet.describe()
+        assert "COMET-4b" in text
+        assert "256 wavelengths" in text
+
+    def test_power_breakdown_positive(self, comet):
+        stack = comet.power_breakdown()
+        assert stack.total_w > 0.0
+        assert stack.name == "COMET-4b"
+
+    def test_other_bit_densities_construct(self):
+        for bits in (1, 2):
+            arch = CometArchitecture(bits_per_cell=bits)
+            assert arch.bits_per_cell == bits
+            assert arch.capacity_bytes == 8 * 2**30
+
+    def test_invalid_bit_density(self):
+        with pytest.raises(ConfigError):
+            CometArchitecture(bits_per_cell=3)
+
+    def test_lut_matches_bits(self, comet):
+        assert comet.lut.paper_entry_count == 46

@@ -1,0 +1,71 @@
+"""COSMOS baseline: Section IV.B re-modeling."""
+
+import pytest
+
+from repro.baselines.cosmos import (
+    COSMOS_LEVELS,
+    COSMOS_WORST_CELL_LOSS_DB,
+    CosmosArchitecture,
+    cosmos_power_breakdown,
+)
+from repro.exp.fig8 import run as run_fig8
+
+
+@pytest.fixture(scope="module")
+def cosmos():
+    return CosmosArchitecture()
+
+
+class TestRemodeling:
+    def test_bit_density_reduced_to_2(self, cosmos):
+        """Crosstalk forces COSMOS from 4 to 2 bits/cell (Section IV.B)."""
+        assert cosmos.bits_per_cell == 2
+
+    def test_four_asymmetric_levels(self, cosmos):
+        assert COSMOS_LEVELS == (0.99, 0.90, 0.81, 0.72)
+        assert cosmos.level_spacing() == pytest.approx(0.09)
+
+    def test_worst_cell_loss_1_4_db(self):
+        """Transmission 0.72 -> 1.4 dB worst in-path loss."""
+        assert COSMOS_WORST_CELL_LOSS_DB == pytest.approx(1.43, abs=0.02)
+
+    def test_subtractive_read_occupancy(self, cosmos):
+        """read + erase + read = 25 + 250 + 25 ns."""
+        assert cosmos.effective_read_occupancy_ns() == pytest.approx(300.0)
+
+    def test_write_occupancy_includes_erase(self, cosmos):
+        assert cosmos.effective_write_occupancy_ns() == pytest.approx(1850.0)
+
+    def test_write_energy_uses_750pj_pulses(self, cosmos):
+        """512 cells/line x 750 pJ x 2 (erase + program)."""
+        cells = 1024 // 2
+        assert cosmos.write_energy_per_line_j == pytest.approx(
+            cosmos.write_energy_per_line_j)
+        assert cosmos.write_energy_per_line_j() == pytest.approx(
+            2 * cells * 750e-12)
+
+    def test_plain_read_mode_available(self):
+        plain = CosmosArchitecture(subtractive_read=False)
+        assert plain.effective_read_occupancy_ns() == pytest.approx(25.0)
+
+
+class TestPower:
+    def test_breakdown_components_positive(self, cosmos):
+        stack = cosmos.power_breakdown()
+        assert stack.laser_w > 0.0
+        assert stack.soa_w > 0.0
+        assert stack.tuning_w == 0.0   # no EO-tuned rings in the crossbar
+
+    def test_laser_dominates(self, cosmos):
+        """5 mW row+column+erase streams at 16 banks: laser-heavy."""
+        stack = cosmos.power_breakdown()
+        assert stack.laser_w > stack.soa_w
+
+    def test_comet_power_fraction_near_paper(self):
+        """Paper: COMET consumes ~26 % of COSMOS's power; we land within
+        [0.2, 0.45]."""
+        result = run_fig8()
+        assert 0.20 <= result.power_ratio <= 0.45
+
+    def test_convenience_breakdown(self):
+        assert cosmos_power_breakdown().total_w > 0.0

@@ -1,0 +1,116 @@
+"""Functional COSMOS crossbar: live crosstalk on real stored data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cosmos_functional import FunctionalCosmosMemory
+from repro.errors import AddressError, ConfigError
+
+
+def row_pattern(seed: int, cols: int = 32, levels: int = 4) -> np.ndarray:
+    return np.random.RandomState(seed).randint(0, levels, cols)
+
+
+class TestBasicOperation:
+    def test_write_read_roundtrip_single_row(self):
+        memory = FunctionalCosmosMemory()
+        data = row_pattern(1)
+        memory.write_row(10, data)
+        assert np.array_equal(memory.read_row(10), data)
+
+    def test_two_bits_per_cell(self):
+        memory = FunctionalCosmosMemory()
+        assert memory.bits_per_cell == 2
+        assert memory.num_levels == 4
+
+    def test_subtractive_read_erases_without_writeback(self):
+        memory = FunctionalCosmosMemory(write_back_on_read=False)
+        memory.write_row(5, row_pattern(2))
+        memory.read_row(5)
+        with pytest.raises(AddressError):
+            memory.read_row(5)
+
+    def test_writeback_restores(self):
+        memory = FunctionalCosmosMemory(write_back_on_read=True)
+        data = row_pattern(3)
+        memory.write_row(5, data)
+        first = memory.read_row(5)
+        second = memory.read_row(5)
+        assert np.array_equal(first, second)
+
+    def test_validation(self):
+        memory = FunctionalCosmosMemory()
+        with pytest.raises(AddressError):
+            memory.write_row(99, row_pattern(1))
+        with pytest.raises(ConfigError):
+            memory.write_row(0, np.zeros(7, dtype=int))
+        with pytest.raises(ConfigError):
+            memory.write_row(0, np.full(32, 9))
+        with pytest.raises(ConfigError):
+            FunctionalCosmosMemory(rows=1)
+
+
+class TestCrosstalkCorruption:
+    def test_adjacent_write_disturbs_stored_row(self):
+        """The Fig. 1(b)/Fig. 2 mechanism on live data: writes to row 11
+        drift row 10's cells upward until levels flip."""
+        memory = FunctionalCosmosMemory()
+        victim = np.zeros(32, dtype=int)   # most disturb-sensitive level
+        memory.write_row(10, victim)
+        reference = {10: victim}
+        for _ in range(4):                 # the paper's four writes
+            memory.write_row(11, row_pattern(4))
+        corrupted, fraction = memory.corruption_report(reference)
+        assert corrupted > 0
+        assert fraction > 0.5
+
+    def test_distant_rows_unaffected(self):
+        memory = FunctionalCosmosMemory()
+        victim = np.zeros(32, dtype=int)
+        memory.write_row(2, victim)
+        memory.write_row(20, row_pattern(5))
+        corrupted, _ = memory.corruption_report({2: victim})
+        assert corrupted == 0
+
+    def test_even_reads_disturb_neighbours(self):
+        """With write-back, the subtractive read's restore write hits the
+        neighbours too — COSMOS reads are not free of disturbance."""
+        memory = FunctionalCosmosMemory(write_back_on_read=True)
+        victim = np.zeros(32, dtype=int)
+        memory.write_row(10, victim)
+        memory.write_row(11, row_pattern(6))
+        events_before = memory.stats.crosstalk_events
+        memory.read_row(11)                # restore write -> more crosstalk
+        assert memory.stats.crosstalk_events > events_before
+
+    def test_crosstalk_event_accounting(self):
+        memory = FunctionalCosmosMemory()
+        events = memory.write_row(10, row_pattern(7))
+        assert events == 2 * memory.cols   # both neighbour rows hit
+        edge_events = memory.write_row(0, row_pattern(8))
+        assert edge_events == memory.cols  # only one neighbour exists
+
+
+class TestComparisonWithComet:
+    def test_same_pattern_comet_survives_cosmos_corrupts(self):
+        """The executable Fig. 2 A/B: identical stored data and write
+        traffic; COMET's isolated cells survive, the crossbar's do not."""
+        from repro.arch.functional import FunctionalCometMemory
+
+        comet = FunctionalCometMemory()
+        cosmos = FunctionalCosmosMemory()
+
+        payload = bytes(128)               # brightest levels: sensitive
+        comet.write_line(0, payload)
+        victim = np.zeros(32, dtype=int)
+        cosmos.write_row(10, victim)
+
+        # Aggressor traffic: writes near the victims.
+        for index in range(4):
+            comet.write_line((index + 1) * comet.org.banks * 128,
+                             bytes([0x55] * 128))
+            cosmos.write_row(11, row_pattern(index + 10))
+
+        assert comet.read_line(0) == payload               # intact
+        corrupted, _ = cosmos.corruption_report({10: victim})
+        assert corrupted > 16                              # corrupted

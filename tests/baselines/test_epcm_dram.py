@@ -1,0 +1,71 @@
+"""EPCM and DRAM baseline configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.dram import DRAM_CONFIGS, dram_config
+from repro.baselines.epcm import EPCM_MM, EpcmConfig
+from repro.errors import ConfigError
+
+
+class TestEpcm:
+    def test_write_is_set_limited(self):
+        assert EPCM_MM.write_latency_ns == EPCM_MM.set_latency_ns
+        assert EPCM_MM.write_asymmetry > 2.0
+
+    def test_no_refresh_semantics(self):
+        """EPCM is non-volatile: nothing in the config implies refresh."""
+        assert not hasattr(EPCM_MM, "t_refi_ns")
+
+    def test_write_energy_dominates_read(self):
+        assert EPCM_MM.write_energy_per_line_j > 5 * EPCM_MM.read_energy_per_line_j
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EpcmConfig(banks=0)
+        with pytest.raises(ConfigError):
+            EpcmConfig(read_latency_ns=0.0)
+
+
+class TestDram:
+    def test_all_four_variants_present(self):
+        assert set(DRAM_CONFIGS) == {"2D_DDR3", "2D_DDR4", "3D_DDR3", "3D_DDR4"}
+
+    def test_lookup(self):
+        assert dram_config("2D_DDR3").name == "2D_DDR3"
+        with pytest.raises(ConfigError):
+            dram_config("DDR5")
+
+    def test_ddr4_faster_bus_than_ddr3(self):
+        assert dram_config("2D_DDR4").data_burst_ns \
+            < dram_config("2D_DDR3").data_burst_ns
+
+    def test_3d_lower_core_latency(self):
+        for generation in ("DDR3", "DDR4"):
+            flat = dram_config(f"2D_{generation}")
+            stacked = dram_config(f"3D_{generation}")
+            assert stacked.t_rcd_ns < flat.t_rcd_ns
+            assert stacked.banks > flat.banks
+
+    def test_3d_cheaper_energy(self):
+        for generation in ("DDR3", "DDR4"):
+            flat = dram_config(f"2D_{generation}")
+            stacked = dram_config(f"3D_{generation}")
+            assert stacked.dynamic_energy_per_line_j \
+                < flat.dynamic_energy_per_line_j
+            assert stacked.background_power_w < flat.background_power_w
+
+    def test_row_timing_helpers(self):
+        cfg = dram_config("2D_DDR3")
+        assert cfg.row_miss_read_ns == pytest.approx(
+            cfg.t_rp_ns + cfg.t_rcd_ns + cfg.t_cas_ns)
+        assert cfg.row_hit_read_ns == pytest.approx(cfg.t_cas_ns)
+
+    def test_refresh_overhead_few_percent(self):
+        for cfg in DRAM_CONFIGS.values():
+            assert 0.01 < cfg.refresh_overhead < 0.06
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(dram_config("2D_DDR3"), t_rcd_ns=0.0)

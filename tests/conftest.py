@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+Expensive objects (mode-solver-backed cells, programmers, architecture
+facades) are session-scoped: they are immutable for test purposes and the
+underlying solvers cache by configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import CometArchitecture
+from repro.device import CellProgrammer, MultiLevelCell, OpticalGstCell
+from repro.materials import get_material
+
+
+@pytest.fixture(scope="session")
+def gst():
+    return get_material("GST")
+
+
+@pytest.fixture(scope="session")
+def gst_cell(gst):
+    return OpticalGstCell(gst)
+
+
+@pytest.fixture(scope="session")
+def mlc4(gst_cell):
+    return MultiLevelCell.for_cell(gst_cell, 4)
+
+
+@pytest.fixture(scope="session")
+def programmer(gst_cell):
+    return CellProgrammer(gst_cell)
+
+
+@pytest.fixture(scope="session")
+def comet():
+    return CometArchitecture()

@@ -1,0 +1,115 @@
+"""Thermal models: lumped RC analytics and the layered CN solver."""
+
+import numpy as np
+import pytest
+
+from repro.device.heat import (
+    LayeredHeatSolver,
+    LumpedThermalModel,
+    ThermalLayer,
+    calibrate_lumped_from_layered,
+    default_cell_stack,
+)
+from repro.errors import SolverError
+
+
+class TestLumped:
+    def test_steady_state(self):
+        model = LumpedThermalModel()
+        rise = 1e-3 * model.thermal_resistance_k_per_w
+        assert model.steady_state_k(1e-3) == pytest.approx(300.0 + rise)
+
+    def test_step_response_monotone(self):
+        model = LumpedThermalModel()
+        times = np.linspace(0, 200e-9, 50)
+        temps = [model.temperature_k(1e-3, t) for t in times]
+        assert all(b >= a for a, b in zip(temps, temps[1:]))
+        assert temps[-1] < model.steady_state_k(1e-3)
+
+    def test_time_to_temperature_inverts_heating(self):
+        model = LumpedThermalModel()
+        target = 500.0
+        t = model.time_to_temperature_s(5e-3, target)
+        assert model.temperature_k(5e-3, t) == pytest.approx(target, rel=1e-9)
+
+    def test_unreachable_target_raises(self):
+        model = LumpedThermalModel()
+        with pytest.raises(SolverError):
+            model.time_to_temperature_s(1e-4, 900.0)
+
+    def test_cooling_inverts_heating(self):
+        model = LumpedThermalModel()
+        t = model.time_to_cool_s(900.0, 430.0)
+        assert model.cooling_temperature_k(900.0, t) == pytest.approx(430.0)
+
+    def test_cooling_validation(self):
+        model = LumpedThermalModel()
+        with pytest.raises(SolverError):
+            model.time_to_cool_s(900.0, 200.0)   # below ambient
+
+    def test_quench_rate_beats_critical(self):
+        """The free-cooling quench through Tl must exceed 1e9 K/s for
+        amorphization to stick (Section III.B melt-quench)."""
+        model = LumpedThermalModel()
+        assert model.quench_rate_k_per_s(900.0) > 1e9
+
+    def test_power_for_temperature(self):
+        model = LumpedThermalModel()
+        power = model.power_for_temperature_w(650.0)
+        assert model.steady_state_k(power) == pytest.approx(650.0)
+
+    def test_heat_capacity_consistent(self):
+        model = LumpedThermalModel()
+        assert model.heat_capacity_j_per_k == pytest.approx(
+            model.time_constant_s / model.thermal_resistance_k_per_w)
+
+
+class TestLayered:
+    def test_step_response_heats_and_saturates(self):
+        solver = LayeredHeatSolver(dz_m=20e-9)
+        times, temps = solver.step_response(1e-3, duration_s=150e-9, dt_s=0.5e-9)
+        assert temps[0] == pytest.approx(300.0)
+        assert temps[-1] > 320.0
+        # saturating: last 10 % of the rise is slower than the first 10 %
+        n = len(temps)
+        assert (temps[n // 10] - temps[0]) > (temps[-1] - temps[-n // 10])
+
+    def test_cooling_after_pulse(self):
+        solver = LayeredHeatSolver(dz_m=20e-9)
+        times, temps = solver.simulate(
+            5e-3, pulse_duration_s=50e-9, total_time_s=150e-9, dt_s=0.5e-9)
+        peak_index = int(np.argmax(temps))
+        assert times[peak_index] <= 60e-9
+        assert temps[-1] < temps[peak_index]
+
+    def test_energy_monotone_in_power(self):
+        solver = LayeredHeatSolver(dz_m=20e-9)
+        _, low = solver.step_response(1e-3, duration_s=80e-9, dt_s=0.5e-9)
+        _, high = solver.step_response(2e-3, duration_s=80e-9, dt_s=0.5e-9)
+        assert high[-1] > low[-1]
+
+    def test_custom_stack_validation(self):
+        with pytest.raises(SolverError):
+            LayeredHeatSolver(
+                layers=[ThermalLayer("ox", 1e-6, 1.4, 1.6e6)],
+                heated_layer="gst",
+            )
+
+    def test_default_stack_has_four_layers(self):
+        stack = default_cell_stack()
+        assert [layer.name for layer in stack] == \
+            ["box", "core", "gst", "cladding"]
+
+
+class TestCrossValidation:
+    def test_lumped_and_layered_agree_on_scales(self):
+        """The two HEAT substitutes agree on thermal resistance within ~2x
+        and time constant within ~4x (structural 1-pole vs distributed)."""
+        solver = LayeredHeatSolver()
+        fitted = calibrate_lumped_from_layered(solver, duration_s=400e-9)
+        reference = LumpedThermalModel()
+        r_ratio = (fitted.thermal_resistance_k_per_w
+                   / reference.thermal_resistance_k_per_w)
+        tau_ratio = fitted.time_constant_s / reference.time_constant_s
+        assert 0.5 < r_ratio < 2.0
+        assert 0.25 < tau_ratio < 4.0

@@ -1,0 +1,103 @@
+"""Crystallization kinetics: JMAK/Scheil and melt-quench."""
+
+import numpy as np
+import pytest
+
+from repro.device.kinetics import CrystallizationKinetics
+from repro.errors import ProgrammingError
+from repro.materials import get_record
+
+
+@pytest.fixture(scope="module")
+def kinetics():
+    record = get_record("GST")
+    return CrystallizationKinetics(record.kinetics, record.thermal)
+
+
+class TestRateWindow:
+    def test_zero_outside_window(self, kinetics):
+        assert kinetics.rate_per_s(300.0) == 0.0           # ambient
+        assert kinetics.rate_per_s(420.0) == 0.0           # below Tg
+        assert kinetics.rate_per_s(950.0) == 0.0           # above Tl
+
+    def test_peak_at_optimal_temperature(self, kinetics):
+        t_opt = kinetics.params.optimal_temperature_k
+        assert kinetics.rate_per_s(t_opt) == pytest.approx(
+            kinetics.params.k_max_per_s)
+        assert kinetics.rate_per_s(t_opt) > kinetics.rate_per_s(t_opt - 100)
+        assert kinetics.rate_per_s(t_opt) > kinetics.rate_per_s(t_opt + 100)
+
+    def test_array_input(self, kinetics):
+        temps = np.array([300.0, 650.0, 950.0])
+        rates = kinetics.rate_per_s(temps)
+        assert rates.shape == (3,)
+        assert rates[0] == rates[2] == 0.0
+        assert rates[1] > 0.0
+
+
+class TestJmak:
+    def test_fraction_progress_roundtrip(self, kinetics):
+        for fc in (0.1, 0.5, 0.9, 0.99):
+            theta = kinetics.progress_for_fraction(fc)
+            assert kinetics.fraction_from_progress(theta) \
+                == pytest.approx(fc, rel=1e-9)
+
+    def test_isothermal_fraction_monotone_in_time(self, kinetics):
+        times = np.linspace(0, 100e-9, 8)
+        fractions = [kinetics.isothermal_fraction(650.0, t) for t in times]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] == 0.0
+
+    def test_time_to_fraction_inverts(self, kinetics):
+        t = kinetics.time_to_fraction_s(650.0, 0.9)
+        assert kinetics.isothermal_fraction(650.0, t) == pytest.approx(0.9)
+
+    def test_no_growth_outside_window(self, kinetics):
+        with pytest.raises(ProgrammingError):
+            kinetics.time_to_fraction_s(300.0, 0.5)
+
+    def test_sigmoid_shape(self, kinetics):
+        """JMAK with n=2 accelerates then saturates (S-curve)."""
+        t_half = kinetics.time_to_fraction_s(650.0, 0.5)
+        early = kinetics.isothermal_fraction(650.0, t_half / 4)
+        assert early < 0.125  # slower than linear at the start
+
+    def test_evolve_fraction_accumulates(self, kinetics):
+        temps = np.full(100, 650.0)
+        dt = 1e-9
+        fc1 = kinetics.evolve_fraction(0.0, temps, dt)
+        fc2 = kinetics.evolve_fraction(fc1, temps, dt)
+        direct = kinetics.evolve_fraction(0.0, np.full(200, 650.0), dt)
+        assert fc2 == pytest.approx(direct, rel=1e-6)
+
+    def test_evolve_from_full_crystalline_stays(self, kinetics):
+        assert kinetics.evolve_fraction(1.0, np.full(10, 650.0), 1e-9) == 1.0
+
+
+class TestMeltQuench:
+    def test_no_melt_below_tl(self, kinetics):
+        result = kinetics.melt_quench(0.8, 850.0, 1e10)
+        assert result.melted_fraction == 0.0
+        assert result.resulting_crystalline_fraction == 0.8
+
+    def test_full_melt_fast_quench_amorphizes(self, kinetics):
+        result = kinetics.melt_quench(1.0, 960.0, 1e10)
+        assert result.melted_fraction == 1.0
+        assert result.amorphized
+        assert result.resulting_crystalline_fraction == 0.0
+
+    def test_partial_melt_partial_amorphization(self, kinetics):
+        result = kinetics.melt_quench(1.0, 925.0, 1e10)
+        assert 0.0 < result.melted_fraction < 1.0
+        assert 0.0 < result.resulting_crystalline_fraction < 1.0
+
+    def test_slow_quench_recrystallizes(self, kinetics):
+        result = kinetics.melt_quench(0.5, 960.0, 1e6)
+        assert not result.amorphized
+        assert result.resulting_crystalline_fraction == pytest.approx(1.0)
+
+    def test_melt_fraction_linear_in_overdrive(self, kinetics):
+        t_melt = kinetics.thermal.melting_temperature_k
+        margin = kinetics.full_melt_margin_k
+        assert kinetics.melt_fraction_from_peak(t_melt + margin / 2) \
+            == pytest.approx(0.5)

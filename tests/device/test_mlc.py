@@ -1,0 +1,106 @@
+"""Multi-level cell: level maps, decisions, loss tolerances."""
+
+import numpy as np
+import pytest
+
+from repro.device.mlc import (
+    MultiLevelCell,
+    paper_loss_tolerance_db,
+    paper_loss_tolerance_fraction,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperTolerances:
+    def test_fractions_match_section_iii_c(self):
+        """50 % at b=1, 25 % at b=2, 6.25 % at b=4."""
+        assert paper_loss_tolerance_fraction(1) == pytest.approx(0.5)
+        assert paper_loss_tolerance_fraction(2) == pytest.approx(0.25)
+        assert paper_loss_tolerance_fraction(4) == pytest.approx(0.0625)
+
+    def test_db_values_match_paper(self):
+        """3.01 dB at b=1, ~1.2 dB at b=2, ~0.26 dB at b=4."""
+        assert paper_loss_tolerance_db(1) == pytest.approx(3.01, abs=0.01)
+        assert paper_loss_tolerance_db(2) == pytest.approx(1.25, abs=0.06)
+        assert paper_loss_tolerance_db(4) == pytest.approx(0.28, abs=0.03)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigError):
+            paper_loss_tolerance_fraction(0)
+
+
+class TestLevelMap:
+    def test_default_4bit_has_6_percent_spacing(self):
+        mlc = MultiLevelCell(4)
+        assert mlc.num_levels == 16
+        assert mlc.level_spacing == pytest.approx(0.06)
+
+    def test_levels_descend_from_brightest(self):
+        mlc = MultiLevelCell(2)
+        levels = mlc.level_transmissions()
+        assert levels[0] == pytest.approx(0.95)
+        assert levels[-1] == pytest.approx(0.05)
+        assert np.all(np.diff(levels) < 0)
+
+    def test_for_cell_spans_achievable_range(self, gst_cell):
+        mlc = MultiLevelCell.for_cell(gst_cell, 4)
+        assert mlc.max_transmission < gst_cell.transmission(0.0)
+        assert mlc.min_transmission > gst_cell.transmission(1.0)
+        assert mlc.level_spacing == pytest.approx(0.06, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MultiLevelCell(0)
+        with pytest.raises(ConfigError):
+            MultiLevelCell(4, min_transmission=0.9, max_transmission=0.5)
+
+
+class TestReadout:
+    def test_exact_levels_decode_correctly(self):
+        mlc = MultiLevelCell(4)
+        for level in range(16):
+            t = mlc.transmission_for_level(level)
+            assert mlc.decide_level(t) == level
+
+    def test_thresholds_are_midpoints(self):
+        mlc = MultiLevelCell(2)
+        thresholds = mlc.decision_thresholds()
+        levels = mlc.level_transmissions()
+        assert thresholds[0] == pytest.approx((levels[0] + levels[1]) / 2)
+
+    def test_readout_error_beyond_tolerance(self):
+        mlc = MultiLevelCell(4)
+        # A bright level losing 10 % aliases downward at 6 % spacing.
+        assert mlc.readout_error(stored_level=0, loss_fraction=0.10)
+        assert not mlc.readout_error(stored_level=0, loss_fraction=0.01)
+
+    def test_level_bounds_checked(self):
+        mlc = MultiLevelCell(2)
+        with pytest.raises(ConfigError):
+            mlc.transmission_for_level(4)
+        with pytest.raises(ConfigError):
+            mlc.readout_error(0, 1.5)
+
+    def test_tolerance_from_level_map_close_to_paper_rule(self):
+        """The level-map tolerance is the same order as the 2^-b rule."""
+        mlc = MultiLevelCell(4)
+        assert mlc.loss_tolerance_db() == pytest.approx(
+            paper_loss_tolerance_db(4), rel=0.6)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        mlc = MultiLevelCell(4)
+        values = [0, 15, 7, 3]
+        word = mlc.pack_values(values)
+        assert mlc.unpack_values(word, 4) == values
+
+    def test_unpack_detects_overflow(self):
+        mlc = MultiLevelCell(2)
+        with pytest.raises(ConfigError):
+            mlc.unpack_values(1 << 20, 2)
+
+    def test_pack_rejects_out_of_range(self):
+        mlc = MultiLevelCell(2)
+        with pytest.raises(ConfigError):
+            mlc.pack_values([4])

@@ -1,0 +1,93 @@
+"""Cell programming: the Fig. 6 tables and reset-energy case studies."""
+
+import pytest
+
+from repro.device import MultiLevelCell, ProgrammingMode
+from repro.errors import ProgrammingError
+
+
+class TestResetCaseStudies:
+    def test_crystalline_deposited_reset_energy(self, programmer):
+        """Paper: 880 pJ (case study 1)."""
+        energy_pj = programmer.reset_energy_j(
+            ProgrammingMode.CRYSTALLINE_DEPOSITED) * 1e12
+        assert energy_pj == pytest.approx(880.0, rel=0.05)
+
+    def test_amorphous_deposited_reset_energy(self, programmer):
+        """Paper: 280 pJ (case study 2)."""
+        energy_pj = programmer.reset_energy_j(
+            ProgrammingMode.AMORPHOUS_DEPOSITED) * 1e12
+        assert energy_pj == pytest.approx(280.0, rel=0.05)
+
+    def test_crystalline_reset_uses_1mw(self, programmer):
+        pulse = programmer.reset_pulse(ProgrammingMode.CRYSTALLINE_DEPOSITED)
+        assert pulse.power_w == pytest.approx(1e-3)
+
+    def test_amorphous_reset_uses_5mw(self, programmer):
+        pulse = programmer.reset_pulse(ProgrammingMode.AMORPHOUS_DEPOSITED)
+        assert pulse.power_w == pytest.approx(5e-3)
+
+    def test_amorphization_quench_verified(self, programmer):
+        pulse = programmer.reset_pulse(ProgrammingMode.AMORPHOUS_DEPOSITED)
+        assert programmer.verify_quench(pulse)
+
+
+class TestLevelProgramming:
+    def test_crystallize_duration_monotone_in_target(self, programmer):
+        durations = [programmer.crystallize_to(fc).duration_s
+                     for fc in (0.2, 0.5, 0.8, 0.95)]
+        assert all(b > a for a, b in zip(durations, durations[1:]))
+
+    def test_melt_duration_monotone_in_depth(self, programmer):
+        durations = [programmer.amorphize_to_melt_fraction(m).duration_s
+                     for m in (0.25, 0.5, 0.75, 1.0)]
+        assert all(b > a for a, b in zip(durations, durations[1:]))
+
+    def test_level_bounds(self, programmer):
+        with pytest.raises(ProgrammingError):
+            programmer.crystallize_to(0.0)
+        with pytest.raises(ProgrammingError):
+            programmer.crystallize_to(1.0)
+        with pytest.raises(ProgrammingError):
+            programmer.amorphize_to_melt_fraction(0.0)
+
+
+class TestFig6Table:
+    def test_sixteen_levels(self, programmer, mlc4):
+        table = programmer.level_table(mlc4)
+        assert len(table) == 16
+
+    def test_levels_ordered_by_transmission(self, programmer, mlc4):
+        table = programmer.level_table(mlc4)
+        transmissions = [entry.transmission for entry in table]
+        assert all(b < a for a, b in zip(transmissions, transmissions[1:]))
+
+    def test_fractions_increase_with_level(self, programmer, mlc4):
+        table = programmer.level_table(mlc4)
+        fractions = [entry.crystalline_fraction for entry in table]
+        assert all(b > a for a, b in zip(fractions, fractions[1:]))
+
+    def test_latency_increases_with_level(self, programmer, mlc4):
+        """Fig. 6's headline shape: deeper crystallization takes longer
+        (amorphous-deposited mode)."""
+        table = programmer.level_table(
+            mlc4, ProgrammingMode.AMORPHOUS_DEPOSITED)
+        latencies = [entry.latency_s for entry in table[1:]]  # skip reset lvl
+        assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+
+    def test_max_write_within_table_ii_envelope(self, programmer, mlc4):
+        """Derived worst-case write must fit the 170 ns Table II budget."""
+        max_write_ns = programmer.max_write_latency_s(mlc4) * 1e9
+        assert 80.0 < max_write_ns <= 170.0
+
+    def test_crystalline_deposited_table_also_complete(self, programmer, mlc4):
+        table = programmer.level_table(
+            mlc4, ProgrammingMode.CRYSTALLINE_DEPOSITED)
+        assert len(table) == 16
+        # In this mode high-transmission levels need deep melts -> slower.
+        assert table[0].pulse.duration_s > table[-2].pulse.duration_s
+
+    def test_pulse_energy_positive_everywhere(self, programmer, mlc4):
+        for mode in ProgrammingMode:
+            for entry in programmer.level_table(mlc4, mode):
+                assert entry.energy_j > 0.0

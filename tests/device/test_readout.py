@@ -1,0 +1,78 @@
+"""Readout SNR/BER extension."""
+
+import pytest
+
+from repro.device.mlc import MultiLevelCell
+from repro.device.readout import PhotodetectorModel, ReadoutModel
+from repro.errors import ConfigError
+
+
+class TestDetector:
+    def test_photocurrent_linear(self):
+        det = PhotodetectorModel(responsivity_a_per_w=1.0)
+        assert det.photocurrent_a(1e-4) == pytest.approx(1e-4)
+
+    def test_noise_grows_with_signal(self):
+        """Shot noise: brighter levels are noisier."""
+        det = PhotodetectorModel()
+        assert det.noise_current_a(1e-3) > det.noise_current_a(1e-6)
+
+    def test_snr_improves_with_power(self):
+        det = PhotodetectorModel()
+        assert det.snr_db(1e-4) > det.snr_db(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PhotodetectorModel(bandwidth_hz=0.0)
+        with pytest.raises(ConfigError):
+            PhotodetectorModel().photocurrent_a(-1.0)
+        with pytest.raises(ConfigError):
+            PhotodetectorModel().snr_db(0.0)
+
+
+class TestLevelDecisions:
+    def test_fewer_bits_fewer_errors(self):
+        readout = ReadoutModel(received_power_w=1e-5)
+        errors = [readout.worst_pair_error_probability(MultiLevelCell(b))
+                  for b in (1, 2, 4)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_more_power_fewer_errors(self):
+        dim = ReadoutModel(received_power_w=1e-7)
+        bright = ReadoutModel(received_power_w=1e-4)
+        mlc = MultiLevelCell(4)
+        assert bright.worst_pair_error_probability(mlc) \
+            < dim.worst_pair_error_probability(mlc)
+
+    def test_four_bits_reliable_at_design_power(self):
+        """At the ~0.1 mW received-power class, 4 bits/cell decodes with
+        negligible error — the paper's operating point."""
+        readout = ReadoutModel(received_power_w=1e-4)
+        assert readout.worst_pair_error_probability(MultiLevelCell(4)) < 1e-12
+
+    def test_max_reliable_bits_monotone_in_power(self):
+        dim = ReadoutModel(received_power_w=3e-8)
+        bright = ReadoutModel(received_power_w=1e-4)
+        assert bright.max_reliable_bits() >= dim.max_reliable_bits()
+
+    def test_five_bits_demands_more_than_four(self):
+        """[17] demonstrates 5 bits; the margin is thinner than 4 bits."""
+        readout = ReadoutModel(received_power_w=1e-6)
+        four = readout.worst_pair_error_probability(MultiLevelCell(4))
+        five = readout.worst_pair_error_probability(MultiLevelCell(5))
+        assert five > four
+
+    def test_symbol_error_bounded(self):
+        readout = ReadoutModel(received_power_w=1e-8)
+        assert 0.0 <= readout.symbol_error_probability(MultiLevelCell(5)) <= 1.0
+
+    def test_snr_per_level_descends_with_level(self):
+        readout = ReadoutModel(received_power_w=1e-4)
+        snrs = readout.snr_per_level_db(MultiLevelCell(2))
+        assert snrs[0] > snrs[-1]   # brightest level has the best SNR
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReadoutModel(received_power_w=0.0)
+        with pytest.raises(ConfigError):
+            ReadoutModel().max_reliable_bits(target_error=2.0)

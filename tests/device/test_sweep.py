@@ -1,0 +1,67 @@
+"""Geometry design-space sweep (Fig. 4) and design-point selection."""
+
+import pytest
+
+from repro.device.sweep import geometry_sweep, select_design_point
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def sweep(gst_module):
+    return geometry_sweep(
+        gst_module,
+        widths_m=[440e-9, 480e-9, 520e-9],
+        thicknesses_m=[10e-9, 20e-9, 30e-9],
+    )
+
+
+@pytest.fixture(scope="module")
+def gst_module():
+    from repro.materials import get_material
+    return get_material("GST")
+
+
+class TestSweep:
+    def test_grid_size(self, sweep):
+        assert len(sweep) == 9
+
+    def test_contrasts_bounded(self, sweep):
+        for point in sweep:
+            assert 0.0 <= point.transmission_contrast <= 1.0
+            assert 0.0 <= point.absorption_contrast <= 1.0
+
+    def test_thickness_dominates_width(self, sweep):
+        """Fig. 4's observation: thickness moves the contrast, width barely."""
+        by_thickness = {}
+        for p in sweep:
+            by_thickness.setdefault(p.thickness_m, []).append(
+                p.absorption_contrast)
+        thickness_spread = (max(max(v) for v in by_thickness.values())
+                            - min(min(v) for v in by_thickness.values()))
+        width_spread = max(
+            max(v) - min(v) for v in by_thickness.values())
+        assert thickness_spread > 3 * width_spread
+
+    def test_empty_sweep_rejected(self, gst_module):
+        with pytest.raises(ConfigError):
+            geometry_sweep(gst_module, widths_m=[], thicknesses_m=[20e-9])
+
+
+class TestSelection:
+    def test_selected_point_matches_paper(self, sweep):
+        """The joint-contrast criterion under the thermal cap lands on the
+        paper's 20 nm film."""
+        chosen = select_design_point(sweep)
+        assert chosen.thickness_m == pytest.approx(20e-9)
+
+    def test_thickness_cap_enforced(self, sweep):
+        chosen = select_design_point(sweep, max_thickness_m=25e-9)
+        assert chosen.thickness_m <= 25e-9
+
+    def test_cap_excluding_everything_raises(self, sweep):
+        with pytest.raises(ConfigError):
+            select_design_point(sweep, max_thickness_m=1e-9)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigError):
+            select_design_point([])

@@ -1,0 +1,117 @@
+"""Thermal write-disturb bound and transmission drift/retention."""
+
+import math
+
+import pytest
+
+from repro.device.drift import TEN_YEARS_S, TransmissionDriftModel
+from repro.device.mlc import MultiLevelCell
+from repro.device.thermal_crosstalk import (
+    COMET_CELL_PITCH_M,
+    COSMOS_CELL_PITCH_M,
+    ThermalCrosstalkModel,
+    comet_write_disturb_report,
+)
+from repro.errors import ConfigError
+
+
+class TestThermalCrosstalk:
+    def test_comet_pitch_is_disturb_free(self):
+        """The conclusion's 'crosstalk-free' claim, thermally verified."""
+        model = ThermalCrosstalkModel()
+        assert model.is_disturb_free(5e-3, 56e-9, COMET_CELL_PITCH_M)
+
+    def test_neighbor_rise_negligible_at_comet_pitch(self):
+        model = ThermalCrosstalkModel()
+        rise = model.neighbor_temperature_rise_k(5e-3, 56e-9,
+                                                 COMET_CELL_PITCH_M)
+        assert rise < 1e-6   # microkelvin class: diffusion cannot reach
+
+    def test_diffusion_length_far_below_pitch(self):
+        model = ThermalCrosstalkModel()
+        length = model.diffusion_length_m(56e-9)
+        assert length < COMET_CELL_PITCH_M / 20
+
+    def test_cosmos_pitch_in_danger_zone(self):
+        """At 2 um the steady-state rise is tens of kelvin — the crossbar
+        sits where repeated writes accumulate real heating."""
+        model = ThermalCrosstalkModel()
+        steady = model.steady_state_rise_k(5e-3, COSMOS_CELL_PITCH_M)
+        assert steady > 100.0
+
+    def test_rise_decreases_with_distance(self):
+        model = ThermalCrosstalkModel()
+        rises = [model.neighbor_temperature_rise_k(5e-3, 56e-9, r)
+                 for r in (0.5e-6, 1e-6, 2e-6)]
+        assert rises[0] > rises[1] > rises[2]
+
+    def test_minimum_safe_pitch_below_comet_pitch(self):
+        model = ThermalCrosstalkModel()
+        safe = model.minimum_safe_pitch_m(5e-3, 56e-9)
+        assert safe < COMET_CELL_PITCH_M
+
+    def test_report_keys(self):
+        report = comet_write_disturb_report()
+        assert report["comet_disturb_free"]
+        assert report["minimum_safe_pitch_m"] < report["comet_pitch_m"]
+
+    def test_validation(self):
+        model = ThermalCrosstalkModel()
+        with pytest.raises(ConfigError):
+            model.neighbor_temperature_rise_k(5e-3, 56e-9, 0.0)
+        with pytest.raises(ConfigError):
+            model.diffusion_length_m(0.0)
+        with pytest.raises(ConfigError):
+            ThermalCrosstalkModel(conductivity_w_mk=0.0)
+
+
+class TestDrift:
+    def test_no_drift_at_time_zero(self):
+        model = TransmissionDriftModel()
+        assert model.transmission_shift(0.0, 0.0) == 0.0
+
+    def test_drift_grows_logarithmically(self):
+        model = TransmissionDriftModel()
+        one_day = model.transmission_shift(0.0, 86400.0)
+        hundred_days = model.transmission_shift(0.0, 100 * 86400.0)
+        # Two decades of time -> about twice the one-day shift magnitude
+        # relative to the decade count, not 100x.
+        assert hundred_days < 3.0 * one_day
+
+    def test_crystalline_cells_do_not_drift(self):
+        model = TransmissionDriftModel()
+        assert model.transmission_shift(1.0, 1e9) == 0.0
+        assert model.level_retention_s(MultiLevelCell(4),
+                                       crystalline_fraction=1.0) == math.inf
+
+    def test_comet_4bit_meets_ten_year_retention(self):
+        """The conclusion's drift-tolerance claim at 6 % spacing."""
+        model = TransmissionDriftModel()
+        assert model.retention_meets_spec(MultiLevelCell(4), TEN_YEARS_S)
+
+    def test_wider_spacing_longer_retention(self):
+        model = TransmissionDriftModel()
+        assert model.level_retention_s(MultiLevelCell(2)) \
+            > model.level_retention_s(MultiLevelCell(4)) \
+            > model.level_retention_s(MultiLevelCell(5))
+
+    def test_five_bits_is_the_risky_choice(self):
+        """With a pessimistic drift coefficient, b=4 survives the 10-year
+        spec while b=5 fails — one quantitative reason the paper stops at
+        4 bits despite [17] demonstrating 5."""
+        pessimistic = TransmissionDriftModel(nu_per_decade=0.0028)
+        assert pessimistic.retention_meets_spec(MultiLevelCell(4))
+        assert not pessimistic.retention_meets_spec(MultiLevelCell(5))
+
+    def test_max_bits_for_retention(self):
+        model = TransmissionDriftModel(nu_per_decade=0.0028)
+        assert model.max_bits_for_retention() == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TransmissionDriftModel(nu_per_decade=-0.1)
+        model = TransmissionDriftModel()
+        with pytest.raises(ConfigError):
+            model.transmission_shift(1.5, 0.0)
+        with pytest.raises(ConfigError):
+            model.transmission_shift(0.5, -1.0)

@@ -1,0 +1,97 @@
+"""Experiment registry and the paper-shape assertions per artifact.
+
+These are the reproduction's acceptance tests: each checks that a
+regenerated figure/table has the qualitative shape the paper reports.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exp import EXPERIMENTS, get_experiment, run_experiment
+from repro.exp import fig2, fig3, fig4, fig6, fig7, fig8
+from repro.device.programming import ProgrammingMode
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        expected = {"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+                    "fig10", "table1", "table2", "headline", "reliability"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG3").exp_id == "fig3"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+
+class TestFig2Shape:
+    def test_crossbar_corrupts_comet_does_not(self):
+        result = fig2.run()
+        assert result.corrupted_cells > 100
+        assert result.corrupted_fraction > 0.05
+        assert result.comet_corrupted_cells == 0
+
+    def test_shift_matches_section_ii_b(self):
+        result = fig2.run()
+        assert result.per_write_shift == pytest.approx(0.08, abs=0.01)
+
+
+class TestFig3Shape:
+    def test_gst_selected(self):
+        result = fig3.run(points=4)
+        assert result.selected_material == "GST"
+
+    def test_gst_has_largest_index_gap(self):
+        result = fig3.run(points=4)
+        gaps = {}
+        for name, states in result.series.items():
+            gaps[name] = states["crystalline"][0][0] - states["amorphous"][0][0]
+        assert gaps["GST"] > gaps["GSST"] > gaps["Sb2Se3"]
+
+
+class TestFig4Shape:
+    def test_selects_20nm_film(self):
+        result = fig4.run(widths_nm=(480,), thicknesses_nm=(10, 20, 30))
+        assert result.selected_thickness_nm == pytest.approx(20.0)
+
+    def test_contrasts_jointly_high_at_star(self):
+        result = fig4.run(widths_nm=(480,), thicknesses_nm=(10, 20))
+        assert result.selected.transmission_contrast > 0.8
+        assert result.selected.absorption_contrast > 0.8
+
+
+class TestFig6Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run()
+
+    def test_reset_energies_near_paper(self, result):
+        assert result.reset_energy_pj[ProgrammingMode.CRYSTALLINE_DEPOSITED] \
+            == pytest.approx(880, rel=0.05)
+        assert result.reset_energy_pj[ProgrammingMode.AMORPHOUS_DEPOSITED] \
+            == pytest.approx(280, rel=0.05)
+
+    def test_sixteen_levels_six_percent_spacing(self, result):
+        assert result.level_spacing == pytest.approx(0.06, abs=0.005)
+        for table in result.levels.values():
+            assert len(table) == 16
+
+
+class TestFig7Fig8Shape:
+    def test_fig7_power_descends_with_density(self):
+        result = fig7.run()
+        assert result.stacks[1].total_w > result.stacks[2].total_w \
+            > result.stacks[4].total_w
+        assert result.selected_bits == 4
+
+    def test_fig8_comet_well_below_cosmos(self):
+        result = fig8.run()
+        assert 0.2 <= result.power_ratio <= 0.45  # paper: 0.26
+
+
+class TestRunnerInterface:
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("table1")
+        assert result.soa_interval_rows == 46

@@ -1,0 +1,36 @@
+"""Table rendering helpers."""
+
+from repro.exp.report import format_table, ratio_line, to_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [100, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # columns align: separator row matches header width
+        assert len(lines[1]) >= len(lines[0].rstrip())
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000001], [12345.6]])
+        assert "e-06" in text or "1e-06" in text
+        assert "e+04" in text or "12345" not in text  # large -> scientific
+
+
+class TestCsv:
+    def test_roundtrip_shape(self):
+        csv_text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3
+
+
+class TestRatioLine:
+    def test_contains_both_values(self):
+        line = ratio_line("BW", 5.2, 5.1)
+        assert "5.20x" in line and "5.10x" in line

@@ -1,0 +1,95 @@
+"""Cross-module integration: the paper's headline claims, end to end.
+
+These tests run the same pipelines as the benchmarks (at reduced trace
+sizes) and assert the *shape* results the paper reports.  They are the
+strongest statement the reproduction makes: material model -> device ->
+architecture -> simulator all have to cooperate for these to pass.
+"""
+
+import pytest
+
+from repro.exp.fig9 import run as run_fig9
+from repro.exp.fig10 import run as run_fig10
+from repro.sim.factory import ARCHITECTURE_NAMES
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(num_requests=4000)
+
+
+class TestFig9Headlines:
+    def test_comet_has_highest_bandwidth(self, fig9):
+        comet_bw = fig9.summary["COMET"]["bandwidth_gbps"]
+        for arch in ARCHITECTURE_NAMES:
+            if arch != "COMET":
+                assert comet_bw > fig9.summary[arch]["bandwidth_gbps"]
+
+    def test_bandwidth_vs_cosmos_near_paper(self, fig9):
+        """Paper: 5.1x (Sec. IV.C) to 7.1x (abstract)."""
+        assert 3.5 <= fig9.bw_ratio("COSMOS") <= 10.0
+
+    def test_epb_vs_cosmos_near_paper(self, fig9):
+        """Paper: 12.9x (Sec. IV.C) to 15.1x (abstract)."""
+        assert 9.0 <= fig9.epb_ratio("COSMOS") <= 25.0
+
+    def test_latency_advantage_over_cosmos(self, fig9):
+        """Paper: 3x lower; we accept any clear (>2x) advantage."""
+        assert fig9.latency_ratio("COSMOS") > 2.0
+
+    def test_bw_per_epb_vs_cosmos_near_paper(self, fig9):
+        """Paper: 65.8x."""
+        assert 40.0 <= fig9.bw_per_epb_ratio("COSMOS") <= 200.0
+
+    def test_2d_ddr3_is_worst_dram(self, fig9):
+        """Paper ordering: 2D_DDR3 trails every other DRAM in bandwidth."""
+        ddr3 = fig9.summary["2D_DDR3"]["bandwidth_gbps"]
+        for arch in ("2D_DDR4", "3D_DDR3", "3D_DDR4"):
+            assert fig9.summary[arch]["bandwidth_gbps"] > ddr3
+
+    def test_3d_ddr4_is_best_electronic(self, fig9):
+        best = fig9.summary["3D_DDR4"]
+        for arch in ("2D_DDR3", "2D_DDR4", "3D_DDR3", "EPCM-MM"):
+            assert best["bandwidth_gbps"] \
+                >= fig9.summary[arch]["bandwidth_gbps"]
+            assert best["epb_pj"] <= fig9.summary[arch]["epb_pj"]
+
+    def test_3d_and_pcm_beat_photonics_on_epb(self, fig9):
+        """Section IV.C: the 3D/PCM electronic parts outperform both
+        photonic systems on raw EPB."""
+        for electronic in ("3D_DDR3", "3D_DDR4", "EPCM-MM"):
+            for photonic in ("COMET", "COSMOS"):
+                assert fig9.summary[electronic]["epb_pj"] \
+                    < fig9.summary[photonic]["epb_pj"]
+
+    def test_comet_epb_far_below_cosmos(self, fig9):
+        assert fig9.summary["COMET"]["epb_pj"] * 5 \
+            < fig9.summary["COSMOS"]["epb_pj"]
+
+
+class TestFig10Headlines:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return run_fig10(num_requests=2500)
+
+    def test_comet_wins_both_models(self, fig10):
+        for model in ("DeiT-T", "DeiT-B"):
+            per_mem = fig10.results[model]
+            comet = per_mem["COMET"].system_epb_pj
+            for memory, result in per_mem.items():
+                if memory != "COMET":
+                    assert result.system_epb_pj > comet
+
+    def test_ratios_in_paper_band(self, fig10):
+        """Paper: 1.3-2.06x vs 3D_DDR4; 1.45-2.7x vs COSMOS."""
+        for model in ("DeiT-T", "DeiT-B"):
+            assert 1.05 <= fig10.ratio(model, "3D_DDR4") <= 3.0
+            assert 1.2 <= fig10.ratio(model, "COSMOS") <= 40.0
+
+
+class TestDeterminism:
+    def test_fig9_reproducible(self):
+        a = run_fig9(num_requests=800)
+        b = run_fig9(num_requests=800)
+        assert a.summary["COMET"]["bandwidth_gbps"] \
+            == pytest.approx(b.summary["COMET"]["bandwidth_gbps"], rel=1e-12)

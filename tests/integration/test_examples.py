@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with the repository's interpreter.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamplesRun:
+    def test_all_examples_discovered(self):
+        assert set(ALL_EXAMPLES) == {
+            "quickstart.py",
+            "design_space_exploration.py",
+            "crosstalk_corruption_demo.py",
+            "spec_workload_sim.py",
+            "dota_accelerator_study.py",
+            "functional_memory_demo.py",
+            "reliability_study.py",
+        }
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "COMET-4b" in result.stdout
+        assert "reset energies" in result.stdout
+
+    def test_design_space_exploration(self):
+        result = run_example("design_space_exploration.py")
+        assert result.returncode == 0, result.stderr
+        assert "selected: GST" in result.stdout
+        assert "b=4" in result.stdout
+
+    def test_crosstalk_corruption_demo(self):
+        result = run_example("crosstalk_corruption_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "Damage" in result.stdout
+
+    def test_spec_workload_sim_small(self):
+        result = run_example("spec_workload_sim.py", "1500")
+        assert result.returncode == 0, result.stderr
+        assert "COMET vs COSMOS" in result.stdout
+
+    def test_dota_accelerator_study(self):
+        result = run_example("dota_accelerator_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "DeiT-B" in result.stdout
+
+    def test_functional_memory_demo(self):
+        result = run_example("functional_memory_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "Cell decision errors: 0" in result.stdout
+
+    def test_reliability_study(self):
+        result = run_example("reliability_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "disturb-free: True" in result.stdout

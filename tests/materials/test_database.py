@@ -1,0 +1,89 @@
+"""Material database records and lookup."""
+
+import pytest
+
+from repro.errors import MaterialError
+from repro.materials.database import (
+    MATERIAL_NAMES,
+    get_material,
+    get_record,
+)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", MATERIAL_NAMES)
+    def test_all_materials_resolve(self, name):
+        record = get_record(name)
+        assert record.name == name
+        material = get_material(name)
+        assert material.name == name
+
+    def test_case_insensitive(self):
+        assert get_record("gst").name == "GST"
+        assert get_record("sb2se3").name == "Sb2Se3"
+
+    def test_unknown_material(self):
+        with pytest.raises(MaterialError):
+            get_record("VO2")
+
+
+class TestAnchors:
+    def test_gst_anchor_values(self):
+        record = get_record("GST")
+        assert record.nk_amorphous_1550 == (3.94, 0.045)
+        assert record.nk_crystalline_1550 == (6.11, 0.83)
+
+    def test_crystalline_index_exceeds_amorphous(self):
+        for name in MATERIAL_NAMES:
+            record = get_record(name)
+            assert record.nk_crystalline_1550[0] > record.nk_amorphous_1550[0]
+
+    def test_oscillators_reproduce_anchors(self):
+        for name in MATERIAL_NAMES:
+            record = get_record(name)
+            osc_a, osc_c = record.build_oscillators()
+            n_a, _ = osc_a.nk(1550e-9)
+            n_c, _ = osc_c.nk(1550e-9)
+            assert n_a == pytest.approx(record.nk_amorphous_1550[0], rel=1e-6)
+            assert n_c == pytest.approx(record.nk_crystalline_1550[0], rel=1e-6)
+
+
+class TestThermal:
+    def test_melt_above_crystallization(self):
+        for name in MATERIAL_NAMES:
+            thermal = get_record(name).thermal
+            assert thermal.melting_temperature_k \
+                > thermal.crystallization_temperature_k
+
+    def test_conductivity_mixing(self):
+        thermal = get_record("GST").thermal
+        k_a = thermal.conductivity(0.0)
+        k_c = thermal.conductivity(1.0)
+        k_mid = thermal.conductivity(0.5)
+        assert k_a == thermal.conductivity_amorphous_w_mk
+        assert k_c == thermal.conductivity_crystalline_w_mk
+        assert k_a < k_mid < k_c
+
+    def test_conductivity_clamps_fraction(self):
+        thermal = get_record("GST").thermal
+        assert thermal.conductivity(-1.0) == thermal.conductivity(0.0)
+        assert thermal.conductivity(2.0) == thermal.conductivity(1.0)
+
+    def test_volumetric_heat_positive(self):
+        thermal = get_record("GST").thermal
+        assert thermal.volumetric_heat_capacity() > 1e5
+
+
+class TestKinetics:
+    def test_gst_fastest_crystallizer(self):
+        """GST's headline property: fastest crystallization of the three."""
+        rates = {name: get_record(name).kinetics.k_max_per_s
+                 for name in MATERIAL_NAMES}
+        assert rates["GST"] > rates["GSST"] > rates["Sb2Se3"]
+
+    def test_optimal_temperature_inside_window(self):
+        for name in MATERIAL_NAMES:
+            record = get_record(name)
+            assert (record.thermal.crystallization_temperature_k
+                    < record.kinetics.optimal_temperature_k
+                    < record.thermal.melting_temperature_k)

@@ -1,0 +1,65 @@
+"""Lorentz–Lorenz effective-medium blending."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MaterialError
+from repro.materials.effective_medium import (
+    effective_permittivity,
+    linear_mix,
+    lorentz_lorenz_mix,
+)
+
+EPS_A = complex(15.5, 0.35)    # ~amorphous GST
+EPS_C = complex(36.6, 10.1)    # ~crystalline GST
+
+
+class TestLorentzLorenz:
+    def test_endpoints_exact(self):
+        assert lorentz_lorenz_mix(EPS_A, EPS_C, 0.0) == pytest.approx(EPS_A)
+        assert lorentz_lorenz_mix(EPS_A, EPS_C, 1.0) == pytest.approx(EPS_C)
+
+    def test_midpoint_between_endpoints(self):
+        mid = lorentz_lorenz_mix(EPS_A, EPS_C, 0.5)
+        assert EPS_A.real < mid.real < EPS_C.real
+        assert EPS_A.imag < mid.imag < EPS_C.imag
+
+    def test_monotone_in_fraction(self):
+        values = [lorentz_lorenz_mix(EPS_A, EPS_C, fc).real
+                  for fc in np.linspace(0, 1, 11)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_differs_from_linear_mix(self):
+        """LL weights polarizability, not permittivity — they must differ."""
+        ll = lorentz_lorenz_mix(EPS_A, EPS_C, 0.5)
+        lin = linear_mix(EPS_A, EPS_C, 0.5)
+        assert abs(ll - lin) > 0.1
+
+    def test_ll_below_linear_for_convex_mix(self):
+        """LL mixing bows below the linear chord for high-index composites."""
+        ll = lorentz_lorenz_mix(EPS_A, EPS_C, 0.5)
+        lin = linear_mix(EPS_A, EPS_C, 0.5)
+        assert ll.real < lin.real
+
+    def test_fraction_bounds(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(MaterialError):
+                lorentz_lorenz_mix(EPS_A, EPS_C, bad)
+
+    def test_array_inputs(self):
+        eps_a = np.array([EPS_A, EPS_A])
+        eps_c = np.array([EPS_C, EPS_C])
+        out = lorentz_lorenz_mix(eps_a, eps_c, 0.3)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(out[1])
+
+
+class TestDispatch:
+    def test_scheme_dispatch(self):
+        ll = effective_permittivity(EPS_A, EPS_C, 0.4, scheme="lorentz-lorenz")
+        lin = effective_permittivity(EPS_A, EPS_C, 0.4, scheme="linear")
+        assert ll != lin
+
+    def test_unknown_scheme(self):
+        with pytest.raises(MaterialError):
+            effective_permittivity(EPS_A, EPS_C, 0.4, scheme="bruggeman")

@@ -1,0 +1,79 @@
+"""Lorentz oscillator model and the exact-anchor fit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MaterialError
+from repro.materials.lorentz import LorentzOscillator, fit_single_oscillator
+
+
+class TestOscillator:
+    def test_validates_parameters(self):
+        with pytest.raises(MaterialError):
+            LorentzOscillator(1.0, 1.0, -2.0, 1.0)
+        with pytest.raises(MaterialError):
+            LorentzOscillator(1.0, 1.0, 2.0, 0.0)
+        with pytest.raises(MaterialError):
+            LorentzOscillator(1.0, -1.0, 2.0, 1.0)
+
+    def test_permittivity_is_complex_with_positive_imag(self):
+        osc = LorentzOscillator(5.0, 10.0, 2.5, 1.0)
+        eps = osc.permittivity(1550e-9)
+        assert eps.imag > 0.0  # absorptive, causal sign convention
+
+    def test_nk_scalar_and_array(self):
+        osc = LorentzOscillator(5.0, 10.0, 2.5, 1.0)
+        n, k = osc.nk(1550e-9)
+        assert isinstance(n, float) and isinstance(k, float)
+        wl = np.linspace(1530e-9, 1565e-9, 5)
+        n_arr, k_arr = osc.nk(wl)
+        assert n_arr.shape == wl.shape
+        assert np.all(k_arr > 0.0)
+
+    def test_normal_dispersion_below_resonance(self):
+        """n decreases with wavelength on the red side of the resonance."""
+        osc = LorentzOscillator(5.0, 10.0, 2.5, 1.0)
+        n_blue = osc.refractive_index(1530e-9)
+        n_red = osc.refractive_index(1565e-9)
+        assert n_blue > n_red
+
+    def test_rejects_bad_wavelength_array(self):
+        osc = LorentzOscillator(5.0, 10.0, 2.5, 1.0)
+        with pytest.raises(MaterialError):
+            osc.nk(np.array([1550e-9, -1.0]))
+
+
+class TestFit:
+    def test_exact_at_anchor(self):
+        osc = fit_single_oscillator(6.11, 0.83, 1550e-9, 1.8, 1.2)
+        n, k = osc.nk(1550e-9)
+        assert n == pytest.approx(6.11, rel=1e-6)
+        assert k == pytest.approx(0.83, rel=1e-6)
+
+    def test_low_loss_material_fits(self):
+        osc = fit_single_oscillator(3.285, 1e-4, 1550e-9, 2.9, 0.8)
+        n, k = osc.nk(1550e-9)
+        assert n == pytest.approx(3.285, rel=1e-6)
+        assert k == pytest.approx(1e-4, rel=1e-3)
+
+    def test_zero_kappa_gets_floor(self):
+        osc = fit_single_oscillator(3.0, 0.0, 1550e-9, 2.5, 1.0)
+        _, k = osc.nk(1550e-9)
+        assert 0.0 < k < 1e-5
+
+    def test_resonance_must_exceed_anchor_energy(self):
+        with pytest.raises(MaterialError):
+            fit_single_oscillator(3.0, 0.1, 1550e-9, 0.5, 1.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(MaterialError):
+            fit_single_oscillator(-1.0, 0.1, 1550e-9, 2.5, 1.0)
+        with pytest.raises(MaterialError):
+            fit_single_oscillator(3.0, -0.1, 1550e-9, 2.5, 1.0)
+
+    def test_smooth_over_c_band(self):
+        """The fitted dispersion varies by <2 % across the C-band."""
+        osc = fit_single_oscillator(6.11, 0.83, 1550e-9, 1.8, 1.2)
+        wl = np.linspace(1530e-9, 1565e-9, 16)
+        n, _ = osc.nk(wl)
+        assert (n.max() - n.min()) / n.mean() < 0.02

@@ -1,0 +1,61 @@
+"""PhaseChangeMaterial facade: blending, contrasts, selection ranking."""
+
+import numpy as np
+import pytest
+
+from repro.materials import MATERIAL_NAMES, OpticalState, get_material
+
+
+class TestBlending:
+    def test_endpoint_consistency(self, gst):
+        n0, k0 = gst.nk(1550e-9, 0.0)
+        n_a, k_a = gst.nk_state(1550e-9, OpticalState.AMORPHOUS)
+        assert n0 == pytest.approx(n_a, rel=1e-9)
+        assert k0 == pytest.approx(k_a, rel=1e-9)
+
+    def test_index_monotone_in_fraction(self, gst):
+        fractions = np.linspace(0.0, 1.0, 9)
+        indices = [gst.nk(1550e-9, fc)[0] for fc in fractions]
+        assert all(b > a for a, b in zip(indices, indices[1:]))
+
+    def test_extinction_monotone_in_fraction(self, gst):
+        fractions = np.linspace(0.0, 1.0, 9)
+        kappas = [gst.nk(1550e-9, fc)[1] for fc in fractions]
+        assert all(b > a for a, b in zip(kappas, kappas[1:]))
+
+    def test_array_wavelengths(self, gst):
+        wl = gst.c_band_wavelengths(10)
+        n, k = gst.nk(wl, 0.5)
+        assert n.shape == wl.shape == k.shape
+
+
+class TestContrasts:
+    def test_gst_contrast_values(self, gst):
+        """Paper: GST has the highest index contrast (~2.2 at 1550 nm)."""
+        assert gst.index_contrast() == pytest.approx(6.11 - 3.94, rel=1e-6)
+        assert gst.extinction_contrast() == pytest.approx(0.83 - 0.045, rel=1e-6)
+
+    def test_selection_ranking_matches_paper(self):
+        """Fig. 3's conclusion: GST > GSST > Sb2Se3 for OPCM memory."""
+        foms = {name: get_material(name).figure_of_merit()
+                for name in MATERIAL_NAMES}
+        assert foms["GST"] > foms["GSST"] > foms["Sb2Se3"]
+
+    def test_contrast_stable_across_c_band(self, gst):
+        wl = gst.c_band_wavelengths(8)
+        contrast = gst.index_contrast(wl)
+        assert np.all(contrast > 2.0)
+        variation = (contrast.max() - contrast.min()) / contrast.mean()
+        assert variation < 0.02
+
+
+class TestCBandGrid:
+    def test_grid_bounds(self, gst):
+        wl = gst.c_band_wavelengths(36)
+        assert wl[0] == pytest.approx(1530e-9)
+        assert wl[-1] == pytest.approx(1565e-9)
+
+    def test_grid_needs_two_points(self, gst):
+        from repro.errors import MaterialError
+        with pytest.raises(MaterialError):
+            gst.c_band_wavelengths(1)

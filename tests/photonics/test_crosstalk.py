@@ -1,0 +1,93 @@
+"""Crossbar crosstalk model: the Section II.B arithmetic and array damage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.crosstalk import CrossbarCrosstalkModel
+
+
+class TestSectionIIBNumbers:
+    def test_coupled_energy_matches_paper(self):
+        """750 pJ at -18 dB -> ~11.9 pJ (paper rounds to 12.6 pJ)."""
+        model = CrossbarCrosstalkModel()
+        assert model.coupled_energy_j == pytest.approx(11.9e-12, rel=0.02)
+
+    def test_fraction_shift_near_8_percent(self):
+        model = CrossbarCrosstalkModel()
+        assert model.fraction_shift_per_write == pytest.approx(0.08, abs=0.01)
+
+    def test_shift_scales_with_write_energy(self):
+        weak = CrossbarCrosstalkModel(write_energy_j=135e-12)
+        strong = CrossbarCrosstalkModel(write_energy_j=750e-12)
+        assert strong.fraction_shift_per_write \
+            > 5 * weak.fraction_shift_per_write
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CrossbarCrosstalkModel(crosstalk_db=1.0)
+        with pytest.raises(ConfigError):
+            CrossbarCrosstalkModel(reference_shift=1.5)
+
+
+class TestArrayDisturbance:
+    def test_adjacent_rows_drift_up(self):
+        model = CrossbarCrosstalkModel()
+        fractions = np.zeros((8, 4))
+        events = model.disturb_row_write(fractions, 4, np.arange(4))
+        assert np.all(fractions[3] > 0.0)
+        assert np.all(fractions[5] > 0.0)
+        assert np.all(fractions[4] == 0.0)      # aggressor row untouched
+        assert len(events) == 8
+
+    def test_edge_row_has_one_victim_side(self):
+        model = CrossbarCrosstalkModel()
+        fractions = np.zeros((4, 2))
+        events = model.disturb_row_write(fractions, 0, np.arange(2))
+        assert len(events) == 2
+        assert np.all(fractions[1] > 0.0)
+
+    def test_saturation_at_one(self):
+        model = CrossbarCrosstalkModel()
+        fractions = np.full((3, 2), 0.99)
+        model.disturb_row_write(fractions, 1, np.arange(2))
+        assert np.all(fractions <= 1.0)
+
+    def test_row_bounds_checked(self):
+        model = CrossbarCrosstalkModel()
+        with pytest.raises(ConfigError):
+            model.disturb_row_write(np.zeros((4, 4)), 9, np.arange(4))
+
+    def test_corrupt_after_writes_is_pure(self):
+        model = CrossbarCrosstalkModel()
+        before = np.random.RandomState(0).random_sample((16, 16))
+        before_copy = before.copy()
+        after = model.corrupt_after_writes(before, [4, 8])
+        assert np.array_equal(before, before_copy)   # input untouched
+        assert not np.array_equal(after, before)
+
+
+class TestLevelCorruption:
+    def test_four_bit_cells_corrupt(self):
+        """At 16 levels (1/15 spacing), one 7.5 % shift flips a level."""
+        model = CrossbarCrosstalkModel()
+        spacing = 1.0 / 15
+        before = np.zeros((8, 8))
+        after = model.corrupt_after_writes(before, [3])
+        corrupted, fraction = model.levels_corrupted(before, after, spacing)
+        assert corrupted == 16          # two victim rows of 8 cells
+        assert fraction == pytest.approx(16 / 64)
+
+    def test_single_bit_cells_survive(self):
+        """At 2 levels the same shift is far below the decision threshold."""
+        model = CrossbarCrosstalkModel()
+        spacing = 1.0
+        before = np.zeros((8, 8))
+        after = model.corrupt_after_writes(before, [3])
+        corrupted, _ = model.levels_corrupted(before, after, spacing)
+        assert corrupted == 0
+
+    def test_spacing_must_be_positive(self):
+        model = CrossbarCrosstalkModel()
+        with pytest.raises(ConfigError):
+            model.levels_corrupted(np.zeros((2, 2)), np.zeros((2, 2)), 0.0)

@@ -1,0 +1,65 @@
+"""WDM/MDM link model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.links import WdmMdmLink
+
+
+class TestCounts:
+    def test_access_mr_count_formula(self):
+        """Section III.E: 2 x B x Nc rings."""
+        link = WdmMdmLink(num_wavelengths=256, mdm_degree=4)
+        assert link.access_mr_count == 2 * 4 * 256
+
+    def test_aggregate_bandwidth(self):
+        link = WdmMdmLink(num_wavelengths=64, mdm_degree=4,
+                          channel_rate_gbps=10.0)
+        assert link.aggregate_bandwidth_gbps == pytest.approx(2560.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WdmMdmLink(num_wavelengths=0)
+        with pytest.raises(ConfigError):
+            WdmMdmLink(num_wavelengths=8, mdm_degree=0)
+
+
+class TestModeLosses:
+    def test_higher_modes_leak_more(self):
+        """Section III.C: higher-order MDM modes are leakier."""
+        link = WdmMdmLink(num_wavelengths=8, mdm_degree=4)
+        losses = [link.mode_loss_db(m) for m in range(4)]
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_mode_order_bounds(self):
+        link = WdmMdmLink(num_wavelengths=8, mdm_degree=4)
+        with pytest.raises(ConfigError):
+            link.mode_loss_db(4)
+
+    def test_worst_mode_budget_is_largest(self):
+        link = WdmMdmLink(num_wavelengths=8, mdm_degree=4)
+        budgets = link.per_mode_budgets()
+        assert budgets[-1].total_db == pytest.approx(
+            link.worst_mode_budget().total_db)
+        assert budgets[-1].total_db > budgets[0].total_db
+
+
+class TestLaserPower:
+    def test_power_scales_with_wavelengths(self):
+        small = WdmMdmLink(num_wavelengths=8).laser_wall_plug_power_w(1e-3)
+        large = WdmMdmLink(num_wavelengths=64).laser_wall_plug_power_w(1e-3)
+        assert large > 6 * small
+
+    def test_mdm4_overhead_is_modest(self):
+        """The paper caps MDM at 4 because higher degrees blow the budget."""
+        link4 = WdmMdmLink(num_wavelengths=16, mdm_degree=4)
+        link8 = WdmMdmLink(num_wavelengths=16, mdm_degree=8)
+        p4 = link4.laser_wall_plug_power_w(1e-3)
+        p8 = link8.laser_wall_plug_power_w(1e-3)
+        # Doubling modes more than doubles power (leakier high modes).
+        assert p8 > 2.0 * p4
+
+    def test_target_power_validation(self):
+        link = WdmMdmLink(num_wavelengths=8)
+        with pytest.raises(ConfigError):
+            link.laser_wall_plug_power_w(0.0)

@@ -1,0 +1,88 @@
+"""Loss budgets, laser source and the GST waveguide switch."""
+
+import pytest
+
+from repro.config import TABLE_I
+from repro.errors import ConfigError
+from repro.photonics.laser import LaserSource, default_laser
+from repro.photonics.losses import LossBudget, LossElement, waveguide_path_budget
+from repro.photonics.switch import GstWaveguideSwitch, SwitchState
+
+
+class TestLossBudget:
+    def test_total_is_sum(self):
+        budget = LossBudget().add("a", 1.0).add("b", 0.5, count=3)
+        assert budget.total_db == pytest.approx(2.5)
+        assert len(budget) == 2
+
+    def test_transmission_consistent(self):
+        budget = LossBudget().add("a", 3.0103)
+        assert budget.transmission == pytest.approx(0.5, rel=1e-4)
+
+    def test_itemize_merges_names(self):
+        budget = LossBudget().add("mr", 0.02).add("mr", 0.02)
+        assert budget.itemize() == {"mr": pytest.approx(0.04)}
+
+    def test_extend_composes(self):
+        a = LossBudget().add("x", 1.0)
+        b = LossBudget().add("y", 2.0)
+        a.extend(b)
+        assert a.total_db == pytest.approx(3.0)
+
+    def test_launch_power(self):
+        budget = LossBudget().add("path", 10.0)
+        assert budget.required_launch_power_w(1e-3) == pytest.approx(1e-2)
+        assert budget.delivered_power_w(1e-2) == pytest.approx(1e-3)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ConfigError):
+            LossElement("bad", -1.0)
+
+    def test_waveguide_path_helper(self):
+        budget = waveguide_path_budget(length_cm=2.0, bends_90deg=4)
+        items = budget.itemize()
+        assert items["propagation"] == pytest.approx(0.2)
+        assert items["bending"] == pytest.approx(0.04)
+
+
+class TestLaser:
+    def test_wall_plug_scaling(self):
+        laser = LaserSource(wall_plug_efficiency=0.2)
+        assert laser.electrical_power_w(1.0) == pytest.approx(5.0)
+
+    def test_launch_power_covers_loss(self):
+        laser = LaserSource()
+        assert laser.launch_power_w(1e-3, 10.0) == pytest.approx(1e-2)
+
+    def test_per_channel_limit_enforced(self):
+        laser = LaserSource(max_optical_power_per_channel_w=5e-3)
+        with pytest.raises(ConfigError):
+            laser.launch_power_w(1e-3, 10.0)
+
+    def test_link_power_multiplies_channels(self):
+        laser = LaserSource()
+        single = laser.electrical_power_for_link_w(1e-3, 3.0, channels=1)
+        many = laser.electrical_power_for_link_w(1e-3, 3.0, channels=64)
+        assert many == pytest.approx(64 * single)
+
+    def test_default_laser_uses_table_i(self):
+        assert default_laser().wall_plug_efficiency \
+            == TABLE_I.laser_wall_plug_efficiency
+
+
+class TestGstSwitch:
+    def test_coupling_loss_is_table_value(self):
+        switch = GstWaveguideSwitch.from_parameters()
+        assert switch.loss_db(SwitchState.COUPLING) == pytest.approx(0.2)
+
+    def test_blocking_attenuates_strongly(self):
+        switch = GstWaveguideSwitch()
+        assert switch.transmission(SwitchState.BLOCKING) \
+            < 0.01 * switch.transmission(SwitchState.COUPLING)
+
+    def test_switch_time_100ns(self):
+        switch = GstWaveguideSwitch.from_parameters()
+        assert switch.switch_time_s == pytest.approx(100e-9)
+
+    def test_nonvolatile(self):
+        assert GstWaveguideSwitch().is_nonvolatile()

@@ -1,0 +1,93 @@
+"""Microring resonator model: spectra, tuning, Table I consistency."""
+
+import numpy as np
+import pytest
+
+from repro.config import TABLE_I
+from repro.errors import ConfigError
+from repro.photonics.ring import (
+    MicroringResonator,
+    RingTuningModel,
+    TuningMechanism,
+)
+
+
+class TestSpectrum:
+    def test_drop_peaks_on_resonance(self):
+        ring = MicroringResonator()
+        on = ring.drop_transmission(ring.resonance_wavelength_m)
+        off = ring.drop_transmission(ring.resonance_wavelength_m + 2e-9)
+        assert on > off
+
+    def test_through_dips_on_resonance(self):
+        ring = MicroringResonator()
+        on = ring.through_transmission(ring.resonance_wavelength_m)
+        off = ring.through_transmission(
+            ring.resonance_wavelength_m + ring.free_spectral_range_m / 2)
+        assert on < off
+
+    def test_energy_conservation_bound(self):
+        """T_through + T_drop <= 1 everywhere (passive device)."""
+        ring = MicroringResonator()
+        wl = np.linspace(1549e-9, 1551e-9, 101)
+        total = ring.through_transmission(wl) + ring.drop_transmission(wl)
+        assert np.all(total <= 1.0 + 1e-9)
+
+    def test_fsr_matches_6um_ring(self):
+        """FSR = lambda^2/(n_g L): ~15 nm for a 6 um SOI ring."""
+        ring = MicroringResonator()
+        assert ring.free_spectral_range_m == pytest.approx(15.2e-9, rel=0.05)
+
+    def test_quality_factor_reasonable(self):
+        ring = MicroringResonator()
+        assert 500 < ring.quality_factor() < 50_000
+
+    def test_extinction_ratio_positive(self):
+        ring = MicroringResonator()
+        assert ring.extinction_ratio_db() > 10.0
+
+    def test_shift_moves_resonance(self):
+        ring = MicroringResonator()
+        shifted = ring.drop_transmission(ring.resonance_wavelength_m, shift_nm=1.0)
+        unshifted = ring.drop_transmission(ring.resonance_wavelength_m)
+        assert shifted < unshifted
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MicroringResonator(radius_m=0.0)
+        with pytest.raises(ConfigError):
+            MicroringResonator(self_coupling_t1=1.5)
+
+
+class TestTuningModels:
+    def test_eo_model_from_table_i(self):
+        model = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
+        assert model.latency_s == pytest.approx(2e-9)
+        assert model.through_loss_db == pytest.approx(0.33)
+        assert model.drop_loss_db == pytest.approx(1.6)
+        assert model.power_w_per_nm == pytest.approx(4e-6)
+
+    def test_thermal_model_slower_but_lower_loss(self):
+        eo = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
+        thermal = RingTuningModel.from_parameters(TuningMechanism.THERMAL)
+        assert thermal.latency_s > 100 * eo.latency_s
+        assert thermal.through_loss_db < eo.through_loss_db
+
+    def test_tuning_power_scales_with_shift(self):
+        model = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
+        assert model.tuning_power_w(2.0) == pytest.approx(8e-6)
+        with pytest.raises(ConfigError):
+            model.tuning_power_w(-1.0)
+
+    def test_section_ii_trade_off(self):
+        """The paper's argument: EO tuning buys ~1000x latency for ~0.3 dB."""
+        eo = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
+        thermal = RingTuningModel.from_parameters(TuningMechanism.THERMAL)
+        speedup = thermal.latency_s / eo.latency_s
+        loss_penalty = eo.through_loss_db - thermal.through_loss_db
+        assert speedup >= 1000
+        assert loss_penalty == pytest.approx(0.31, abs=0.02)
+
+    def test_eo_tuning_power_from_table_i_derived(self):
+        assert TABLE_I.eo_tuning_power_w == pytest.approx(
+            TABLE_I.eo_tuning_power_w_per_nm * TABLE_I.mr_tuning_range_nm)

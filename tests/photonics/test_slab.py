@@ -1,0 +1,117 @@
+"""Multilayer slab mode solver: physics sanity and known solutions."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.photonics.indices import SILICA_INDEX, SILICON_INDEX
+from repro.photonics.slab import Layer, MultilayerSlabSolver
+
+
+def soi_solver(thickness=220e-9, wavelength=1550e-9):
+    return MultilayerSlabSolver(
+        [Layer("core", complex(SILICON_INDEX), thickness)],
+        bottom_cladding_index=complex(SILICA_INDEX),
+        top_cladding_index=complex(SILICA_INDEX),
+        wavelength_m=wavelength,
+    )
+
+
+class TestSoiSlab:
+    def test_fundamental_in_bracket(self):
+        mode = soi_solver().fundamental()
+        assert SILICA_INDEX < mode.effective_index < SILICON_INDEX
+
+    def test_220nm_soi_effective_index(self):
+        """220 nm SOI TE0 effective index is ~2.8 at 1550 nm."""
+        mode = soi_solver().fundamental()
+        assert mode.effective_index == pytest.approx(2.8, abs=0.15)
+
+    def test_single_te_mode_at_220nm(self):
+        modes = soi_solver().solve(max_modes=4)
+        assert len(modes) == 1
+
+    def test_thicker_slab_multimode(self):
+        modes = soi_solver(thickness=500e-9).solve(max_modes=4)
+        assert len(modes) >= 2
+        assert modes[0].effective_index > modes[1].effective_index
+
+    def test_confinement_sums_to_one(self):
+        mode = soi_solver().fundamental()
+        assert sum(mode.confinement.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_core_confinement_dominates(self):
+        mode = soi_solver().fundamental()
+        assert mode.confinement["core"] > 0.6
+
+    def test_thicker_core_confines_more(self):
+        thin = soi_solver(thickness=150e-9).fundamental()
+        thick = soi_solver(thickness=300e-9).fundamental()
+        assert thick.confinement["core"] > thin.confinement["core"]
+
+    def test_lossless_stack_has_zero_extinction(self):
+        mode = soi_solver().fundamental()
+        assert mode.modal_extinction == 0.0
+
+
+class TestAnalyticCrosscheck:
+    def test_symmetric_slab_dispersion_relation(self):
+        """The solver's root satisfies the textbook TE dispersion relation:
+
+        tan(k d / 2) = gamma / k   (even TE modes of a symmetric slab).
+        """
+        thickness = 220e-9
+        wavelength = 1550e-9
+        mode = soi_solver(thickness, wavelength).fundamental()
+        k0 = 2 * math.pi / wavelength
+        n_eff = mode.effective_index
+        k = k0 * math.sqrt(SILICON_INDEX ** 2 - n_eff ** 2)
+        gamma = k0 * math.sqrt(n_eff ** 2 - SILICA_INDEX ** 2)
+        assert math.tan(k * thickness / 2) == pytest.approx(gamma / k, rel=1e-4)
+
+
+class TestAbsorbingLayer:
+    def test_absorbing_film_adds_modal_extinction(self):
+        solver = MultilayerSlabSolver(
+            [Layer("core", complex(SILICON_INDEX), 220e-9),
+             Layer("pcm", complex(6.11, 0.83), 20e-9)],
+            bottom_cladding_index=complex(SILICA_INDEX),
+            top_cladding_index=complex(SILICA_INDEX),
+            wavelength_m=1550e-9,
+        )
+        mode = solver.fundamental()
+        assert mode.modal_extinction > 0.0
+        assert mode.confinement["pcm"] > 0.01
+
+    def test_extinction_scales_with_film_kappa(self):
+        def extinction(kappa):
+            solver = MultilayerSlabSolver(
+                [Layer("core", complex(SILICON_INDEX), 220e-9),
+                 Layer("pcm", complex(4.5, kappa), 20e-9)],
+                bottom_cladding_index=complex(SILICA_INDEX),
+                top_cladding_index=complex(SILICA_INDEX),
+                wavelength_m=1550e-9,
+            )
+            return solver.fundamental().modal_extinction
+
+        assert extinction(0.8) > extinction(0.4) > extinction(0.1) > 0.0
+
+
+class TestValidation:
+    def test_no_guiding_without_index_step(self):
+        with pytest.raises(SolverError):
+            MultilayerSlabSolver(
+                [Layer("core", complex(1.4), 220e-9)],
+                bottom_cladding_index=complex(SILICA_INDEX),
+                top_cladding_index=complex(SILICA_INDEX),
+                wavelength_m=1550e-9,
+            )
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(SolverError):
+            MultilayerSlabSolver([], complex(1.444), complex(1.444), 1550e-9)
+
+    def test_bad_layer_rejected(self):
+        with pytest.raises(SolverError):
+            Layer("bad", complex(3.4), -1e-9)

@@ -1,0 +1,53 @@
+"""SOA gain model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.soa import SemiconductorOpticalAmplifier
+
+
+class TestGain:
+    def test_small_signal_gain(self):
+        soa = SemiconductorOpticalAmplifier(gain_db=15.2)
+        out = soa.amplify(1e-6)
+        assert out == pytest.approx(1e-6 * 10 ** 1.52, rel=1e-9)
+
+    def test_saturation_clamps_output(self):
+        soa = SemiconductorOpticalAmplifier(
+            gain_db=15.2, saturation_output_w=1e-3)
+        assert soa.amplify(1e-3) == pytest.approx(1e-3)
+
+    def test_zero_input(self):
+        soa = SemiconductorOpticalAmplifier()
+        assert soa.amplify(0.0) == 0.0
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ConfigError):
+            SemiconductorOpticalAmplifier().amplify(-1e-3)
+
+
+class TestPaperInstances:
+    def test_intra_subarray_soa(self):
+        soa = SemiconductorOpticalAmplifier.intra_subarray()
+        assert soa.gain_db == pytest.approx(15.2)
+        assert soa.electrical_power_w == pytest.approx(1.4e-3)
+        assert soa.saturation_output_w == pytest.approx(1e-3)  # 0 dBm [29]
+
+    def test_booster_soa(self):
+        soa = SemiconductorOpticalAmplifier.booster()
+        assert soa.gain_db == pytest.approx(20.0)
+
+
+class TestStageCount:
+    def test_stages_for_loss(self):
+        soa = SemiconductorOpticalAmplifier(gain_db=15.2)
+        assert soa.stages_for_loss(0.0) == 0
+        assert soa.stages_for_loss(15.2) == 1
+        assert soa.stages_for_loss(15.3) == 2
+        assert soa.stages_for_loss(45.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SemiconductorOpticalAmplifier(gain_db=-1.0)
+        with pytest.raises(ConfigError):
+            SemiconductorOpticalAmplifier(saturation_output_w=0.0)

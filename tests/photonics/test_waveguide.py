@@ -1,0 +1,66 @@
+"""Strip waveguide EIM model and the PCM-loaded variant."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.photonics.indices import SILICA_INDEX
+from repro.photonics.waveguide import PcmLoadedWaveguide, StripWaveguide
+
+
+class TestBareStrip:
+    def test_paper_geometry_guides(self):
+        mode = StripWaveguide().solve(1550e-9)
+        assert SILICA_INDEX < mode.effective_index < 3.0
+        assert mode.vertical_confinement_pcm == 0.0
+
+    def test_wider_strip_higher_index(self):
+        narrow = StripWaveguide(width_m=400e-9).solve(1550e-9)
+        wide = StripWaveguide(width_m=600e-9).solve(1550e-9)
+        assert wide.effective_index > narrow.effective_index
+
+    def test_lateral_confinement_high(self):
+        mode = StripWaveguide().solve(1550e-9)
+        assert mode.lateral_confinement > 0.85
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            StripWaveguide(width_m=0.0)
+        with pytest.raises(SolverError):
+            StripWaveguide(pcm_index=complex(4.0, 0.1), pcm_thickness_m=0.0)
+
+
+class TestPcmLoaded:
+    def test_loading_raises_effective_index(self):
+        pair = PcmLoadedWaveguide()
+        bare = pair.bare_mode(1550e-9)
+        loaded = pair.loaded_mode(1550e-9, complex(3.94, 0.045))
+        assert loaded.effective_index > bare.effective_index
+
+    def test_crystalline_loads_more_than_amorphous(self):
+        pair = PcmLoadedWaveguide()
+        amorphous = pair.loaded_mode(1550e-9, complex(3.94, 0.045))
+        crystalline = pair.loaded_mode(1550e-9, complex(6.11, 0.83))
+        assert crystalline.effective_index > amorphous.effective_index
+        assert crystalline.modal_extinction > amorphous.modal_extinction
+
+    def test_pcm_confinement_grows_with_thickness(self):
+        thin = PcmLoadedWaveguide(pcm_thickness_m=10e-9)
+        thick = PcmLoadedWaveguide(pcm_thickness_m=40e-9)
+        index = complex(6.11, 0.83)
+        assert (thick.loaded_mode(1550e-9, index).pcm_confinement
+                > thin.loaded_mode(1550e-9, index).pcm_confinement)
+
+    def test_width_effect_weak(self):
+        """Fig. 4's observation: width barely moves the absorption."""
+        index = complex(6.11, 0.83)
+        narrow = PcmLoadedWaveguide(width_m=400e-9).loaded_mode(1550e-9, index)
+        wide = PcmLoadedWaveguide(width_m=600e-9).loaded_mode(1550e-9, index)
+        rel_change = abs(narrow.modal_extinction - wide.modal_extinction) \
+            / wide.modal_extinction
+        assert rel_change < 0.35
+
+    def test_cache_hit_returns_identical_object(self):
+        pair = PcmLoadedWaveguide()
+        first = pair.loaded_mode(1550e-9, complex(3.94, 0.045))
+        second = pair.loaded_mode(1550e-9, complex(3.94, 0.045))
+        assert first is second

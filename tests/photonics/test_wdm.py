@@ -1,0 +1,79 @@
+"""WDM grid allocation and ring addressability."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.ring import MicroringResonator
+from repro.photonics.wdm import (
+    WdmGrid,
+    comet_wavelength_plan,
+    ring_addressability,
+)
+
+
+class TestGrid:
+    def test_band_fit(self):
+        assert WdmGrid(64, channel_spacing_m=0.4e-9).fits_band()
+        assert not WdmGrid(256, channel_spacing_m=0.2e-9).fits_band()
+
+    def test_wavelengths_inside_band(self):
+        grid = WdmGrid(64, channel_spacing_m=0.4e-9)
+        wl = grid.wavelengths_m()
+        assert len(wl) == 64
+        assert wl[0] >= grid.band_min_m
+        assert wl[-1] <= grid.band_max_m
+
+    def test_wavelengths_raise_when_overflowing(self):
+        with pytest.raises(ConfigError):
+            WdmGrid(1024, channel_spacing_m=0.1e-9).wavelengths_m()
+
+    def test_max_channels(self):
+        grid = WdmGrid(1, channel_spacing_m=0.1e-9)
+        assert grid.max_channels_in_band() == 351
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WdmGrid(0)
+        with pytest.raises(ConfigError):
+            WdmGrid(4, channel_spacing_m=0.0)
+
+
+class TestAddressability:
+    def test_small_comb_is_clean(self):
+        grid = WdmGrid(32, channel_spacing_m=0.4e-9)   # 12.4 nm < 15 nm FSR
+        report = ring_addressability(grid)
+        assert report.feasible
+        assert not report.crosstalk_pairs
+
+    def test_wide_comb_aliases(self):
+        grid = WdmGrid(256, channel_spacing_m=0.1e-9)  # 25.5 nm > FSR
+        report = ring_addressability(grid)
+        assert report.aliased
+        assert report.crosstalk_pairs
+        base, alias = report.crosstalk_pairs[0]
+        assert alias - base == report.channels_per_fsr
+
+    def test_smaller_ring_raises_fsr_and_capacity(self):
+        grid = WdmGrid(256, channel_spacing_m=0.1e-9)
+        big_ring = MicroringResonator(radius_m=6e-6)
+        small_ring = MicroringResonator(radius_m=3e-6)
+        assert ring_addressability(grid, small_ring).max_clean_channels \
+            > ring_addressability(grid, big_ring).max_clean_channels
+
+
+class TestCometPlan:
+    def test_comet_4b_has_a_feasible_plan(self):
+        """256 wavelengths fit one 6 um-ring FSR at 0.05 nm spacing."""
+        grid = comet_wavelength_plan(256)
+        assert grid.fits_band()
+        assert not ring_addressability(grid).aliased
+
+    def test_comet_2b_plan_is_coarser(self):
+        plan_512 = comet_wavelength_plan(512, MicroringResonator(radius_m=2.5e-6))
+        assert plan_512.channel_spacing_m <= 0.1e-9
+
+    def test_comet_1b_infeasible_with_default_ring(self):
+        """1024 wavelengths per bank do not fit — one more reason (beyond
+        Fig. 7's power) that the b=1 configuration loses."""
+        with pytest.raises(ConfigError):
+            comet_wavelength_plan(1024)

@@ -1,0 +1,120 @@
+"""Property-based tests for the extension modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.endurance import StartGapWearLeveler
+from repro.device.drift import TransmissionDriftModel
+from repro.device.mlc import MultiLevelCell
+from repro.device.thermal_crosstalk import ThermalCrosstalkModel
+from repro.photonics.wdm import WdmGrid, ring_addressability
+
+
+class TestStartGapProperties:
+    @given(
+        rows=st.integers(min_value=2, max_value=64),
+        interval=st.integers(min_value=1, max_value=20),
+        writes=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bijective_under_any_write_stream(self, rows, interval, writes):
+        leveler = StartGapWearLeveler(rows=rows, gap_move_interval=interval)
+        for _ in range(writes):
+            leveler.record_write()
+        assert leveler.mapping_is_bijective()
+
+    @given(
+        rows=st.integers(min_value=2, max_value=32),
+        writes=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overhead_bounded_by_interval(self, rows, writes):
+        interval = 10
+        leveler = StartGapWearLeveler(rows=rows, gap_move_interval=interval)
+        for _ in range(writes):
+            leveler.record_write()
+        assert leveler.write_overhead() <= 1.0 / interval + 1e-9
+
+
+class TestDriftProperties:
+    @given(
+        fc=st.floats(min_value=0.0, max_value=1.0),
+        t1=st.floats(min_value=0.0, max_value=1e9),
+        factor=st.floats(min_value=1.0, max_value=1e3),
+    )
+    @settings(max_examples=80)
+    def test_shift_monotone_in_time(self, fc, t1, factor):
+        model = TransmissionDriftModel()
+        assert model.transmission_shift(fc, t1 * factor) \
+            >= model.transmission_shift(fc, t1) - 1e-15
+
+    @given(
+        bits=st.integers(min_value=1, max_value=5),
+        fc=st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=60)
+    def test_retention_never_negative(self, bits, fc):
+        model = TransmissionDriftModel()
+        retention = model.level_retention_s(MultiLevelCell(bits), fc)
+        assert retention >= 0.0
+
+    @given(fc_lo=st.floats(min_value=0.0, max_value=0.5),
+           fc_gap=st.floats(min_value=0.01, max_value=0.49))
+    @settings(max_examples=60)
+    def test_more_crystalline_drifts_less(self, fc_lo, fc_gap):
+        model = TransmissionDriftModel()
+        t = 1e6
+        assert model.transmission_shift(fc_lo + fc_gap, t) \
+            <= model.transmission_shift(fc_lo, t) + 1e-15
+
+
+class TestThermalProperties:
+    @given(
+        power=st.floats(min_value=1e-4, max_value=1e-2),
+        duration=st.floats(min_value=1e-9, max_value=1e-6),
+        distance=st.floats(min_value=1e-7, max_value=1e-4),
+    )
+    @settings(max_examples=80)
+    def test_transient_below_steady_state(self, power, duration, distance):
+        model = ThermalCrosstalkModel()
+        transient = model.neighbor_temperature_rise_k(power, duration, distance)
+        steady = model.steady_state_rise_k(power, distance)
+        assert 0.0 <= transient <= steady + 1e-12
+
+    @given(
+        power=st.floats(min_value=1e-4, max_value=1e-2),
+        duration=st.floats(min_value=1e-9, max_value=1e-7),
+    )
+    @settings(max_examples=40)
+    def test_safe_pitch_is_actually_safe(self, power, duration):
+        model = ThermalCrosstalkModel()
+        pitch = model.minimum_safe_pitch_m(power, duration)
+        assert model.is_disturb_free(power, duration, pitch * 1.01)
+
+
+class TestWdmProperties:
+    @given(
+        channels=st.integers(min_value=1, max_value=400),
+        spacing_pm=st.integers(min_value=10, max_value=800),
+    )
+    @settings(max_examples=80)
+    def test_band_fit_consistent_with_wavelengths(self, channels, spacing_pm):
+        grid = WdmGrid(channels, channel_spacing_m=spacing_pm * 1e-12)
+        if grid.fits_band():
+            wavelengths = grid.wavelengths_m()
+            assert len(wavelengths) == channels
+            assert wavelengths[0] >= grid.band_min_m - 1e-15
+            assert wavelengths[-1] <= grid.band_max_m + 1e-15
+        else:
+            with pytest.raises(Exception):
+                grid.wavelengths_m()
+
+    @given(channels=st.integers(min_value=2, max_value=300))
+    @settings(max_examples=60)
+    def test_aliasing_iff_comb_exceeds_fsr(self, channels):
+        grid = WdmGrid(channels, channel_spacing_m=0.1e-9)
+        report = ring_addressability(grid)
+        assert report.aliased == (grid.comb_span_m > report.ring_fsr_m)
+        if report.aliased:
+            assert report.crosstalk_pairs

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers the data structures and mappings where exhaustive enumeration is
+impossible: the address mapper bijection, effective-medium bounds, loss
+budget algebra, trace round-trips, MLC packing, JMAK monotonicity, LUT
+compensation bounds, and scheduler conservation laws.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address import AddressMapper
+from repro.arch.lut import GainLUT
+from repro.arch.organization import MemoryOrganization
+from repro.device.kinetics import CrystallizationKinetics
+from repro.device.mlc import MultiLevelCell
+from repro.materials import get_record
+from repro.materials.effective_medium import lorentz_lorenz_mix
+from repro.photonics.losses import LossBudget
+from repro.sim.controller import MemoryController
+from repro.sim.devices import EnergyModel, MemoryDeviceModel
+from repro.sim.request import MemRequest, OpType
+from repro.sim.trace import roundtrip
+
+_MAPPER = AddressMapper(MemoryOrganization.comet(4), channels=8)
+_KINETICS = CrystallizationKinetics(
+    get_record("GST").kinetics, get_record("GST").thermal)
+
+lines = st.integers(min_value=0,
+                    max_value=_MAPPER.capacity_bytes // 128 - 1)
+
+
+class TestAddressMapping:
+    @given(lines)
+    @settings(max_examples=200)
+    def test_decompose_compose_bijection(self, line):
+        address = line * 128
+        assert _MAPPER.compose(_MAPPER.decompose(address)) == address
+
+    @given(lines)
+    @settings(max_examples=200)
+    def test_mapped_location_in_bounds(self, line):
+        org = _MAPPER.org
+        loc = _MAPPER.map_address(line * 128)
+        assert 0 <= loc.bank < org.banks
+        assert 0 <= loc.subarray_id < org.subarrays_per_bank
+        assert 0 <= loc.subarray_row < org.rows_per_subarray
+        assert 0 <= loc.subarray_col < org.cols_per_subarray
+
+    @given(st.lists(lines, min_size=2, max_size=50, unique=True))
+    @settings(max_examples=50)
+    def test_distinct_lines_distinct_cells(self, line_list):
+        locations = {
+            (loc.channel, loc.bank, loc.subarray_id,
+             loc.subarray_row, loc.subarray_col)
+            for loc in (_MAPPER.map_address(l * 128) for l in line_list)
+        }
+        assert len(locations) == len(line_list)
+
+
+class TestEffectiveMedium:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_blend_stays_between_endpoints(self, fc):
+        eps_a, eps_c = complex(15.5, 0.35), complex(36.6, 10.1)
+        eps = lorentz_lorenz_mix(eps_a, eps_c, fc)
+        assert eps_a.real - 1e-9 <= eps.real <= eps_c.real + 1e-9
+        assert eps_a.imag - 1e-9 <= eps.imag <= eps_c.imag + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=0.98),
+           st.floats(min_value=0.005, max_value=0.02))
+    def test_blend_strictly_monotone(self, fc, step):
+        eps_a, eps_c = complex(15.5, 0.35), complex(36.6, 10.1)
+        lo = lorentz_lorenz_mix(eps_a, eps_c, fc)
+        hi = lorentz_lorenz_mix(eps_a, eps_c, min(fc + step, 1.0))
+        assert hi.real > lo.real
+
+
+class TestLossBudgetAlgebra:
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=1, max_size=20))
+    def test_total_is_sum_and_transmission_consistent(self, losses):
+        budget = LossBudget()
+        for index, loss in enumerate(losses):
+            budget.add(f"e{index}", loss)
+        assert budget.total_db == pytest.approx(sum(losses))
+        assert budget.transmission == pytest.approx(
+            10 ** (-sum(losses) / 10.0))
+
+    @given(st.floats(min_value=1e-6, max_value=1e-2),
+           st.floats(min_value=0.0, max_value=30.0))
+    def test_launch_then_deliver_is_identity(self, target, loss):
+        budget = LossBudget().add("path", loss)
+        launch = budget.required_launch_power_w(target)
+        assert budget.delivered_power_w(launch) == pytest.approx(target)
+
+
+class TestTraceRoundtrip:
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**33 - 128),
+            st.booleans(),
+            st.floats(min_value=0.0, max_value=1e6),
+        ),
+        min_size=1, max_size=50,
+    ))
+    @settings(max_examples=50)
+    def test_format_preserves_semantics(self, records):
+        requests = [
+            MemRequest(address=(addr // 128) * 128,
+                       op=OpType.READ if is_read else OpType.WRITE,
+                       arrival_ns=arrival)
+            for addr, is_read, arrival in records
+        ]
+        recovered = roundtrip(requests)
+        assert len(recovered) == len(requests)
+        for original, back in zip(requests, recovered):
+            assert back.address == original.address
+            assert back.op == original.op
+            assert back.arrival_ns == pytest.approx(
+                original.arrival_ns, abs=0.5)
+
+
+class TestMlcPacking:
+    @given(st.integers(min_value=1, max_value=5),
+           st.data())
+    def test_pack_unpack_identity(self, bits, data):
+        mlc = MultiLevelCell(bits)
+        values = data.draw(st.lists(
+            st.integers(min_value=0, max_value=mlc.num_levels - 1),
+            min_size=1, max_size=16))
+        assert mlc.unpack_values(mlc.pack_values(values), len(values)) == values
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_exact_levels_always_decode(self, bits):
+        mlc = MultiLevelCell(bits)
+        for level in range(mlc.num_levels):
+            assert mlc.decide_level(mlc.transmission_for_level(level)) == level
+
+
+class TestJmakInvariants:
+    @given(st.floats(min_value=440.0, max_value=890.0),
+           st.floats(min_value=1e-10, max_value=1e-5))
+    def test_fraction_in_unit_interval(self, temperature, time_s):
+        fc = _KINETICS.isothermal_fraction(temperature, time_s)
+        assert 0.0 <= fc <= 1.0   # saturates to 1.0 in float at long holds
+
+    @given(st.floats(min_value=440.0, max_value=890.0),
+           st.floats(min_value=1e-9, max_value=1e-6),
+           st.floats(min_value=1.1, max_value=5.0))
+    def test_longer_hold_never_less_crystalline(self, temp, time_s, factor):
+        assert _KINETICS.isothermal_fraction(temp, time_s * factor) \
+            >= _KINETICS.isothermal_fraction(temp, time_s)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_progress_inversion(self, fc):
+        theta = _KINETICS.progress_for_fraction(fc)
+        assert _KINETICS.fraction_from_progress(theta) == pytest.approx(fc)
+
+
+class TestLutCompensation:
+    @given(st.sampled_from([1, 2, 4]),
+           st.integers(min_value=0, max_value=511))
+    def test_gain_within_one_tolerance_of_exact(self, bits, row):
+        from repro.device.mlc import paper_loss_tolerance_db
+        lut = GainLUT(512, bits)
+        exact = (row % lut.soa_interval_rows) * 0.33
+        gain = lut.gain_db_for_row(row)
+        assert gain >= exact - 1e-9
+        assert gain - exact <= paper_loss_tolerance_db(bits) + 1e-9
+
+
+class TestSchedulerConservation:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63),
+                  st.booleans(),
+                  st.floats(min_value=0.0, max_value=5000.0)),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=40,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_request_completes_after_arrival(self, records):
+        device = MemoryDeviceModel(
+            name="prop", line_bytes=128, banks=4,
+            data_burst_ns=4.0, interface_delay_ns=10.0,
+            read_occupancy_ns=10.0, write_occupancy_ns=100.0,
+            shared_bus=True, energy=EnergyModel(),
+        )
+        requests = sorted(
+            (MemRequest(address=line * 128,
+                        op=OpType.READ if is_read else OpType.WRITE,
+                        arrival_ns=arrival)
+             for line, is_read, arrival in records),
+            key=lambda r: r.arrival_ns,
+        )
+        stats = MemoryController(device).run(list(requests))
+        assert stats.num_requests == len(requests)
+        assert all(latency > 0.0 for latency in stats.latencies_ns)
+        # Conservation: total bytes equals request count x line size.
+        assert stats.total_bytes == len(requests) * 128
+        # Banks never serve more than wall-clock x banks of busy time.
+        assert stats.busy_time_ns <= stats.sim_time_ns * device.banks + 1e-6

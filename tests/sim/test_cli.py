@@ -1,0 +1,52 @@
+"""Command-line runner (python -m repro.sim)."""
+
+import io
+import tempfile
+
+import pytest
+
+from repro.sim.__main__ import build_parser, main
+from repro.sim.trace import TraceWriter
+from repro.sim.tracegen import generate_trace
+
+
+class TestParser:
+    def test_requires_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "mcf"])
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--arch", "COMET"])
+
+    def test_workload_and_trace_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--arch", "COMET", "--workload", "mcf", "--trace", "x"])
+
+
+class TestRuns:
+    def test_synthetic_workload_run(self, capsys):
+        code = main(["--arch", "COMET", "--workload", "gcc",
+                     "--requests", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out
+        assert "COMET" in out
+
+    def test_trace_file_run(self, capsys):
+        trace = generate_trace("mcf", 500)
+        with tempfile.NamedTemporaryFile("w+", suffix=".nvt",
+                                         delete=False) as handle:
+            path = handle.name
+        TraceWriter(path).write(trace)
+        code = main(["--arch", "2D_DDR3", "--trace", path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row hit rate" in out
+
+    def test_gated_vs_dram_output_fields(self, capsys):
+        main(["--arch", "EPCM-MM", "--workload", "omnetpp",
+              "--requests", "500"])
+        out = capsys.readouterr().out
+        assert "EPB" in out and "p95" in out

@@ -1,0 +1,187 @@
+"""Device models and the controller's scheduling semantics."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.controller import MemoryController
+from repro.sim.devices import (
+    EnergyModel,
+    MemoryDeviceModel,
+    RefreshSpec,
+    RowBufferTiming,
+)
+from repro.sim.request import MemRequest, OpType
+
+
+def simple_device(**overrides):
+    base = dict(
+        name="test",
+        line_bytes=128,
+        banks=2,
+        data_burst_ns=4.0,
+        interface_delay_ns=10.0,
+        read_occupancy_ns=10.0,
+        write_occupancy_ns=100.0,
+        shared_bus=False,
+        energy=EnergyModel(read_energy_j=1e-9, write_energy_j=5e-9),
+    )
+    base.update(overrides)
+    return MemoryDeviceModel(**base)
+
+
+def read_at(t, address=0):
+    return MemRequest(address=address, op=OpType.READ, arrival_ns=t)
+
+
+def write_at(t, address=0):
+    return MemRequest(address=address, op=OpType.WRITE, arrival_ns=t)
+
+
+class TestDeviceValidation:
+    def test_needs_timing_definition(self):
+        with pytest.raises(ConfigError):
+            simple_device(read_occupancy_ns=None, write_occupancy_ns=None)
+
+    def test_rejects_double_definition(self):
+        with pytest.raises(ConfigError):
+            simple_device(row_buffer=RowBufferTiming(10, 10, 10, 10, 4096))
+
+    def test_refresh_validation(self):
+        with pytest.raises(ConfigError):
+            RefreshSpec(interval_ns=100.0, duration_ns=100.0)
+
+    def test_bank_mapping_line_interleave(self):
+        device = simple_device()
+        assert device.bank_of(read_at(0.0, address=0)) == 0
+        assert device.bank_of(read_at(0.0, address=128)) == 1
+        assert device.bank_of(read_at(0.0, address=256)) == 0
+
+    def test_bank_mapping_row_interleave(self):
+        device = simple_device(
+            read_occupancy_ns=None, write_occupancy_ns=None,
+            row_buffer=RowBufferTiming(10, 10, 10, 10, 4096))
+        assert device.bank_of(read_at(0.0, address=0)) == 0
+        assert device.bank_of(read_at(0.0, address=4096)) == 1
+
+
+class TestControllerScheduling:
+    def test_single_read_latency(self):
+        controller = MemoryController(simple_device())
+        stats = controller.run([read_at(0.0)])
+        # 10 (array) + 4 (burst) + 10 (interface)
+        assert stats.latencies_ns[0] == pytest.approx(24.0)
+
+    def test_same_bank_serializes(self):
+        controller = MemoryController(simple_device())
+        stats = controller.run([read_at(0.0, 0), read_at(0.0, 256)])
+        assert stats.latencies_ns[1] > stats.latencies_ns[0]
+
+    def test_different_banks_parallel(self):
+        controller = MemoryController(simple_device())
+        stats = controller.run([read_at(0.0, 0), read_at(0.0, 128)])
+        assert stats.latencies_ns[0] == pytest.approx(stats.latencies_ns[1])
+
+    def test_shared_bus_serializes_bursts(self):
+        controller = MemoryController(simple_device(shared_bus=True))
+        stats = controller.run([read_at(0.0, 0), read_at(0.0, 128)])
+        assert stats.latencies_ns[1] == pytest.approx(
+            stats.latencies_ns[0] + 4.0)
+
+    def test_bus_turnaround_penalty(self):
+        # Fast writes so the shared-bus turnaround is the binding delay.
+        with_ta = simple_device(shared_bus=True, bus_turnaround_ns=6.0,
+                                write_occupancy_ns=10.0)
+        without_ta = simple_device(shared_bus=True, write_occupancy_ns=10.0)
+        requests = lambda: [read_at(0.0, 0), write_at(0.0, 128)]
+        latency_ta = MemoryController(with_ta).run(requests()).latencies_ns[1]
+        latency_plain = MemoryController(without_ta).run(
+            requests()).latencies_ns[1]
+        assert latency_ta == pytest.approx(latency_plain + 6.0)
+
+    def test_writes_slower_than_reads(self):
+        controller = MemoryController(simple_device())
+        stats = controller.run([write_at(0.0)])
+        assert stats.latencies_ns[0] == pytest.approx(114.0)
+
+    def test_queue_throttling_stretches_time(self):
+        device = simple_device()
+        burst = [read_at(0.0, 0) for _ in range(10)]
+        deep = MemoryController(device, queue_depth=10).run(burst)
+        shallow = MemoryController(device, queue_depth=1).run(
+            [read_at(0.0, 0) for _ in range(10)])
+        # Same service capacity, but the shallow queue bounds latency.
+        assert max(shallow.latencies_ns) < max(deep.latencies_ns)
+
+    def test_requests_must_be_sorted(self):
+        controller = MemoryController(simple_device())
+        with pytest.raises(SimulationError):
+            controller.run([read_at(10.0), read_at(0.0)])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryController(simple_device()).run([])
+
+    def test_burst_overlap_frees_bank_early(self):
+        overlap = simple_device(burst_overlaps_array=True)
+        serial = simple_device(burst_overlaps_array=False)
+        requests = [read_at(0.0, 0), read_at(0.0, 256)]
+        t_overlap = MemoryController(overlap).run(
+            [read_at(0.0, 0), read_at(0.0, 256)]).latencies_ns[1]
+        t_serial = MemoryController(serial).run(requests).latencies_ns[1]
+        assert t_overlap < t_serial
+
+
+class TestRowBufferAndRefresh:
+    def make_dram(self):
+        return MemoryDeviceModel(
+            name="dram",
+            line_bytes=128,
+            banks=2,
+            data_burst_ns=10.0,
+            interface_delay_ns=0.0,
+            row_buffer=RowBufferTiming(
+                t_rcd_ns=15.0, t_rp_ns=15.0, t_cas_ns=15.0, t_wr_ns=15.0,
+                row_size_bytes=4096),
+            refresh=RefreshSpec(interval_ns=7800.0, duration_ns=260.0,
+                                energy_j=1e-9),
+            shared_bus=True,
+            energy=EnergyModel(background_power_w=1.0,
+                               read_energy_j=1e-9, write_energy_j=1e-9),
+        )
+
+    def test_row_hit_faster_than_miss(self):
+        controller = MemoryController(self.make_dram())
+        stats = controller.run([read_at(300.0, 0), read_at(600.0, 128)])
+        assert stats.row_hits == 1
+        assert stats.row_misses == 1
+        assert stats.latencies_ns[1] < stats.latencies_ns[0]
+
+    def test_refresh_blocks_start(self):
+        controller = MemoryController(self.make_dram())
+        # Arrives inside the first refresh window [0, 260).
+        stats = controller.run([read_at(100.0, 0)])
+        assert stats.latencies_ns[0] > 160.0  # pushed past the window
+
+    def test_refresh_energy_counted(self):
+        controller = MemoryController(self.make_dram())
+        trace = [read_at(float(t), 0) for t in range(0, 20000, 500)]
+        stats = controller.run(trace)
+        assert stats.refresh_count >= 2
+        assert stats.refresh_energy_j == pytest.approx(
+            stats.refresh_count * 1e-9)
+
+
+class TestEnergyAccounting:
+    def test_op_energy_summed(self):
+        controller = MemoryController(simple_device())
+        stats = controller.run([read_at(0.0, 0), write_at(50.0, 128)])
+        assert stats.op_energy_j == pytest.approx(6e-9)
+
+    def test_active_energy_gated_by_busy_fraction(self):
+        device = simple_device(
+            energy=EnergyModel(active_power_w=10.0))
+        controller = MemoryController(device)
+        stats = controller.run([read_at(0.0)])
+        # busy 14 ns of 24 ns total across 2 banks -> active = 7 ns.
+        assert stats.active_time_ns == pytest.approx(7.0)
+        assert stats.active_energy_j == pytest.approx(10.0 * 7e-9)

@@ -1,0 +1,71 @@
+"""Open-page vs closed-page DRAM controller policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.dram import dram_config
+from repro.errors import ConfigError
+from repro.sim import MainMemorySimulator
+from repro.sim.devices import RowBufferTiming
+from repro.sim.factory import build_dram_device
+
+
+def ddr3(policy: str):
+    return build_dram_device(
+        dataclasses.replace(dram_config("2D_DDR3"), page_policy=policy))
+
+
+class TestTiming:
+    def test_closed_page_never_hits(self):
+        timing = RowBufferTiming(14.0, 14.0, 14.0, 15.0, 8192,
+                                 page_policy="closed")
+        assert timing.service_ns(row_hit=True, is_read=True) \
+            == timing.service_ns(row_hit=False, is_read=True) \
+            == pytest.approx(28.0)
+
+    def test_open_page_hit_cheaper(self):
+        timing = RowBufferTiming(14.0, 14.0, 14.0, 15.0, 8192)
+        assert timing.service_ns(True, True) == pytest.approx(14.0)
+        assert timing.service_ns(False, True) == pytest.approx(42.0)
+
+    def test_closed_cheaper_than_open_miss(self):
+        """Closed page saves the precharge on the miss path."""
+        open_page = RowBufferTiming(14.0, 14.0, 14.0, 15.0, 8192)
+        closed = RowBufferTiming(14.0, 14.0, 14.0, 15.0, 8192,
+                                 page_policy="closed")
+        assert closed.service_ns(False, True) \
+            < open_page.service_ns(False, True)
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RowBufferTiming(14.0, 14.0, 14.0, 15.0, 8192,
+                            page_policy="adaptive")
+
+
+class TestEndToEnd:
+    def test_closed_page_registers_no_hits(self):
+        stats = MainMemorySimulator(ddr3("closed")).run_workload(
+            "libquantum", 2000)
+        assert stats.row_hits == 0
+        assert stats.row_misses == 2000
+
+    def test_streaming_prefers_open_page(self):
+        """libquantum's 92 % sequential traffic rewards open rows."""
+        open_stats = MainMemorySimulator(ddr3("open")).run_workload(
+            "libquantum", 2500)
+        closed_stats = MainMemorySimulator(ddr3("closed")).run_workload(
+            "libquantum", 2500)
+        busy_open = open_stats.busy_time_ns / open_stats.num_requests
+        busy_closed = closed_stats.busy_time_ns / closed_stats.num_requests
+        assert busy_open < busy_closed
+
+    def test_random_prefers_closed_page(self):
+        """mcf's 5 %-sequential traffic rewards skipping the precharge."""
+        open_stats = MainMemorySimulator(ddr3("open")).run_workload(
+            "mcf", 2500)
+        closed_stats = MainMemorySimulator(ddr3("closed")).run_workload(
+            "mcf", 2500)
+        busy_open = open_stats.busy_time_ns / open_stats.num_requests
+        busy_closed = closed_stats.busy_time_ns / closed_stats.num_requests
+        assert busy_closed < busy_open

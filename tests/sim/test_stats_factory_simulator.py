@@ -1,0 +1,121 @@
+"""SimStats metrics, the device factory, and end-to-end simulator runs."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim import ARCHITECTURE_NAMES, MainMemorySimulator, build_device
+from repro.sim.stats import SimStats, geometric_mean
+
+
+def make_stats(**overrides):
+    base = dict(
+        device_name="X", workload_name="w", num_requests=10,
+        num_reads=7, num_writes=3, total_bytes=1280,
+        sim_time_ns=1000.0, busy_time_ns=500.0, active_time_ns=250.0,
+        latencies_ns=[100.0] * 10, op_energy_j=1e-9,
+        background_power_w=1.0, active_power_w=2.0,
+    )
+    base.update(overrides)
+    return SimStats(**base)
+
+
+class TestStats:
+    def test_bandwidth(self):
+        stats = make_stats()
+        assert stats.bandwidth_gbps == pytest.approx(1.28)   # B/ns = GB/s
+
+    def test_latency_percentiles(self):
+        stats = make_stats(latencies_ns=list(range(1, 101)))
+        assert stats.avg_latency_ns == pytest.approx(50.5)
+        assert stats.p95_latency_ns == pytest.approx(95.05, rel=0.01)
+        assert stats.max_latency_ns == 100.0
+
+    def test_energy_composition(self):
+        stats = make_stats()
+        expected = (1.0 * 1000e-9) + (2.0 * 250e-9) + 1e-9
+        assert stats.total_energy_j == pytest.approx(expected)
+
+    def test_epb(self):
+        stats = make_stats()
+        assert stats.energy_per_bit_pj == pytest.approx(
+            stats.total_energy_j / (1280 * 8) * 1e12)
+
+    def test_bw_per_epb(self):
+        stats = make_stats()
+        assert stats.bw_per_epb == pytest.approx(
+            stats.bandwidth_gbps / stats.energy_per_bit_pj)
+
+    def test_as_row_keys(self):
+        row = make_stats().as_row()
+        assert {"device", "workload", "bandwidth_gbps", "epb_pj"} <= set(row)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(SimulationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_invalid_sim_time(self):
+        with pytest.raises(SimulationError):
+            make_stats(sim_time_ns=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ARCHITECTURE_NAMES)
+    def test_every_architecture_builds(self, name):
+        device = build_device(name)
+        assert device.name == name
+        assert device.line_bytes == 128
+        assert device.banks >= 4
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ConfigError):
+            build_device("HBM3")
+
+    def test_comet_device_shape(self):
+        device = build_device("COMET")
+        assert device.banks == 32            # 8 channels x 4 banks
+        assert device.channels == 8
+        assert not device.shared_bus
+        assert device.read_occupancy_ns == pytest.approx(10.0)
+        assert device.refresh is None        # non-volatile
+
+    def test_cosmos_device_shape(self):
+        device = build_device("COSMOS")
+        assert device.banks == 64            # 8 channels x 8 banks
+        assert device.row_buffer is not None  # subarray buffer
+        assert device.write_occupancy_ns == pytest.approx(1600.0)
+
+    def test_dram_has_refresh(self):
+        device = build_device("2D_DDR3")
+        assert device.refresh is not None
+        assert device.refresh.interval_ns == pytest.approx(7800.0)
+
+    def test_photonic_power_higher_than_dram_background(self):
+        comet = build_device("COMET")
+        ddr3 = build_device("2D_DDR3")
+        assert comet.energy.active_power_w > 10 * ddr3.energy.background_power_w
+
+
+class TestSimulatorRuns:
+    def test_workload_run_produces_stats(self):
+        simulator = MainMemorySimulator("COMET")
+        stats = simulator.run_workload("gcc", num_requests=1500)
+        assert stats.num_requests == 1500
+        assert stats.bandwidth_gbps > 0.0
+        assert stats.avg_latency_ns > 0.0
+
+    def test_requests_sorted_internally(self):
+        from repro.sim.request import MemRequest, OpType
+        simulator = MainMemorySimulator("EPCM-MM")
+        requests = [
+            MemRequest(address=256, op=OpType.READ, arrival_ns=50.0),
+            MemRequest(address=0, op=OpType.READ, arrival_ns=0.0),
+        ]
+        stats = simulator.run(requests)
+        assert stats.num_requests == 2
+
+    def test_comet_faster_than_cosmos_on_any_workload(self):
+        comet = MainMemorySimulator("COMET").run_workload("milc", 2000)
+        cosmos = MainMemorySimulator("COSMOS").run_workload("milc", 2000)
+        assert comet.bandwidth_gbps > cosmos.bandwidth_gbps
+        assert comet.avg_latency_ns < cosmos.avg_latency_ns

@@ -1,0 +1,84 @@
+"""Synthetic SPEC-like trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.tracegen import SPEC_WORKLOADS, SyntheticWorkload, generate_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("mcf", 500, seed=7)
+        b = generate_trace("mcf", 500, seed=7)
+        assert [r.address for r in a] == [r.address for r in b]
+        assert [r.arrival_ns for r in a] == [r.arrival_ns for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("mcf", 500, seed=1)
+        b = generate_trace("mcf", 500, seed=2)
+        assert [r.address for r in a] != [r.address for r in b]
+
+
+class TestStatistics:
+    def test_read_fraction_close_to_spec(self):
+        workload = SPEC_WORKLOADS["libquantum"]
+        trace = workload.generate(5000, seed=3)
+        reads = sum(1 for r in trace if r.is_read)
+        assert reads / len(trace) == pytest.approx(
+            workload.read_fraction, abs=0.02)
+
+    def test_interarrival_close_to_spec(self):
+        workload = SPEC_WORKLOADS["mcf"]
+        trace = workload.generate(5000, seed=3)
+        arrivals = np.array([r.arrival_ns for r in trace])
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(
+            workload.mean_interarrival_ns, rel=0.1)
+
+    def test_arrivals_sorted(self):
+        trace = generate_trace("lbm", 1000)
+        arrivals = [r.arrival_ns for r in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_addresses_within_working_set(self):
+        workload = SPEC_WORKLOADS["gcc"]
+        trace = workload.generate(2000, seed=5)
+        assert all(0 <= r.address < workload.working_set_bytes for r in trace)
+        assert all(r.address % workload.line_bytes == 0 for r in trace)
+
+    def test_sequential_workload_has_runs(self):
+        """lbm (p_seq = 0.85) must show many consecutive-line pairs."""
+        trace = generate_trace("lbm", 2000, seed=1)
+        lines = [r.address // 128 for r in trace]
+        sequential_pairs = sum(
+            1 for a, b in zip(lines, lines[1:]) if b == a + 1)
+        assert sequential_pairs / len(lines) > 0.6
+
+    def test_random_workload_lacks_runs(self):
+        trace = generate_trace("mcf", 2000, seed=1)
+        lines = [r.address // 128 for r in trace]
+        sequential_pairs = sum(
+            1 for a, b in zip(lines, lines[1:]) if b == a + 1)
+        assert sequential_pairs / len(lines) < 0.15
+
+
+class TestPresets:
+    def test_eight_workloads(self):
+        assert len(SPEC_WORKLOADS) == 8
+        assert {"mcf", "lbm", "libquantum", "milc", "omnetpp", "gcc",
+                "bwaves", "gemsfdtd"} == set(SPEC_WORKLOADS)
+
+    def test_unknown_workload(self):
+        with pytest.raises(TraceError):
+            generate_trace("povray")
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            SyntheticWorkload("x", -1.0, 0.5, 0.5, 2**20)
+        with pytest.raises(TraceError):
+            SyntheticWorkload("x", 1.0, 1.5, 0.5, 2**20)
+        with pytest.raises(TraceError):
+            SyntheticWorkload("x", 1.0, 0.5, 1.0, 2**20)
+        with pytest.raises(TraceError):
+            SPEC_WORKLOADS["mcf"].generate(0)

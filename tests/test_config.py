@@ -1,0 +1,104 @@
+"""Central configuration (Tables I/II, organizations, capacity)."""
+
+import dataclasses
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+class TestTableI:
+    def test_paper_values(self):
+        p = config.TABLE_I
+        assert p.coupling_loss_db == 1.0
+        assert p.mr_drop_loss_db == 0.5
+        assert p.mr_through_loss_db == 0.02
+        assert p.eo_mr_drop_loss_db == 1.6
+        assert p.eo_mr_through_loss_db == 0.33
+        assert p.propagation_loss_db_per_cm == 0.1
+        assert p.bending_loss_db_per_90deg == 0.01
+        assert p.laser_wall_plug_efficiency == 0.20
+        assert p.eo_tuning_power_w_per_nm == pytest.approx(4e-6)
+        assert p.max_power_at_gst_cell_w == pytest.approx(1e-3)
+        assert p.intra_soa_power_w == pytest.approx(1.4e-3)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigError):
+            config.OpticalParameters(coupling_loss_db=-1.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            config.OpticalParameters(laser_wall_plug_efficiency=0.0)
+
+    def test_replace_produces_new_instance(self):
+        new = config.replace(config.TABLE_I, coupling_loss_db=2.0)
+        assert new.coupling_loss_db == 2.0
+        assert config.TABLE_I.coupling_loss_db == 1.0
+
+    def test_table_rows_render(self):
+        rows = config.table_i_rows()
+        assert rows["Coupling loss"] == "1 dB"
+        assert rows["Laser wall plug efficiency"] == "20%"
+        assert len(rows) == 12
+
+
+class TestTableII:
+    def test_comet_row(self):
+        t = config.COMET_TIMINGS
+        assert (t.banks, t.bus_width_bits, t.burst_length) == (4, 256, 4)
+        assert t.write_time_ns == 170.0
+        assert t.erase_time_ns == 210.0
+        assert t.read_time_ns == 10.0
+        assert t.electrical_interface_delay_ns == 105.0
+
+    def test_cosmos_row(self):
+        t = config.COSMOS_TIMINGS
+        assert (t.banks, t.bus_width_bits, t.burst_length) == (8, 128, 8)
+        assert t.write_time_ns == 1600.0
+        assert t.erase_time_ns == 250.0
+        assert t.read_time_ns == 25.0
+
+    def test_cache_line_is_128_bytes_for_both(self):
+        assert config.COMET_TIMINGS.cache_line_bits == 1024
+        assert config.COSMOS_TIMINGS.cache_line_bits == 1024
+
+    def test_burst_total_time(self):
+        assert config.COMET_TIMINGS.burst_total_time_ns == pytest.approx(4.0)
+        assert config.COSMOS_TIMINGS.burst_total_time_ns == pytest.approx(8.0)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(config.COMET_TIMINGS, banks=0)
+
+
+class TestOrganizations:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_all_bit_densities_have_channel_capacity(self, bits):
+        spec = config.comet_organization(bits)
+        config.validate_capacity(spec)  # must not raise
+
+    def test_paper_tuples(self):
+        spec = config.comet_organization(4)
+        assert (spec.banks, spec.subarrays_per_bank, spec.rows_per_subarray,
+                spec.cols_per_subarray) == (4, 4096, 512, 256)
+        spec1 = config.comet_organization(1)
+        assert spec1.cols_per_subarray == 1024
+        spec2 = config.comet_organization(2)
+        assert spec2.cols_per_subarray == 512
+
+    def test_unknown_bit_density(self):
+        with pytest.raises(ConfigError):
+            config.comet_organization(3)
+
+    def test_total_part_capacity_is_8gb(self):
+        per_channel = config.CHANNEL_CAPACITY_BYTES
+        assert per_channel * config.MAIN_MEMORY_CHANNELS \
+            == config.MAIN_MEMORY_CAPACITY_BYTES
+        assert config.MAIN_MEMORY_CAPACITY_BYTES == 8 * 2**30
+
+    def test_soa_interval_constant(self):
+        assert config.SOA_ROW_INTERVAL == 46
+
+    def test_mdm_degree(self):
+        assert config.MDM_DEGREE == 4

@@ -1,0 +1,87 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.constants import photon_energy_ev, wavelength_from_energy_ev
+
+
+class TestDecibels:
+    def test_db_to_linear_roundtrip(self):
+        for db in (-30.0, -3.0, 0.0, 3.0, 20.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_three_db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_dbm_conversions(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert units.watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_transmission_loss_roundtrip(self):
+        for t in (1.0, 0.5, 0.1, 1e-3):
+            loss = units.transmission_to_loss_db(t)
+            assert loss >= 0.0
+            assert units.loss_db_to_transmission(loss) == pytest.approx(t)
+
+    def test_transmission_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            units.transmission_to_loss_db(0.0)
+        with pytest.raises(ValueError):
+            units.transmission_to_loss_db(1.5)
+        with pytest.raises(ValueError):
+            units.loss_db_to_transmission(-0.1)
+
+    def test_array_support(self):
+        arr = np.array([0.5, 0.25])
+        out = units.transmission_to_loss_db(arr)
+        assert out.shape == arr.shape
+        assert out[0] == pytest.approx(3.0103, rel=1e-4)
+
+
+class TestAbsorption:
+    def test_kappa_to_alpha(self):
+        # alpha = 4*pi*kappa/lambda
+        alpha = units.kappa_to_alpha_per_m(0.83, 1550e-9)
+        assert alpha == pytest.approx(4 * math.pi * 0.83 / 1550e-9)
+
+    def test_kappa_to_db_per_m_positive(self):
+        assert units.kappa_to_db_per_m(0.1, 1550e-9) > 0.0
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            units.kappa_to_alpha_per_m(0.1, 0.0)
+
+
+class TestPhotonEnergy:
+    def test_1550nm_energy(self):
+        assert photon_energy_ev(1550e-9) == pytest.approx(0.7999, abs=1e-3)
+
+    def test_roundtrip(self):
+        wl = 1530e-9
+        assert wavelength_from_energy_ev(photon_energy_ev(wl)) == pytest.approx(wl)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            photon_energy_ev(-1.0)
+        with pytest.raises(ValueError):
+            wavelength_from_energy_ev(0.0)
+
+
+class TestPrefixes:
+    def test_si_helpers(self):
+        assert units.nm(480) == pytest.approx(480e-9)
+        assert units.um(2) == pytest.approx(2e-6)
+        assert units.ns(10) == pytest.approx(10e-9)
+        assert units.mw(5) == pytest.approx(5e-3)
+        assert units.pj(880) == pytest.approx(880e-12)
