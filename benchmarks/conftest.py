@@ -6,7 +6,54 @@ regeneration takes.  Heavy pipelines (the Fig. 9/10 simulator grids) run
 single-round via ``benchmark.pedantic``; cheap device/material benches run
 with normal calibration.
 
+The suite uses ``bench_*.py`` / ``bench_*`` naming, which default pytest
+collection ignores; the hooks below collect them **only** when benchmarks
+are explicitly requested, so the tier-1 test run never picks them up.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+or, without pytest-benchmark timing, ``REPRO_BENCH=1 pytest benchmarks/``.
 """
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+def _benchmarks_requested(config) -> bool:
+    if os.environ.get("REPRO_BENCH"):
+        return True
+    try:
+        return bool(config.getoption("--benchmark-only"))
+    except (ValueError, KeyError):
+        return False
+
+
+def _explicit_args(config) -> set:
+    """File/dir arguments on the command line (pytest always collects
+    explicitly named files itself — don't collect those twice)."""
+    return {Path(arg.split("::")[0]).resolve() for arg in config.args}
+
+
+def pytest_collect_file(file_path, parent):
+    if not _benchmarks_requested(parent.config):
+        return None
+    if file_path.suffix == ".py" and file_path.name.startswith("bench_"):
+        if Path(str(file_path)).resolve() in _explicit_args(parent.config):
+            return None
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
+def pytest_pycollect_makeitem(collector, name, obj):
+    """Collect ``bench_*`` functions inside the bench modules."""
+    if not _benchmarks_requested(collector.config):
+        return None
+    if name.startswith("bench_") and callable(obj) \
+            and collector.path.name.startswith("bench_"):
+        return list(collector._genfunctions(name, obj))
+    return None

@@ -8,10 +8,11 @@ the COMET-vs-everything ratios the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
+from ..sim.engine import run_evaluation
 from ..sim.factory import ARCHITECTURE_NAMES
-from ..sim.simulator import run_evaluation, summarize
+from ..sim.simulator import summarize
 from ..sim.stats import SimStats
 from .report import print_table
 
@@ -47,8 +48,14 @@ class Fig9Result:
                 / self.summary[other]["bw_per_epb"])
 
 
-def run(num_requests: int = 8000, seed: int = 1) -> Fig9Result:
-    results = run_evaluation(num_requests=num_requests, seed=seed)
+def run(num_requests: int = 8000, seed: int = 1,
+        workers: Optional[int] = None,
+        workloads: Optional[Iterable[str]] = None) -> Fig9Result:
+    """Run the grid; ``workers`` > 1 fans it out over processes and
+    ``workloads`` swaps in a non-default set (e.g. the multi-programmed
+    mixes) without changing the reported metrics."""
+    results = run_evaluation(num_requests=num_requests, seed=seed,
+                             workers=workers, workloads=workloads)
     return Fig9Result(results=results, summary=summarize(results))
 
 

@@ -10,14 +10,35 @@ Key entry points:
 
 * :func:`repro.sim.factory.build_device` — device model for any Fig. 9
   architecture name ("COMET", "COSMOS", "EPCM-MM", "2D_DDR3", ...).
+* :func:`repro.sim.factory.build_workload` — any named workload preset
+  (the SPEC eight, multi-programmed ``mix_*`` pairs, ``bursty``,
+  ``checkpoint``).
 * :class:`repro.sim.simulator.MainMemorySimulator` — runs a request list.
-* :mod:`repro.sim.tracegen` — deterministic SPEC-like workload generators.
+* :func:`repro.sim.engine.run_evaluation` — the (architecture x
+  workload) grid, fanned out over worker processes with a deterministic
+  serial fallback.
+* :mod:`repro.sim.tracegen` — deterministic vectorized workload
+  generators and the per-(workload, n, seed) trace cache.
 * :mod:`repro.sim.trace` — NVMain-format trace reader/writer.
 """
 
 from .request import MemRequest, OpType
 from .trace import TraceReader, TraceWriter, parse_trace_line, format_trace_line
-from .tracegen import SyntheticWorkload, SPEC_WORKLOADS, generate_trace
+from .tracegen import (
+    MIXED_WORKLOADS,
+    MixedWorkload,
+    PHASED_WORKLOADS,
+    Phase,
+    PhasedWorkload,
+    SPEC_WORKLOADS,
+    SyntheticWorkload,
+    TraceArrays,
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    cached_trace_arrays,
+    generate_trace,
+    generate_trace_arrays,
+)
 from .devices import (
     MemoryDeviceModel,
     RowBufferTiming,
@@ -25,8 +46,10 @@ from .devices import (
     EnergyModel,
 )
 from .stats import SimStats
-from .simulator import MainMemorySimulator
-from .factory import build_device, ARCHITECTURE_NAMES
+from .controller import MemoryController, QUEUE_DEPTH_PER_CHANNEL
+from .factory import build_device, build_workload, ARCHITECTURE_NAMES
+from .engine import EvalTask, run_evaluation
+from .simulator import MainMemorySimulator, summarize
 
 __all__ = [
     "MemRequest",
@@ -36,14 +59,30 @@ __all__ = [
     "parse_trace_line",
     "format_trace_line",
     "SyntheticWorkload",
+    "MixedWorkload",
+    "PhasedWorkload",
+    "Phase",
+    "TraceArrays",
     "SPEC_WORKLOADS",
+    "MIXED_WORKLOADS",
+    "PHASED_WORKLOADS",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
     "generate_trace",
+    "generate_trace_arrays",
+    "cached_trace_arrays",
     "MemoryDeviceModel",
     "RowBufferTiming",
     "RefreshSpec",
     "EnergyModel",
     "SimStats",
+    "MemoryController",
+    "QUEUE_DEPTH_PER_CHANNEL",
     "MainMemorySimulator",
+    "summarize",
+    "EvalTask",
+    "run_evaluation",
     "build_device",
+    "build_workload",
     "ARCHITECTURE_NAMES",
 ]

@@ -4,9 +4,19 @@ Run a synthetic workload::
 
     python -m repro.sim --arch COMET --workload mcf --requests 20000
 
-or an NVMain trace file::
+a multi-programmed or phased workload::
+
+    python -m repro.sim --arch COMET --workload mix_mcf_lbm
+    python -m repro.sim --arch 3D_DDR4 --workload checkpoint
+
+an NVMain trace file::
 
     python -m repro.sim --arch 2D_DDR3 --trace path/to/trace.nvt
+
+or the full evaluation grid through the parallel engine::
+
+    python -m repro.sim --arch ALL --grid --workers 4
+    python -m repro.sim --arch ALL --grid --workloads mcf,bursty,checkpoint
 """
 
 from __future__ import annotations
@@ -14,10 +24,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..errors import SimulationError
+from .engine import run_evaluation
 from .factory import ARCHITECTURE_NAMES
-from .simulator import MainMemorySimulator
+from .simulator import MainMemorySimulator, summarize
+from .stats import SimStats
 from .trace import TraceReader
-from .tracegen import SPEC_WORKLOADS
+from .tracegen import SPEC_WORKLOADS, WORKLOAD_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,12 +38,24 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.sim",
         description="Trace-driven main-memory simulation (NVMain substitute)",
     )
-    parser.add_argument("--arch", required=True, choices=ARCHITECTURE_NAMES,
-                        help="architecture to simulate")
+    parser.add_argument("--arch", required=True,
+                        choices=ARCHITECTURE_NAMES + ("ALL",),
+                        help="architecture to simulate (ALL with --grid "
+                             "runs every architecture)")
     source = parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--workload", choices=sorted(SPEC_WORKLOADS),
-                        help="synthetic SPEC-like workload")
+    source.add_argument("--workload", choices=WORKLOAD_NAMES,
+                        help="synthetic workload (SPEC preset, mix_*, "
+                             "bursty, checkpoint)")
     source.add_argument("--trace", help="NVMain trace file")
+    source.add_argument("--grid", action="store_true",
+                        help="run the full evaluation grid through the "
+                             "parallel engine")
+    parser.add_argument("--workloads", default=None,
+                        help="grid workload set: 'spec' (default), 'all', "
+                             "or a comma-separated list of workload names")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --grid (default: "
+                             "serial, or $REPRO_EVAL_WORKERS)")
     parser.add_argument("--requests", type=int, default=20_000,
                         help="request count for synthetic workloads")
     parser.add_argument("--seed", type=int, default=1)
@@ -39,14 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    simulator = MainMemorySimulator(args.arch)
-    if args.workload:
-        stats = simulator.run_workload(args.workload, args.requests, args.seed)
-    else:
-        requests = TraceReader(args.trace, cpu_freq_ghz=args.cpu_ghz).read_all()
-        stats = simulator.run(requests, workload_name=args.trace)
+def _grid_workloads(spec: str) -> list:
+    if spec == "spec":
+        return sorted(SPEC_WORKLOADS)
+    if spec == "all":
+        return list(WORKLOAD_NAMES)
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
+def _print_stats(stats: SimStats) -> None:
     print(f"architecture : {stats.device_name}")
     print(f"workload     : {stats.workload_name}")
     print(f"requests     : {stats.num_requests} "
@@ -58,6 +84,57 @@ def main(argv=None) -> int:
     print(f"BW/EPB       : {stats.bw_per_epb:.4f}")
     if stats.row_hits or stats.row_misses:
         print(f"row hit rate : {stats.row_hit_rate:.1%}")
+
+
+def _run_grid(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> int:
+    architectures = ARCHITECTURE_NAMES if args.arch == "ALL" \
+        else (args.arch,)
+    workload_names = _grid_workloads(args.workloads or "spec")
+    if not workload_names:
+        parser.error("--workloads resolved to an empty set")
+    try:
+        results = run_evaluation(
+            architectures=architectures,
+            workloads=workload_names,
+            num_requests=args.requests,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    except SimulationError as error:
+        parser.error(str(error))
+    summary = summarize(results)
+    header = (f"{'arch':10s} {'BW (GB/s)':>10s} {'latency (ns)':>13s} "
+              f"{'EPB (pJ/b)':>11s} {'BW/EPB':>9s}")
+    print(f"grid         : {len(architectures)} architectures x "
+          f"{len(workload_names)} workloads "
+          f"({', '.join(workload_names)})")
+    print(header)
+    print("-" * len(header))
+    for arch in architectures:
+        row = summary[arch]
+        print(f"{arch:10s} {row['bandwidth_gbps']:10.2f} "
+              f"{row['avg_latency_ns']:13.1f} {row['epb_pj']:11.1f} "
+              f"{row['bw_per_epb']:9.4f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.grid:
+        return _run_grid(args, parser)
+    if args.arch == "ALL":
+        parser.error("--arch ALL requires --grid")
+    if args.workers is not None or args.workloads is not None:
+        parser.error("--workers/--workloads only apply with --grid")
+    simulator = MainMemorySimulator(args.arch)
+    if args.workload:
+        stats = simulator.run_workload(args.workload, args.requests, args.seed)
+    else:
+        requests = TraceReader(args.trace, cpu_freq_ghz=args.cpu_ghz).read_all()
+        stats = simulator.run(requests, workload_name=args.trace)
+    _print_stats(stats)
     return 0
 
 

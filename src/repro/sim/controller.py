@@ -15,17 +15,33 @@ Scheduling is FCFS per bank with banks progressing independently — the
 bank-level parallelism that dominates these comparisons.  (NVMain's
 FR-FCFS reordering mainly improves DRAM row hits; our traces model
 locality directly, so FCFS keeps the comparison symmetric and simple.)
+
+The hot path is split in two: everything without a cross-request timing
+dependency (bank/row mapping, open-row hit detection, array service
+times, per-op energy) is precomputed with numpy in one vectorized pass,
+and only the irreducibly sequential recurrence — queue admission, bank
+free times, bus ordering, refresh windows — runs as a slim scalar loop
+over plain Python floats.  ``run_reference`` keeps the original
+per-request object loop as the semantics oracle for equivalence tests
+and benchmarks; both paths produce identical schedules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import SimulationError
 from .devices import MemoryDeviceModel
 from .request import MemRequest
 from .stats import SimStats
+from .tracegen import TraceArrays
+
+#: Transaction-queue entries each channel contributes (NVMain-style
+#: per-channel queues; the controller sees their sum).
+QUEUE_DEPTH_PER_CHANNEL = 8
 
 
 @dataclass
@@ -33,6 +49,19 @@ class _BankState:
     free_at_ns: float = 0.0
     open_row: Optional[int] = None
     busy_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Schedule:
+    """Per-request service times plus schedule-wide aggregates."""
+
+    admitted_ns: np.ndarray
+    start_ns: np.ndarray
+    finish_ns: np.ndarray
+    completion_ns: np.ndarray
+    busy_ns: float
+    row_hits: int
+    row_misses: int
 
 
 class MemoryController:
@@ -55,13 +84,260 @@ class MemoryController:
         self.queue_depth = queue_depth
 
     # ------------------------------------------------------------------
+    # vectorized hot path
 
     def run(
         self,
         requests: List[MemRequest],
         workload_name: str = "trace",
     ) -> SimStats:
-        """Simulate all requests (must be arrival-ordered); returns stats."""
+        """Simulate all requests (must be arrival-ordered); returns stats.
+
+        Fills each request's service fields (``start_ns``, ``finish_ns``,
+        ``completion_ns``) and replaces ``arrival_ns`` with the queue
+        admission time, exactly like the reference path.
+        """
+        if not requests:
+            raise SimulationError("empty request stream")
+        addresses = np.array([r.address for r in requests], dtype=np.int64)
+        is_read = np.array([r.is_read for r in requests], dtype=bool)
+        arrivals = np.array([r.arrival_ns for r in requests], dtype=np.float64)
+        schedule = self._schedule(addresses, is_read, arrivals)
+
+        starts = schedule.start_ns.tolist()
+        finishes = schedule.finish_ns.tolist()
+        completions = schedule.completion_ns.tolist()
+        admitted = schedule.admitted_ns.tolist()
+        for i, request in enumerate(requests):
+            request.start_ns = starts[i]
+            request.finish_ns = finishes[i]
+            request.completion_ns = completions[i]
+            # Latency is measured from queue admission (NVMain convention):
+            # time stalled outside a full transaction queue is application
+            # back-pressure, not memory latency.
+            request.arrival_ns = admitted[i]
+        total_bytes = sum(r.size_bytes for r in requests)
+        return self._stats(workload_name, is_read, total_bytes, schedule)
+
+    def run_arrays(self, trace: TraceArrays,
+                   workload_name: Optional[str] = None) -> SimStats:
+        """Simulate a column-store trace without materializing requests.
+
+        The fast path of the evaluation engine: identical stats to
+        ``run(trace.to_requests())``, but no per-request objects are
+        created or mutated (the input arrays are read-only).
+        """
+        schedule = self._schedule(
+            np.asarray(trace.addresses, dtype=np.int64),
+            np.asarray(trace.is_read, dtype=bool),
+            np.asarray(trace.arrivals_ns, dtype=np.float64),
+        )
+        return self._stats(
+            workload_name if workload_name is not None else trace.name,
+            np.asarray(trace.is_read, dtype=bool),
+            trace.total_bytes,
+            schedule,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _schedule(self, addresses: np.ndarray, is_read: np.ndarray,
+                  arrivals: np.ndarray) -> _Schedule:
+        """Compute the full service schedule of one arrival-ordered trace."""
+        n = len(addresses)
+        if n == 0:
+            raise SimulationError("empty request stream")
+        if np.any(np.diff(arrivals) < 0.0):
+            raise SimulationError("requests must be sorted by arrival")
+        device = self.device
+        bank_idx, array_ns, row_hits, row_misses = \
+            self._precompute(addresses, is_read)
+
+        # --- the sequential recurrence, on plain Python floats ---------
+        arrivals_l = arrivals.tolist()
+        bank_l = bank_idx.tolist()
+        array_l = array_ns.tolist()
+        read_l = is_read.tolist()
+        queue_depth = self.queue_depth
+        bank_free = [0.0] * device.banks
+        bank_busy = [0.0] * device.banks
+        shared_bus = device.shared_bus
+        turnaround = device.bus_turnaround_ns
+        burst_ns = device.data_burst_ns
+        overlap = device.burst_overlaps_array
+        refresh = device.refresh
+        has_refresh = refresh is not None
+        refresh_interval = refresh.interval_ns if has_refresh else 0.0
+        refresh_duration = refresh.duration_ns if has_refresh else 0.0
+        bus_free = 0.0
+        bus_last_was_read: Optional[bool] = None
+        admitted_l = [0.0] * n
+        start_l = [0.0] * n
+        finish_l = [0.0] * n
+
+        for i in range(n):
+            admitted = arrivals_l[i]
+            if i >= queue_depth:
+                # Transaction queue full until an older request finishes.
+                blocked_until = finish_l[i - queue_depth]
+                if blocked_until > admitted:
+                    admitted = blocked_until
+            bank = bank_l[i]
+            start = bank_free[bank]
+            if admitted > start:
+                start = admitted
+            if has_refresh:
+                position = start % refresh_interval
+                if position < refresh_duration:
+                    start = start - position + refresh_duration
+            array_time = array_l[i]
+            burst_start = start + array_time
+            if shared_bus:
+                bus_ready = bus_free
+                if bus_last_was_read is not None \
+                        and bus_last_was_read != read_l[i]:
+                    bus_ready += turnaround
+                if bus_ready > burst_start:
+                    burst_start = bus_ready
+                if has_refresh:
+                    position = burst_start % refresh_interval
+                    if position < refresh_duration:
+                        burst_start = burst_start - position + refresh_duration
+            finish = burst_start + burst_ns
+            if shared_bus:
+                bus_free = finish
+                bus_last_was_read = read_l[i]
+            bank_release = finish
+            if overlap:
+                array_done = start + array_time
+                bank_release = array_done if array_done > burst_start \
+                    else burst_start
+            bank_busy[bank] += bank_release - start
+            bank_free[bank] = bank_release
+            admitted_l[i] = admitted
+            start_l[i] = start
+            finish_l[i] = finish
+
+        finish_arr = np.asarray(finish_l)
+        return _Schedule(
+            admitted_ns=np.asarray(admitted_l),
+            start_ns=np.asarray(start_l),
+            finish_ns=finish_arr,
+            completion_ns=finish_arr + device.interface_delay_ns,
+            busy_ns=sum(bank_busy),
+            row_hits=row_hits,
+            row_misses=row_misses,
+        )
+
+    def _precompute(
+        self, addresses: np.ndarray, is_read: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int, int]:
+        """Vectorized bank mapping, open-row hits and array service times."""
+        device = self.device
+        n = len(addresses)
+        row_buffer = device.row_buffer
+        if row_buffer is None:
+            bank_idx = (addresses // device.line_bytes) % device.banks
+            array_ns = np.where(is_read,
+                                float(device.read_occupancy_ns),
+                                float(device.write_occupancy_ns))
+            return bank_idx, array_ns, 0, 0
+
+        bank_idx = (addresses // row_buffer.row_size_bytes) % device.banks
+        rows = addresses // (row_buffer.row_size_bytes * device.banks)
+        if row_buffer.is_open_page:
+            # A request hits iff the previous access to its bank opened the
+            # same row — a pure data dependency, so it vectorizes: group by
+            # bank (stable sort) and compare neighbours.
+            order = np.argsort(bank_idx, kind="stable")
+            bank_sorted = bank_idx[order]
+            row_sorted = rows[order]
+            hit_sorted = np.zeros(n, dtype=bool)
+            hit_sorted[1:] = (bank_sorted[1:] == bank_sorted[:-1]) \
+                & (row_sorted[1:] == row_sorted[:-1])
+            row_hit = np.empty(n, dtype=bool)
+            row_hit[order] = hit_sorted
+        else:
+            row_hit = np.zeros(n, dtype=bool)   # auto-precharged
+        array_ns = np.where(
+            row_hit,
+            np.where(is_read,
+                     row_buffer.service_ns(True, True),
+                     row_buffer.service_ns(True, False)),
+            np.where(is_read,
+                     row_buffer.service_ns(False, True),
+                     row_buffer.service_ns(False, False)),
+        )
+        if device.write_occupancy_ns is not None:
+            # Fixed write occupancy overrides the row-buffer path (COSMOS:
+            # reads hit/miss the subarray buffer, writes always pay the
+            # full erase-plus-program pulse train).
+            array_ns = np.where(is_read, array_ns,
+                                float(device.write_occupancy_ns))
+        row_hits = int(np.count_nonzero(row_hit))
+        return bank_idx, array_ns, row_hits, n - row_hits
+
+    def _stats(self, workload_name: str, is_read: np.ndarray,
+               total_bytes: int, schedule: _Schedule) -> SimStats:
+        """Assemble SimStats from a computed schedule."""
+        device = self.device
+        n = len(schedule.finish_ns)
+        first_arrival = float(schedule.admitted_ns[0])
+        last_completion = float(schedule.completion_ns.max())
+        sim_time = max(last_completion - first_arrival, 1e-9)
+        busy = schedule.busy_ns
+        # Active power (photonic laser/SOA) is gated per accessed bank, so
+        # the device-wide active power scales with the busy-bank fraction —
+        # unless the device opts out of gating (always-on laser rail).
+        if device.energy.gate_active_power:
+            active = min(sim_time, busy / device.banks)
+        else:
+            active = sim_time
+
+        refresh_count = 0
+        refresh_energy = 0.0
+        if device.refresh is not None:
+            refresh_count = int(sim_time // device.refresh.interval_ns)
+            refresh_energy = refresh_count * device.refresh.energy_j
+
+        reads = int(np.count_nonzero(is_read))
+        writes = n - reads
+        op_energy = reads * device.energy.read_energy_j \
+            + writes * device.energy.write_energy_j
+        latencies = schedule.completion_ns - schedule.admitted_ns
+        return SimStats(
+            device_name=device.name,
+            workload_name=workload_name,
+            num_requests=n,
+            num_reads=reads,
+            num_writes=writes,
+            total_bytes=total_bytes,
+            sim_time_ns=sim_time,
+            busy_time_ns=busy,
+            active_time_ns=active,
+            latencies_ns=latencies.tolist(),
+            op_energy_j=op_energy,
+            refresh_energy_j=refresh_energy,
+            refresh_count=refresh_count,
+            background_power_w=device.energy.background_power_w,
+            active_power_w=device.energy.active_power_w,
+            row_hits=schedule.row_hits,
+            row_misses=schedule.row_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # reference scalar path (semantics oracle)
+
+    def run_reference(
+        self,
+        requests: List[MemRequest],
+        workload_name: str = "trace",
+    ) -> SimStats:
+        """The original per-request object loop, kept verbatim.
+
+        Equivalence tests pin the vectorized path against this, and the
+        parallel-evaluation benchmark uses it as the legacy baseline.
+        """
         if not requests:
             raise SimulationError("empty request stream")
         device = self.device
@@ -127,9 +403,7 @@ class MemoryController:
             request.start_ns = start
             request.finish_ns = finish
             request.completion_ns = finish + device.interface_delay_ns
-            # Latency is measured from queue admission (NVMain convention):
-            # time stalled outside a full transaction queue is application
-            # back-pressure, not memory latency.
+            # Latency is measured from queue admission (NVMain convention).
             request.arrival_ns = admitted
             op_energy += device.op_energy_j(request)
 
@@ -137,9 +411,6 @@ class MemoryController:
         last_completion = max(r.completion_ns for r in requests)
         sim_time = max(last_completion - first_arrival, 1e-9)
         busy = sum(b.busy_ns for b in banks)
-        # Active power (photonic laser/SOA) is gated per accessed bank, so
-        # the device-wide active power scales with the busy-bank fraction —
-        # unless the device opts out of gating (always-on laser rail).
         if device.energy.gate_active_power:
             active = min(sim_time, busy / device.banks)
         else:

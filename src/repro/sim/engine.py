@@ -1,0 +1,149 @@
+"""Parallel evaluation engine: the (architecture x workload) grid runner.
+
+The Fig. 9 evaluation — every architecture against every workload — is
+embarrassingly parallel across grid cells, and each cell repeats two
+expensive setups: generating the workload trace and building the device
+model.  The engine removes both:
+
+* **Per-process caches** — devices are built once per architecture and
+  traces generated once per ``(workload, n, seed)`` (write-locked
+  column arrays, shared read-only between cells).
+* **Process fan-out** — with ``workers > 1`` the grid is mapped over a
+  ``multiprocessing`` pool in *workload-major* chunks, so each chunk
+  reuses one cached trace across all architectures.  Results come back
+  in task order, so the output is deterministic and bit-identical to the
+  serial path regardless of worker count or scheduling.
+* **Serial fallback** — ``workers=1`` (the default) runs the same cells
+  in-process; if a pool cannot be created (restricted sandboxes), the
+  engine degrades to serial rather than failing.
+
+``REPRO_EVAL_WORKERS`` sets the default worker count; the vectorized
+controller (:meth:`MemoryController.run_arrays`) is the per-cell hot
+path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError, TraceError
+from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
+from .factory import ARCHITECTURE_NAMES, build_device
+from .stats import SimStats
+from .tracegen import SPEC_WORKLOADS, cached_trace_arrays, get_workload
+
+#: Environment override for the default worker count.
+WORKERS_ENV_VAR = "REPRO_EVAL_WORKERS"
+
+_CONTROLLER_CACHE: Dict[str, MemoryController] = {}
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One grid cell: a workload trace run against one architecture."""
+
+    architecture: str
+    workload: str
+    num_requests: int
+    seed: int
+
+
+def controller_for(architecture: str) -> MemoryController:
+    """Per-process memoized controller (device build is the costly part —
+    COMET's involves the mode-solver stack)."""
+    controller = _CONTROLLER_CACHE.get(architecture)
+    if controller is None:
+        device = build_device(architecture)
+        controller = MemoryController(
+            device,
+            queue_depth=QUEUE_DEPTH_PER_CHANNEL * device.channels,
+        )
+        _CONTROLLER_CACHE[architecture] = controller
+    return controller
+
+
+def evaluate_cell(task: EvalTask) -> SimStats:
+    """Run one grid cell; the unit of work the pool distributes."""
+    trace = cached_trace_arrays(task.workload, task.num_requests, task.seed)
+    return controller_for(task.architecture).run_arrays(
+        trace, workload_name=task.workload)
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "1")
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 0:
+        raise SimulationError("worker count must be non-negative")
+    return max(workers, 1)
+
+
+def _map_tasks(tasks: List[EvalTask], workers: int,
+               chunksize: int) -> List[SimStats]:
+    """Map cells over a worker pool, falling back to serial execution."""
+    if workers <= 1 or len(tasks) <= 1:
+        return [evaluate_cell(task) for task in tasks]
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            return pool.map(evaluate_cell, tasks, chunksize=chunksize)
+    except (ImportError, OSError, PermissionError):
+        # Restricted environments (no /dev/shm, no fork): degrade to the
+        # serial path — identical results, just no fan-out.
+        return [evaluate_cell(task) for task in tasks]
+
+
+def run_evaluation(
+    architectures: Sequence[str] = ARCHITECTURE_NAMES,
+    workloads: Optional[Iterable[str]] = None,
+    num_requests: int = 20_000,
+    seed: int = 1,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, SimStats]]:
+    """The full Fig. 9 grid: every architecture on every workload.
+
+    Returns ``results[arch][workload] -> SimStats``.  ``workers`` > 1
+    fans the grid out over that many processes; the result is identical
+    to the serial run for the same arguments.
+    """
+    workload_names = list(workloads) if workloads is not None \
+        else sorted(SPEC_WORKLOADS)
+    if not workload_names:
+        raise SimulationError("need at least one workload")
+    architectures = list(architectures)
+    if not architectures:
+        raise SimulationError("need at least one architecture")
+    for name in workload_names:
+        try:
+            get_workload(name)
+        except TraceError as error:
+            raise SimulationError(str(error)) from None
+
+    # Workload-major order: one chunk covers every architecture for one
+    # workload, so each worker generates (or receives via fork) each
+    # trace at most once.
+    tasks = [
+        EvalTask(arch, workload, num_requests, seed)
+        for workload in workload_names
+        for arch in architectures
+    ]
+    stats_list = _map_tasks(tasks, _resolve_workers(workers),
+                            chunksize=len(architectures))
+
+    results: Dict[str, Dict[str, SimStats]] = {
+        arch: {} for arch in architectures
+    }
+    for task, stats in zip(tasks, stats_list):
+        results[task.architecture][task.workload] = stats
+    return results

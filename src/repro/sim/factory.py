@@ -23,8 +23,9 @@ from ..baselines.cosmos import CosmosArchitecture
 from ..baselines.dram import DRAM_CONFIGS, DramConfig
 from ..baselines.epcm import EPCM_MM, EpcmConfig
 from ..config import MAIN_MEMORY_CHANNELS
-from ..errors import ConfigError
+from ..errors import ConfigError, TraceError
 from .devices import EnergyModel, MemoryDeviceModel, RefreshSpec, RowBufferTiming
+from .tracegen import Workload, get_workload
 
 ARCHITECTURE_NAMES: Tuple[str, ...] = (
     "2D_DDR3", "3D_DDR3", "2D_DDR4", "3D_DDR4", "EPCM-MM", "COSMOS", "COMET",
@@ -192,3 +193,16 @@ def build_device(name: str) -> MemoryDeviceModel:
     raise ConfigError(
         f"unknown architecture {name!r}; known: {ARCHITECTURE_NAMES}"
     )
+
+
+def build_workload(name: str) -> Workload:
+    """Look up any named workload preset (SPEC, ``mix_*``, phased).
+
+    The workload-side twin of :func:`build_device`: together they name
+    every cell of the evaluation grid, and both raise ``ConfigError``
+    on unknown names.
+    """
+    try:
+        return get_workload(name)
+    except TraceError as error:
+        raise ConfigError(str(error)) from None

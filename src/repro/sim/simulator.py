@@ -1,27 +1,29 @@
 """Top-level simulator: run traces against architectures, collect stats.
 
 This is the reproduction's equivalent of invoking the paper's modified
-NVMain once per (architecture, trace) pair.
+NVMain once per (architecture, trace) pair.  The grid runner lives in
+:mod:`repro.sim.engine` (parallel fan-out with a deterministic serial
+fallback); ``run_evaluation`` is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Union
 
-from ..errors import SimulationError
-from .controller import MemoryController
+from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
 from .devices import MemoryDeviceModel
-from .factory import ARCHITECTURE_NAMES, build_device
+from .engine import run_evaluation  # noqa: F401  (compatibility re-export)
+from .factory import build_device
 from .request import MemRequest
 from .stats import SimStats, geometric_mean
-from .tracegen import SPEC_WORKLOADS, generate_trace
+from .tracegen import cached_trace_arrays
 
 
 class MainMemorySimulator:
     """Runs request streams against one device model."""
 
     def __init__(self, device: Union[str, MemoryDeviceModel],
-                 queue_depth_per_channel: int = 8) -> None:
+                 queue_depth_per_channel: int = QUEUE_DEPTH_PER_CHANNEL) -> None:
         self.device = build_device(device) if isinstance(device, str) else device
         # Each channel brings its own transaction queue at the controller.
         self.controller = MemoryController(
@@ -31,40 +33,21 @@ class MainMemorySimulator:
 
     def run(self, requests: List[MemRequest],
             workload_name: str = "trace") -> SimStats:
-        """Simulate one request list."""
-        ordered = sorted(requests, key=lambda r: r.arrival_ns)
-        return self.controller.run(ordered, workload_name=workload_name)
+        """Simulate one request list (sorted by arrival if necessary)."""
+        if any(later.arrival_ns < earlier.arrival_ns
+               for earlier, later in zip(requests, requests[1:])):
+            requests = sorted(requests, key=lambda r: r.arrival_ns)
+        return self.controller.run(requests, workload_name=workload_name)
 
     def run_workload(self, workload_name: str, num_requests: int = 20_000,
                      seed: int = 1) -> SimStats:
-        """Generate and simulate one named SPEC-like workload."""
-        trace = generate_trace(workload_name, num_requests, seed)
-        return self.run(trace, workload_name=workload_name)
+        """Generate and simulate one named workload.
 
-
-def run_evaluation(
-    architectures: Sequence[str] = ARCHITECTURE_NAMES,
-    workloads: Optional[Iterable[str]] = None,
-    num_requests: int = 20_000,
-    seed: int = 1,
-) -> Dict[str, Dict[str, SimStats]]:
-    """The full Fig. 9 grid: every architecture on every workload.
-
-    Returns ``results[arch][workload] -> SimStats``.
-    """
-    workload_names = list(workloads) if workloads is not None \
-        else sorted(SPEC_WORKLOADS)
-    if not workload_names:
-        raise SimulationError("need at least one workload")
-    results: Dict[str, Dict[str, SimStats]] = {}
-    for arch in architectures:
-        simulator = MainMemorySimulator(arch)
-        results[arch] = {}
-        for workload in workload_names:
-            results[arch][workload] = simulator.run_workload(
-                workload, num_requests=num_requests, seed=seed
-            )
-    return results
+        Uses the cached column-store trace and the vectorized controller
+        path — no request objects are materialized.
+        """
+        trace = cached_trace_arrays(workload_name, num_requests, seed)
+        return self.controller.run_arrays(trace, workload_name=workload_name)
 
 
 def summarize(results: Dict[str, Dict[str, SimStats]]) -> Dict[str, Dict[str, float]]:

@@ -1,8 +1,11 @@
-"""Shared fixtures.
+"""Shared fixtures and suite configuration.
 
 Expensive objects (mode-solver-backed cells, programmers, architecture
 facades) are session-scoped: they are immutable for test purposes and the
 underlying solvers cache by configuration.
+
+Tests marked ``slow`` (full-size evaluation grids) are skipped by
+default so tier-1 stays fast; run them with ``pytest --runslow``.
 """
 
 from __future__ import annotations
@@ -12,6 +15,26 @@ import pytest
 from repro.arch import CometArchitecture
 from repro.device import CellProgrammer, MultiLevelCell, OpticalGstCell
 from repro.materials import get_material
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (full-size evaluation grids)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-size grid test, skipped unless --runslow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

@@ -29,6 +29,7 @@ class TestExamplesRun:
             "design_space_exploration.py",
             "crosstalk_corruption_demo.py",
             "spec_workload_sim.py",
+            "parallel_eval_demo.py",
             "dota_accelerator_study.py",
             "functional_memory_demo.py",
             "reliability_study.py",
@@ -55,6 +56,12 @@ class TestExamplesRun:
         result = run_example("spec_workload_sim.py", "1500")
         assert result.returncode == 0, result.stderr
         assert "COMET vs COSMOS" in result.stdout
+
+    def test_parallel_eval_demo_small(self):
+        result = run_example("parallel_eval_demo.py", "1200", "2")
+        assert result.returncode == 0, result.stderr
+        assert "identical results: True" in result.stdout
+        assert "checkpoint" in result.stdout
 
     def test_dota_accelerator_study(self):
         result = run_example("dota_accelerator_study.py")

@@ -1,0 +1,163 @@
+"""Property tests for the multi-programmed and phased workload generators.
+
+The invariants the evaluation relies on must hold for *any* seed, not
+just the canonical one: arrival monotonicity, address alignment and
+bounds, the advertised read mix, program interleaving in the mixes, and
+the intensity contrast between phases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.tracegen import (
+    MIX_REGION_BYTES,
+    MIXED_WORKLOADS,
+    PHASED_WORKLOADS,
+    SPEC_WORKLOADS,
+    WORKLOADS,
+    generate_trace_arrays,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+N = 1600
+SETTINGS = dict(max_examples=12, deadline=None)
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_canonical_seed_invariants(self, name):
+        trace = generate_trace_arrays(name, N, seed=1)
+        assert len(trace) == N
+        assert np.all(np.diff(trace.arrivals_ns) >= 0.0)
+        assert np.all(trace.arrivals_ns >= 0.0)
+        assert np.all(trace.addresses % trace.line_bytes == 0)
+        assert np.all(trace.addresses >= 0)
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_mixed_arrivals_sorted_any_seed(self, seed):
+        trace = generate_trace_arrays("mix_mcf_lbm", N, seed=seed)
+        assert np.all(np.diff(trace.arrivals_ns) >= 0.0)
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_bursty_arrivals_sorted_any_seed(self, seed):
+        trace = generate_trace_arrays("bursty", N, seed=seed)
+        assert np.all(np.diff(trace.arrivals_ns) >= 0.0)
+
+
+class TestMixedWorkloads:
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_programs_stay_in_their_regions(self, seed):
+        mix = MIXED_WORKLOADS["mix_libquantum_omnetpp"]
+        trace = generate_trace_arrays(mix.name, N, seed=seed)
+        regions = trace.addresses // MIX_REGION_BYTES
+        assert np.array_equal(np.unique(regions), np.unique(trace.thread_ids))
+        for index, component in enumerate(mix.components):
+            mask = trace.thread_ids == index
+            offsets = trace.addresses[mask] - index * MIX_REGION_BYTES
+            assert np.all(offsets >= 0)
+            assert np.all(offsets < component.working_set_bytes)
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_both_programs_interleave(self, seed):
+        trace = generate_trace_arrays("mix_mcf_lbm", N, seed=seed)
+        counts = np.bincount(trace.thread_ids, minlength=2)
+        # Even split by construction (+/- the remainder request).
+        assert abs(int(counts[0]) - int(counts[1])) <= 1
+        # Programs actually interleave in time, not concatenate: the
+        # first half of the merged trace contains both.
+        assert len(np.unique(trace.thread_ids[: N // 2])) == 2
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_read_fraction_blends_components(self, seed):
+        mix = MIXED_WORKLOADS["mix_mcf_lbm"]
+        trace = generate_trace_arrays(mix.name, N, seed=seed)
+        measured = float(trace.is_read.mean())
+        assert measured == pytest.approx(mix.read_fraction, abs=0.05)
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_mix_intensity_exceeds_sparser_program(self, seed):
+        """Adding a program always densifies the sparser one's traffic.
+
+        The components contribute N/2 requests each, so the merged span
+        is set by the slower program: the mean merged gap lands near
+        half that program's inter-arrival — strictly below it.
+        """
+        trace = generate_trace_arrays("mix_gcc_bwaves", N, seed=seed)
+        mean_gap = float(np.diff(trace.arrivals_ns).mean())
+        sparser = max(SPEC_WORKLOADS["gcc"].mean_interarrival_ns,
+                      SPEC_WORKLOADS["bwaves"].mean_interarrival_ns)
+        assert mean_gap < sparser
+
+
+class TestPhasedWorkloads:
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_burst_phases_are_denser(self, seed):
+        workload = PHASED_WORKLOADS["bursty"]
+        trace = generate_trace_arrays("bursty", N, seed=seed)
+        phase_of = workload.phase_index(N)
+        gaps = np.diff(trace.arrivals_ns)
+        burst_gaps = gaps[phase_of[1:] == 0]
+        lull_gaps = gaps[phase_of[1:] == 1]
+        # 16x nominal intensity contrast; demand at least 4x measured.
+        assert burst_gaps.mean() * 4.0 < lull_gaps.mean()
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_checkpoint_dump_is_write_heavy_and_sequential(self, seed):
+        workload = PHASED_WORKLOADS["checkpoint"]
+        count = 2560   # covers one full compute phase + one full dump
+        trace = generate_trace_arrays("checkpoint", count, seed=seed)
+        phase_of = workload.phase_index(count)
+        dump = phase_of == 1
+        compute = phase_of == 0
+        assert float(trace.is_read[dump].mean()) < 0.2
+        assert float(trace.is_read[compute].mean()) > 0.8
+        # The dump streams: most consecutive dump addresses are +1 line.
+        lines = trace.addresses // trace.line_bytes
+        dump_pairs = dump[1:] & dump[:-1]
+        steps = (lines[1:] - lines[:-1])[dump_pairs]
+        assert float((steps == 1).mean()) > 0.7
+
+    @given(seed=seeds)
+    @settings(**SETTINGS)
+    def test_phased_read_fraction_matches_blend(self, seed):
+        workload = PHASED_WORKLOADS["checkpoint"]
+        trace = generate_trace_arrays("checkpoint", N, seed=seed)
+        phase_fracs = np.array([p.read_fraction for p in workload.phases])
+        expected = float(phase_fracs[workload.phase_index(N)].mean())
+        assert float(trace.is_read.mean()) == pytest.approx(
+            expected, abs=0.05)
+
+    def test_phase_index_cycles(self):
+        workload = PHASED_WORKLOADS["bursty"]
+        phase_of = workload.phase_index(3 * 1024)
+        assert phase_of[0] == 0
+        assert phase_of[512] == 1
+        assert phase_of[1024] == 0       # pattern repeats
+        assert set(np.unique(phase_of)) == {0, 1}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["mix_mcf_lbm", "bursty", "checkpoint"])
+    def test_same_seed_same_trace(self, name):
+        a = generate_trace_arrays(name, 900, seed=11)
+        b = generate_trace_arrays(name, 900, seed=11)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.arrivals_ns, b.arrivals_ns)
+        assert np.array_equal(a.is_read, b.is_read)
+
+    @pytest.mark.parametrize("name", ["mix_mcf_lbm", "bursty", "checkpoint"])
+    def test_different_seed_different_trace(self, name):
+        a = generate_trace_arrays(name, 900, seed=1)
+        b = generate_trace_arrays(name, 900, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)

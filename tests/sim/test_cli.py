@@ -50,3 +50,34 @@ class TestRuns:
               "--requests", "500"])
         out = capsys.readouterr().out
         assert "EPB" in out and "p95" in out
+
+
+class TestGridMode:
+    def test_grid_all_architectures(self, capsys):
+        code = main(["--arch", "ALL", "--grid", "--requests", "400",
+                     "--workloads", "gcc,bursty", "--workers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7 architectures x 2 workloads" in out
+        assert "COMET" in out and "2D_DDR3" in out
+
+    def test_all_requires_grid(self):
+        with pytest.raises(SystemExit):
+            main(["--arch", "ALL", "--workload", "mcf"])
+
+    def test_grid_options_rejected_without_grid(self):
+        with pytest.raises(SystemExit):
+            main(["--arch", "COMET", "--workload", "mcf", "--workers", "4"])
+        with pytest.raises(SystemExit):
+            main(["--arch", "COMET", "--workload", "mcf",
+                  "--workloads", "all"])
+
+    def test_grid_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["--arch", "COMET", "--grid", "--workloads", "mcf,bogus"])
+
+    def test_new_workloads_run(self, capsys):
+        code = main(["--arch", "EPCM-MM", "--workload", "checkpoint",
+                     "--requests", "600"])
+        assert code == 0
+        assert "checkpoint" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Parallel evaluation engine: equivalence, determinism, fan-out."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import MainMemorySimulator
+from repro.sim.engine import (
+    EvalTask,
+    controller_for,
+    evaluate_cell,
+    run_evaluation,
+)
+from repro.sim.tracegen import cached_trace_arrays, generate_trace
+
+ARCHS = ("COSMOS", "EPCM-MM", "2D_DDR3")
+WORKLOADS = ("gcc", "mix_mcf_lbm", "bursty")
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_evaluation(architectures=ARCHS, workloads=WORKLOADS,
+                          num_requests=1200, seed=3, workers=1)
+
+
+class TestParallelSerialEquivalence:
+    def test_parallel_identical_to_serial(self, serial_results):
+        """The tentpole guarantee: worker fan-out changes wall-clock,
+        never results — every SimStats field matches bit-for-bit."""
+        parallel = run_evaluation(architectures=ARCHS, workloads=WORKLOADS,
+                                  num_requests=1200, seed=3, workers=2)
+        assert parallel == serial_results
+
+    def test_four_workers_identical(self, serial_results):
+        parallel = run_evaluation(architectures=ARCHS, workloads=WORKLOADS,
+                                  num_requests=1200, seed=3, workers=4)
+        assert parallel == serial_results
+
+    def test_engine_matches_object_api(self, serial_results):
+        """The array fast path equals MainMemorySimulator.run on the
+        materialized trace of the same (workload, n, seed)."""
+        for arch in ARCHS:
+            simulator = MainMemorySimulator(arch)
+            for workload in WORKLOADS:
+                trace = generate_trace(workload, 1200, seed=3)
+                stats = simulator.run(trace, workload_name=workload)
+                assert stats == serial_results[arch][workload]
+
+    def test_vectorized_matches_reference_loop(self):
+        """The vectorized controller reproduces the original scalar
+        object loop: identical schedule, near-identical energy (the
+        per-op sum is re-associated)."""
+        for arch in ARCHS:
+            controller = controller_for(arch)
+            for workload in WORKLOADS:
+                trace = generate_trace(workload, 800, seed=5)
+                reference = controller.run_reference(
+                    generate_trace(workload, 800, seed=5), workload)
+                vectorized = controller.run(trace, workload)
+                assert vectorized.latencies_ns == reference.latencies_ns
+                assert vectorized.sim_time_ns == reference.sim_time_ns
+                assert vectorized.busy_time_ns == reference.busy_time_ns
+                assert vectorized.row_hits == reference.row_hits
+                assert vectorized.row_misses == reference.row_misses
+                assert vectorized.op_energy_j == pytest.approx(
+                    reference.op_energy_j, rel=1e-12)
+
+
+class TestEngineShape:
+    def test_grid_covers_every_cell(self, serial_results):
+        assert set(serial_results) == set(ARCHS)
+        for arch in ARCHS:
+            assert set(serial_results[arch]) == set(WORKLOADS)
+            for workload in WORKLOADS:
+                stats = serial_results[arch][workload]
+                assert stats.workload_name == workload
+                assert stats.num_requests == 1200
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SimulationError):
+            run_evaluation(architectures=("COMET",), workloads=("nope",))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SimulationError):
+            run_evaluation(workloads=[])
+        with pytest.raises(SimulationError):
+            run_evaluation(architectures=[])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            run_evaluation(architectures=ARCHS[:1], workloads=WORKLOADS[:1],
+                           num_requests=100, workers=-1)
+
+    def test_evaluate_cell_standalone(self):
+        stats = evaluate_cell(EvalTask("EPCM-MM", "checkpoint", 600, 2))
+        assert stats.device_name == "EPCM-MM"
+        assert stats.workload_name == "checkpoint"
+        assert stats.num_requests == 600
+
+
+class TestCaches:
+    def test_trace_cache_shares_instances(self):
+        a = cached_trace_arrays("gcc", 700, 4)
+        b = cached_trace_arrays("gcc", 700, 4)
+        assert a is b
+        assert not a.addresses.flags.writeable
+
+    def test_controller_cache_shares_instances(self):
+        assert controller_for("EPCM-MM") is controller_for("EPCM-MM")
+
+    def test_cached_trace_survives_simulation(self):
+        """Running a cached trace must not mutate it (the controller's
+        object path rewrites arrivals; the array path must not)."""
+        trace = cached_trace_arrays("omnetpp", 500, 6)
+        before = trace.arrivals_ns.copy()
+        controller_for("2D_DDR3").run_arrays(trace)
+        assert (trace.arrivals_ns == before).all()
+
+
+class TestWorkloadLookup:
+    def test_build_workload_returns_presets(self):
+        from repro.errors import ConfigError
+        from repro.sim.factory import build_workload
+        from repro.sim.tracegen import WORKLOAD_NAMES
+        for name in WORKLOAD_NAMES:
+            assert build_workload(name).name == name
+        with pytest.raises(ConfigError):
+            build_workload("nope")
+
+    def test_mix_rejects_mismatched_line_sizes(self):
+        from repro.errors import TraceError
+        from repro.sim.tracegen import MixedWorkload, SyntheticWorkload
+        a = SyntheticWorkload(name="a", mean_interarrival_ns=2.0,
+                              read_fraction=0.8, sequential_probability=0.1,
+                              working_set_bytes=2**20, line_bytes=64)
+        b = SyntheticWorkload(name="b", mean_interarrival_ns=2.0,
+                              read_fraction=0.8, sequential_probability=0.1,
+                              working_set_bytes=2**20, line_bytes=128)
+        with pytest.raises(TraceError):
+            MixedWorkload(name="bad_mix", components=(a, b))
+
+    def test_env_worker_override_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "4x")
+        with pytest.raises(SimulationError):
+            run_evaluation(architectures=("EPCM-MM",), workloads=("gcc",),
+                           num_requests=100)

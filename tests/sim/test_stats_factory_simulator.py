@@ -119,3 +119,49 @@ class TestSimulatorRuns:
         cosmos = MainMemorySimulator("COSMOS").run_workload("milc", 2000)
         assert comet.bandwidth_gbps > cosmos.bandwidth_gbps
         assert comet.avg_latency_ns < cosmos.avg_latency_ns
+
+
+class TestArrivalOrderHandling:
+    """The simulator sorts only when it must (the tracegen paths always
+    emit arrival-ordered streams, so the common case skips the sort)."""
+
+    @staticmethod
+    def _trace(arrivals):
+        from repro.sim.request import MemRequest, OpType
+        return [MemRequest(address=128 * i, op=OpType.READ, arrival_ns=t)
+                for i, t in enumerate(arrivals)]
+
+    def test_out_of_order_equals_presorted(self):
+        shuffled = [70.0, 10.0, 40.0, 0.0, 90.0, 40.0]
+        simulator = MainMemorySimulator("EPCM-MM")
+        scrambled = simulator.run(self._trace(shuffled))
+        ordered = simulator.run(self._trace(sorted(shuffled)))
+        assert scrambled.latencies_ns == ordered.latencies_ns
+        assert scrambled.sim_time_ns == ordered.sim_time_ns
+
+    def test_sorted_input_not_copied(self, monkeypatch):
+        """An already-ordered stream must reach the controller as-is —
+        no O(n log n) re-sort, no list copy."""
+        simulator = MainMemorySimulator("EPCM-MM")
+        requests = self._trace([0.0, 5.0, 5.0, 20.0])
+        seen = []
+        original = simulator.controller.run
+
+        def spy(reqs, workload_name="trace"):
+            seen.append(reqs)
+            return original(reqs, workload_name=workload_name)
+
+        monkeypatch.setattr(simulator.controller, "run", spy)
+        simulator.run(requests)
+        assert seen[0] is requests
+
+    def test_unsorted_input_is_sorted_not_rejected(self):
+        """The controller itself rejects unsorted streams; the simulator
+        front door repairs them instead."""
+        from repro.errors import SimulationError
+        simulator = MainMemorySimulator("EPCM-MM")
+        trace = self._trace([30.0, 0.0])
+        with pytest.raises(SimulationError):
+            simulator.controller.run(self._trace([30.0, 0.0]))
+        stats = simulator.run(trace)
+        assert stats.num_requests == 2
