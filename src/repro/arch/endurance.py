@@ -145,13 +145,17 @@ class StartGapWearLeveler:
     def leveling_efficiency(self, hot_fraction: float = 1.0) -> float:
         """Long-run wear-spreading efficiency estimate.
 
-        A rotation lap spreads even a single hot line across all physical
-        rows; efficiency approaches 1 at a write-overhead cost of
-        ``1 / gap_move_interval``.  The estimate discounts by that
-        overhead and by the fraction of traffic that is actually hot.
+        The uniform share of the traffic (``1 - hot_fraction``) is already
+        perfectly spread and needs no remapping, so it contributes at
+        efficiency 1; only the hot share is discounted by the rotation's
+        imperfect spread (``1 - 1/physical_rows``) and the gap-copy write
+        overhead.  Limits: ``hot_fraction -> 0`` gives 1.0 (uniform
+        traffic wears evenly with or without Start-Gap);
+        ``hot_fraction = 1`` gives ``spread * (1 - overhead)`` (a single
+        hot line smeared over all physical rows at the copy cost).
         """
-        if not 0.0 < hot_fraction <= 1.0:
-            raise ConfigError("hot fraction must be in (0, 1]")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigError("hot fraction must be in [0, 1]")
         spread = 1.0 - 1.0 / self.physical_rows
-        return spread * (1.0 - self.write_overhead()) * hot_fraction \
-            + (1.0 - hot_fraction) * spread
+        hot_term = spread * (1.0 - self.write_overhead())
+        return 1.0 - hot_fraction * (1.0 - hot_term)

@@ -7,14 +7,24 @@ the COMET-vs-everything ratios the paper reports.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
+from ..errors import SimulationError
 from ..sim.engine import run_evaluation
 from ..sim.factory import ARCHITECTURE_NAMES
 from ..sim.simulator import summarize
 from ..sim.stats import SimStats
+from ..sim.store import ResultStore
 from .report import print_table
+
+#: Environment variable naming a result-store directory; when set,
+#: ``python -m repro.exp fig9`` regenerates the figure incrementally
+#: (only cells missing from the store are simulated).
+STORE_ENV_VAR = "REPRO_RESULT_STORE"
 
 #: Paper-reported average ratios (COMET vs each architecture).
 PAPER_BW_RATIOS = {
@@ -50,17 +60,40 @@ class Fig9Result:
 
 def run(num_requests: int = 8000, seed: int = 1,
         workers: Optional[int] = None,
-        workloads: Optional[Iterable[str]] = None) -> Fig9Result:
+        workloads: Optional[Iterable[str]] = None,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        resume: bool = True) -> Fig9Result:
     """Run the grid; ``workers`` > 1 fans it out over processes and
     ``workloads`` swaps in a non-default set (e.g. the multi-programmed
-    mixes) without changing the reported metrics."""
+    mixes) without changing the reported metrics.
+
+    ``store`` (a directory path or :class:`ResultStore`) makes the run
+    incremental: cells already stored are reused, new cells are
+    checkpointed, so figure regeneration after a model change only
+    recomputes the invalidated architectures.
+    """
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
     results = run_evaluation(num_requests=num_requests, seed=seed,
-                             workers=workers, workloads=workloads)
+                             workers=workers, workloads=workloads,
+                             store=store, resume=resume)
     return Fig9Result(results=results, summary=summarize(results))
 
 
-def main(num_requests: int = 8000) -> Fig9Result:
-    result = run(num_requests=num_requests)
+def main(num_requests: int = 8000,
+         store: Optional[Union[str, Path, ResultStore]] = None) -> Fig9Result:
+    if store is None:
+        store = os.environ.get(STORE_ENV_VAR) or None
+    if store is not None and not isinstance(store, ResultStore):
+        try:
+            store = ResultStore(store)
+        except (OSError, SimulationError) as error:
+            # Entry point advertised via $REPRO_RESULT_STORE: fail with
+            # a clean message, not a raw mkdir traceback.
+            print(f"fig9: result store {str(store)!r} unusable: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    result = run(num_requests=num_requests, store=store)
 
     workloads = sorted(next(iter(result.results.values())))
     for metric, fmt in (("bandwidth_gbps", "{:.2f}"),

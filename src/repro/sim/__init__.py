@@ -20,6 +20,11 @@ Key entry points:
 * :mod:`repro.sim.tracegen` — deterministic vectorized workload
   generators and the per-(workload, n, seed) trace cache.
 * :mod:`repro.sim.trace` — NVMain-format trace reader/writer.
+* :class:`repro.sim.store.ResultStore` — persistent content-addressed
+  result store (device/workload fingerprints invalidate stale cells).
+* :func:`repro.sim.sweep.run_sweep` — resumable sharded parameter
+  sweeps (arch x workload x n x seed x queue depth) with incremental
+  checkpointing and CSV/JSON export.
 """
 
 from .request import MemRequest, OpType
@@ -48,7 +53,9 @@ from .devices import (
 from .stats import SimStats
 from .controller import MemoryController, QUEUE_DEPTH_PER_CHANNEL
 from .factory import build_device, build_workload, ARCHITECTURE_NAMES
-from .engine import EvalTask, run_evaluation
+from .engine import EvalTask, evaluate_tasks, run_evaluation
+from .store import ResultStore, task_digest
+from .sweep import SweepResult, SweepSpec, run_sweep, write_csv, write_json
 from .simulator import MainMemorySimulator, summarize
 
 __all__ = [
@@ -81,7 +88,15 @@ __all__ = [
     "MainMemorySimulator",
     "summarize",
     "EvalTask",
+    "evaluate_tasks",
     "run_evaluation",
+    "ResultStore",
+    "task_digest",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "write_csv",
+    "write_json",
     "build_device",
     "build_workload",
     "ARCHITECTURE_NAMES",

@@ -17,15 +17,23 @@ or the full evaluation grid through the parallel engine::
 
     python -m repro.sim --arch ALL --grid --workers 4
     python -m repro.sim --arch ALL --grid --workloads mcf,bursty,checkpoint
+
+with a persistent result store (incremental + resumable) and export::
+
+    python -m repro.sim --arch ALL --grid --store results/ --resume
+    python -m repro.sim --arch ALL --grid --store results/ --resume \
+        --export csv --export-path fig9.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 
 from ..errors import SimulationError
-from .engine import run_evaluation
+from .engine import _resolve_workers
 from .factory import ARCHITECTURE_NAMES
 from .simulator import MainMemorySimulator, summarize
 from .stats import SimStats
@@ -55,7 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "or a comma-separated list of workload names")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --grid (default: "
-                             "serial, or $REPRO_EVAL_WORKERS)")
+                             "serial, or $REPRO_EVAL_WORKERS; 0 = one "
+                             "per CPU)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent result store for --grid: every "
+                             "cell is checkpointed as it completes")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --grid --store: serve cells already "
+                             "in the store instead of recomputing them")
+    parser.add_argument("--export", choices=("csv", "json"), default=None,
+                        help="with --grid: export per-cell rows")
+    parser.add_argument("--export-path", default="-", metavar="PATH",
+                        help="export destination ('-' = stdout)")
     parser.add_argument("--requests", type=int, default=20_000,
                         help="request count for synthetic workloads")
     parser.add_argument("--seed", type=int, default=1)
@@ -73,13 +92,14 @@ def _grid_workloads(spec: str) -> list:
 
 
 def _print_stats(stats: SimStats) -> None:
+    latency = stats.latency_row()   # NaN columns when nothing completed
     print(f"architecture : {stats.device_name}")
     print(f"workload     : {stats.workload_name}")
     print(f"requests     : {stats.num_requests} "
           f"({stats.num_reads} R / {stats.num_writes} W)")
     print(f"bandwidth    : {stats.bandwidth_gbps:.2f} GB/s")
-    print(f"avg latency  : {stats.avg_latency_ns:.1f} ns "
-          f"(p95 {stats.p95_latency_ns:.1f} ns)")
+    print(f"avg latency  : {latency['avg_latency_ns']:.1f} ns "
+          f"(p95 {latency['p95_latency_ns']:.1f} ns)")
     print(f"EPB          : {stats.energy_per_bit_pj:.1f} pJ/bit")
     print(f"BW/EPB       : {stats.bw_per_epb:.4f}")
     if stats.row_hits or stats.row_misses:
@@ -88,46 +108,142 @@ def _print_stats(stats: SimStats) -> None:
 
 def _run_grid(args: argparse.Namespace,
               parser: argparse.ArgumentParser) -> int:
+    from .store import ResultStore, _current_umask
+    from .sweep import SweepSpec, run_sweep, write_csv, write_json
+
     architectures = ARCHITECTURE_NAMES if args.arch == "ALL" \
         else (args.arch,)
     workload_names = _grid_workloads(args.workloads or "spec")
     if not workload_names:
         parser.error("--workloads resolved to an empty set")
+    export_stream = None
+    if args.export and args.export_path != "-":
+        # Probe writability before the sweep runs (an unwritable path
+        # must not discard hours of computed cells), but stage into a
+        # sibling temp file so a failed or interrupted sweep never
+        # truncates an existing export.
+        if os.path.isdir(args.export_path):
+            parser.error(
+                f"--export-path {args.export_path!r} is a directory")
+        try:
+            export_stream = tempfile.NamedTemporaryFile(
+                "w", dir=os.path.dirname(args.export_path) or ".",
+                prefix=f".{os.path.basename(args.export_path)}.",
+                newline="", delete=False)
+        except OSError as error:
+            parser.error(
+                f"cannot write --export-path {args.export_path!r}: {error}")
+    # Exporting to stdout reserves it for machine-readable rows; the
+    # human-readable table moves to stderr so piped output stays clean.
+    table = sys.stderr if (args.export and export_stream is None) \
+        else sys.stdout
     try:
-        results = run_evaluation(
-            architectures=architectures,
-            workloads=workload_names,
-            num_requests=args.requests,
-            seed=args.seed,
-            workers=args.workers,
-        )
-    except SimulationError as error:
-        parser.error(str(error))
-    summary = summarize(results)
-    header = (f"{'arch':10s} {'BW (GB/s)':>10s} {'latency (ns)':>13s} "
-              f"{'EPB (pJ/b)':>11s} {'BW/EPB':>9s}")
-    print(f"grid         : {len(architectures)} architectures x "
-          f"{len(workload_names)} workloads "
-          f"({', '.join(workload_names)})")
-    print(header)
-    print("-" * len(header))
-    for arch in architectures:
-        row = summary[arch]
-        print(f"{arch:10s} {row['bandwidth_gbps']:10.2f} "
-              f"{row['avg_latency_ns']:13.1f} {row['epb_pj']:11.1f} "
-              f"{row['bw_per_epb']:9.4f}")
-    return 0
+        try:
+            # Surface argument-shaped problems (bad worker count, bad
+            # $REPRO_EVAL_WORKERS) as usage errors before any cell runs.
+            _resolve_workers(args.workers)
+            store = ResultStore(args.store) if args.store else None
+            spec = SweepSpec(
+                architectures=tuple(architectures),
+                workloads=tuple(workload_names),
+                num_requests=(args.requests,),
+                seeds=(args.seed,),
+            )
+        except SimulationError as error:
+            parser.error(str(error))
+        except OSError as error:
+            # Unusable --store path (file in the way, permissions, full
+            # disk).
+            parser.error(f"result store {args.store!r} unusable: {error}")
+        try:
+            sweep = run_sweep(spec, store=store, workers=args.workers,
+                              resume=args.resume)
+        except (SimulationError, OSError) as error:
+            # A runtime failure (cell error, disk full mid-checkpoint),
+            # not a bad argument: report it plainly and point at the
+            # checkpointed cells.
+            message = f"error: {error}"
+            if args.store:
+                message += (f"\ncompleted cells are checkpointed in "
+                            f"{args.store}; rerun with --resume to continue")
+            print(message, file=sys.stderr)
+            return 1
+        results = {arch: {} for arch in architectures}
+        for task, stats in sweep.results.items():
+            results[task.architecture][task.workload] = stats
+        summary = summarize(results)
+        header = (f"{'arch':10s} {'BW (GB/s)':>10s} {'latency (ns)':>13s} "
+                  f"{'EPB (pJ/b)':>11s} {'BW/EPB':>9s}")
+        print(f"grid         : {len(architectures)} architectures x "
+              f"{len(workload_names)} workloads "
+              f"({', '.join(workload_names)})", file=table)
+        if store is not None:
+            print(f"store        : {args.store} ({sweep.store_hits} cached, "
+                  f"{sweep.computed} computed)", file=table)
+        print(header, file=table)
+        print("-" * len(header), file=table)
+        for arch in architectures:
+            row = summary[arch]
+            print(f"{arch:10s} {row['bandwidth_gbps']:10.2f} "
+                  f"{row['avg_latency_ns']:13.1f} {row['epb_pj']:11.1f} "
+                  f"{row['bw_per_epb']:9.4f}", file=table)
+        if args.export:
+            writer = write_csv if args.export == "csv" else write_json
+            if export_stream is None:
+                writer(sweep.rows(), sys.stdout)
+            else:
+                with export_stream:
+                    writer(sweep.rows(), export_stream)
+                try:
+                    # Temp files are created 0600; give the finalized
+                    # export normal umask-derived permissions.
+                    os.chmod(export_stream.name, 0o666 & ~_current_umask())
+                    os.replace(export_stream.name, args.export_path)
+                except OSError as error:
+                    # Don't discard the computed rows: the staged temp
+                    # file survives (skip the cleanup unlink below).
+                    print(f"error: cannot finalize --export-path "
+                          f"{args.export_path!r}: {error}\n"
+                          f"export rows saved in {export_stream.name}",
+                          file=sys.stderr)
+                    export_stream = None
+                    return 1
+                export_stream = None
+        return 0
+    finally:
+        if export_stream is not None:    # failed before a complete export
+            export_stream.close()
+            try:
+                os.unlink(export_stream.name)
+            except OSError:
+                pass
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+    if args.export_path != "-" and args.export is None:
+        parser.error("--export-path requires --export")
     if args.grid:
-        return _run_grid(args, parser)
+        try:
+            return _run_grid(args, parser)
+        except KeyboardInterrupt:
+            # Completed cells are already checkpointed; surface the
+            # resume path instead of a raw traceback.
+            message = "\ninterrupted"
+            if args.store:
+                message += (f" — completed cells are checkpointed in "
+                            f"{args.store}; rerun with --resume to continue")
+            print(message, file=sys.stderr)
+            return 130
     if args.arch == "ALL":
         parser.error("--arch ALL requires --grid")
     if args.workers is not None or args.workloads is not None:
         parser.error("--workers/--workloads only apply with --grid")
+    if args.store is not None or args.export is not None:
+        parser.error("--store/--resume/--export only apply with --grid")
     simulator = MainMemorySimulator(args.arch)
     if args.workload:
         stats = simulator.run_workload(args.workload, args.requests, args.seed)

@@ -26,52 +26,138 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
-from ..errors import SimulationError, TraceError
+from ..errors import ReproError, SimulationError, TraceError
 from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
 from .factory import ARCHITECTURE_NAMES, build_device
 from .stats import SimStats
 from .tracegen import SPEC_WORKLOADS, cached_trace_arrays, get_workload
 
+if TYPE_CHECKING:   # avoid a runtime cycle: store imports EvalTask
+    from .devices import MemoryDeviceModel
+    from .store import ResultStore
+
 #: Environment override for the default worker count.
 WORKERS_ENV_VAR = "REPRO_EVAL_WORKERS"
 
-_CONTROLLER_CACHE: Dict[str, MemoryController] = {}
+_DEVICE_CACHE: Dict[str, "MemoryDeviceModel"] = {}
+_CONTROLLER_CACHE: Dict[Tuple[str, Optional[int]], MemoryController] = {}
+
+#: ``on_result`` callback type: called with each (task, stats) pair as
+#: soon as the cell completes, in task order (incremental checkpointing).
+ResultCallback = Callable[["EvalTask", SimStats], None]
 
 
 @dataclass(frozen=True)
 class EvalTask:
-    """One grid cell: a workload trace run against one architecture."""
+    """One grid cell: a workload trace run against one architecture.
+
+    ``queue_depth`` optionally overrides the controller's transaction
+    queue (``None`` keeps the per-channel default) — the sweep axis the
+    queue-depth ablation explores.
+    """
 
     architecture: str
     workload: str
     num_requests: int
     seed: int
+    queue_depth: Optional[int] = None
+
+    def describe(self) -> str:
+        """Human-readable cell label for error messages and logs."""
+        label = (f"{self.architecture} x {self.workload}, "
+                 f"n={self.num_requests}, seed={self.seed}")
+        if self.queue_depth is not None:
+            label += f", queue_depth={self.queue_depth}"
+        return label
 
 
-def controller_for(architecture: str) -> MemoryController:
-    """Per-process memoized controller (device build is the costly part —
-    COMET's involves the mode-solver stack)."""
-    controller = _CONTROLLER_CACHE.get(architecture)
-    if controller is None:
+def device_for(architecture: str):
+    """Per-process memoized device model, shared across every consumer
+    (controllers at any queue depth, store fingerprinting).  The build
+    is the costly part — COMET's involves the mode-solver stack."""
+    device = _DEVICE_CACHE.get(architecture)
+    if device is None:
         device = build_device(architecture)
+        _DEVICE_CACHE[architecture] = device
+    return device
+
+
+def clear_device_caches() -> None:
+    """Drop memoized devices and controllers so the next use rebuilds
+    from the current model definitions.
+
+    For in-process model edits with a result store in play, call
+    :func:`repro.sim.store.clear_fingerprint_cache` instead — it clears
+    these caches *and* the memoized fingerprints/digests derived from
+    them; clearing only here would leave the store addressing results
+    computed under the old model.
+    """
+    _DEVICE_CACHE.clear()
+    _CONTROLLER_CACHE.clear()
+
+
+def controller_for(architecture: str,
+                   queue_depth: Optional[int] = None) -> MemoryController:
+    """Per-process memoized controller over the shared device model.
+    ``queue_depth`` overrides the per-channel default transaction queue
+    (distinct depths share one device build)."""
+    key = (architecture, queue_depth)
+    controller = _CONTROLLER_CACHE.get(key)
+    if controller is None:
+        device = device_for(architecture)
         controller = MemoryController(
             device,
-            queue_depth=QUEUE_DEPTH_PER_CHANNEL * device.channels,
+            queue_depth=(queue_depth if queue_depth is not None
+                         else QUEUE_DEPTH_PER_CHANNEL * device.channels),
         )
-        _CONTROLLER_CACHE[architecture] = controller
+        _CONTROLLER_CACHE[key] = controller
     return controller
 
 
 def evaluate_cell(task: EvalTask) -> SimStats:
     """Run one grid cell; the unit of work the pool distributes."""
     trace = cached_trace_arrays(task.workload, task.num_requests, task.seed)
-    return controller_for(task.architecture).run_arrays(
+    return controller_for(task.architecture, task.queue_depth).run_arrays(
         trace, workload_name=task.workload)
 
 
+def _evaluate_cell_checked(task: EvalTask) -> SimStats:
+    """``evaluate_cell`` with the failing cell annotated on error.
+
+    Without this, an exception raised inside a pool worker surfaces as
+    a bare multiprocessing traceback with no indication of which
+    (architecture, workload) cell died — and the unexpected kinds
+    (ValueError, numpy errors) are exactly the ones that need the cell
+    label most.  The re-raised error is a plain one-argument
+    ``SimulationError``, so it pickles cleanly back through the pool.
+    """
+    try:
+        return evaluate_cell(task)
+    except Exception as error:
+        detail = str(error) if isinstance(error, ReproError) \
+            else f"{type(error).__name__}: {error}"
+        raise SimulationError(
+            f"grid cell ({task.describe()}) failed: {detail}") from error
+
+
+def _evaluate_cell_indexed(indexed: Tuple[int, EvalTask]) \
+        -> Tuple[int, SimStats]:
+    """Pool payload carrying the task's position, so the parent can
+    checkpoint completions the moment they arrive (out of order) while
+    still returning results in task order."""
+    index, task = indexed
+    return index, _evaluate_cell_checked(task)
+
+
 def _resolve_workers(workers: Optional[int]) -> int:
+    """Validate and normalize the worker count.
+
+    ``0`` explicitly means "one worker per available CPU" (it used to be
+    silently coerced to 1); negative counts are rejected.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV_VAR, "1")
         try:
@@ -82,26 +168,54 @@ def _resolve_workers(workers: Optional[int]) -> int:
             ) from None
     if workers < 0:
         raise SimulationError("worker count must be non-negative")
-    return max(workers, 1)
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
 
 
-def _map_tasks(tasks: List[EvalTask], workers: int,
-               chunksize: int) -> List[SimStats]:
-    """Map cells over a worker pool, falling back to serial execution."""
+def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
+               on_result: Optional[ResultCallback] = None) -> List[SimStats]:
+    """Map cells over a worker pool, falling back to serial execution.
+
+    The returned list is in task order; ``on_result`` fires for each
+    cell as soon as its stats arrive — in *completion* order under a
+    pool, so callers (the result store, the sweep runner) checkpoint
+    every finished cell immediately and an interruption loses nothing
+    already computed.  Worker failures re-raise as ``SimulationError``
+    annotated with the failing cell.
+    """
+    def serial() -> List[SimStats]:
+        collected = []
+        for task in tasks:
+            stats = _evaluate_cell_checked(task)
+            if on_result is not None:
+                on_result(task, stats)
+            collected.append(stats)
+        return collected
+
     if workers <= 1 or len(tasks) <= 1:
-        return [evaluate_cell(task) for task in tasks]
+        return serial()
     try:
         import multiprocessing
 
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None)
-        with context.Pool(processes=min(workers, len(tasks))) as pool:
-            return pool.map(evaluate_cell, tasks, chunksize=chunksize)
+        pool = context.Pool(processes=min(workers, len(tasks)))
     except (ImportError, OSError, PermissionError):
         # Restricted environments (no /dev/shm, no fork): degrade to the
-        # serial path — identical results, just no fan-out.
-        return [evaluate_cell(task) for task in tasks]
+        # serial path — identical results, just no fan-out.  Only pool
+        # *creation* is guarded; cell failures propagate annotated.
+        return serial()
+    with pool:
+        slots: List[Optional[SimStats]] = [None] * len(tasks)
+        for index, stats in pool.imap_unordered(
+                _evaluate_cell_indexed, list(enumerate(tasks)),
+                chunksize=chunksize):
+            if on_result is not None:
+                on_result(tasks[index], stats)
+            slots[index] = stats
+        return slots
 
 
 def run_evaluation(
@@ -110,12 +224,20 @@ def run_evaluation(
     num_requests: int = 20_000,
     seed: int = 1,
     workers: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+    resume: bool = True,
 ) -> Dict[str, Dict[str, SimStats]]:
     """The full Fig. 9 grid: every architecture on every workload.
 
     Returns ``results[arch][workload] -> SimStats``.  ``workers`` > 1
-    fans the grid out over that many processes; the result is identical
-    to the serial run for the same arguments.
+    fans the grid out over that many processes (``0`` = one per CPU);
+    the result is identical to the serial run for the same arguments.
+
+    With a :class:`repro.sim.store.ResultStore`, every computed cell is
+    checkpointed to disk as soon as it completes; when ``resume`` is
+    true, cells whose digest is already in the store are served from it
+    instead of being recomputed (``resume=False`` recomputes and
+    overwrites).  Stored results are bit-identical to computed ones.
     """
     workload_names = list(workloads) if workloads is not None \
         else sorted(SPEC_WORKLOADS)
@@ -138,12 +260,51 @@ def run_evaluation(
         for workload in workload_names
         for arch in architectures
     ]
-    stats_list = _map_tasks(tasks, _resolve_workers(workers),
-                            chunksize=len(architectures))
+    lookup = evaluate_tasks(tasks, workers=workers, store=store,
+                            resume=resume, chunksize=len(architectures))
 
     results: Dict[str, Dict[str, SimStats]] = {
         arch: {} for arch in architectures
     }
-    for task, stats in zip(tasks, stats_list):
-        results[task.architecture][task.workload] = stats
+    for task in tasks:
+        results[task.architecture][task.workload] = lookup[task]
+    return results
+
+
+def evaluate_tasks(
+    tasks: Sequence[EvalTask],
+    workers: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+    resume: bool = True,
+    chunksize: int = 1,
+    on_result: Optional[ResultCallback] = None,
+) -> Dict[EvalTask, SimStats]:
+    """Evaluate an arbitrary task list with store read-through/write-back.
+
+    The shared core of :func:`run_evaluation` and the sweep runner:
+    store hits (when ``resume``) skip :func:`evaluate_cell` entirely,
+    misses are fanned out over ``workers`` processes and written back to
+    the store the moment each result arrives.  ``on_result`` fires for
+    every *computed* cell (after the store write), letting callers log
+    progress or checkpoint additional state.
+    """
+    cached: Dict[EvalTask, SimStats] = {}
+    if store is not None and resume:
+        for task in tasks:
+            hit = store.get(task)
+            if hit is not None:
+                cached[task] = hit
+    missing = [task for task in tasks if task not in cached]
+
+    def checkpoint(task: EvalTask, stats: SimStats) -> None:
+        if store is not None:
+            store.put(task, stats)
+        if on_result is not None:
+            on_result(task, stats)
+
+    computed = _map_tasks(missing, _resolve_workers(workers),
+                          chunksize=max(chunksize, 1),
+                          on_result=checkpoint)
+    results = dict(cached)
+    results.update(zip(missing, computed))
     return results

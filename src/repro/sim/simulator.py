@@ -57,7 +57,10 @@ def summarize(results: Dict[str, Dict[str, SimStats]]) -> Dict[str, Dict[str, fl
         stats = list(per_workload.values())
         summary[arch] = {
             "bandwidth_gbps": geometric_mean([s.bandwidth_gbps for s in stats]),
-            "avg_latency_ns": geometric_mean([s.avg_latency_ns for s in stats]),
+            # NaN-safe accessor: a cell with no completed requests yields
+            # a NaN geomean instead of crashing the whole summary.
+            "avg_latency_ns": geometric_mean(
+                [s.latency_row()["avg_latency_ns"] for s in stats]),
             "epb_pj": geometric_mean([s.energy_per_bit_pj for s in stats]),
             "bw_per_epb": geometric_mean([s.bw_per_epb for s in stats]),
         }

@@ -9,8 +9,8 @@ power + per-operation energy — divided by the bits transferred.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -113,19 +113,64 @@ class SimStats:
         """Fraction of wall time the device was serving."""
         return min(self.busy_time_ns / (self.sim_time_ns * 1.0), 1.0)
 
+    def latency_row(self) -> Dict[str, float]:
+        """Latency metrics as a dict, NaN when no request completed.
+
+        Table/CSV paths use this instead of the raising properties so a
+        cell with an empty ``latencies_ns`` (e.g. deserialized without the
+        raw samples) degrades to NaN columns rather than crashing a
+        partially printed table.
+        """
+        if not self.latencies_ns:
+            nan = float("nan")
+            return {"avg_latency_ns": nan, "p95_latency_ns": nan,
+                    "max_latency_ns": nan}
+        return {
+            "avg_latency_ns": self.avg_latency_ns,
+            "p95_latency_ns": self.p95_latency_ns,
+            "max_latency_ns": self.max_latency_ns,
+        }
+
     def as_row(self) -> Dict[str, float]:
-        """Flat dict for table printing / CSV."""
+        """Flat dict for table printing / CSV (NaN latencies when empty)."""
+        latency = self.latency_row()
         return {
             "device": self.device_name,
             "workload": self.workload_name,
             "bandwidth_gbps": self.bandwidth_gbps,
-            "avg_latency_ns": self.avg_latency_ns,
-            "p95_latency_ns": self.p95_latency_ns,
+            "avg_latency_ns": latency["avg_latency_ns"],
+            "p95_latency_ns": latency["p95_latency_ns"],
             "epb_pj": self.energy_per_bit_pj,
             "bw_per_epb": self.bw_per_epb,
             "row_hit_rate": self.row_hit_rate,
             "utilization": self.utilization,
         }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self, latencies: bool = True) -> Dict[str, Any]:
+        """JSON-serializable dict of every field.
+
+        ``latencies=False`` drops the raw per-request samples (the bulky
+        part); the restored stats then report NaN latency columns via
+        :meth:`latency_row` / :meth:`as_row`.
+        """
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["latencies_ns"] = (
+            [float(v) for v in self.latencies_ns] if latencies else [])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored.
+
+        Python floats round-trip exactly through ``json`` (repr-based),
+        so ``from_dict(json.loads(json.dumps(s.to_dict()))) == s``
+        bit-for-bit.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in payload.items()
+                      if key in known})
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -1,0 +1,302 @@
+"""Persistent, content-addressed result store for evaluation grids.
+
+Every grid cell (:class:`repro.sim.engine.EvalTask`) hashes to a stable
+content digest covering the task parameters **and** fingerprints of the
+device model and workload preset it would run, so results invalidate
+automatically when a model changes — re-running after editing, say, the
+COMET timing stack recomputes only the COMET cells.  The store itself is
+a plain directory of JSON entries (one per digest, sharded by prefix)
+with the bulky per-request latency samples in packed-float64 sidecars,
+written atomically so an interrupted sweep never leaves a torn entry:
+whatever completed before the interruption is served from disk on the
+next run, byte-identical to a cold computation.
+
+This is the durability layer the sweep runner (:mod:`repro.sim.sweep`),
+``run_evaluation(store=...)`` and the incremental Fig. 9 regeneration
+build on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from .engine import EvalTask, clear_device_caches, device_for
+from .stats import SimStats
+from .tracegen import get_workload
+
+#: Bump when the digest payload or entry layout changes incompatibly;
+#: stores written under another schema are rejected on open.
+STORE_SCHEMA_VERSION = 1
+
+#: Simulator-*behavior* version, folded into every task digest.  The
+#: device/workload fingerprints invalidate stored results when a model
+#: *configuration* changes, but cannot see code: bump this whenever
+#: controller/engine scheduling or stats semantics change, so results
+#: computed by older simulator code stop being addressed.
+#: (``STORE_SCHEMA_VERSION`` guards the on-disk layout instead.)
+RESULTS_VERSION = 1
+
+
+def _canonical(payload: Any) -> bytes:
+    """Canonical JSON encoding (sorted keys, no whitespace) for hashing."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _sha256(payload: Any) -> str:
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def _current_umask() -> int:
+    """The process umask (os can only report it by setting it)."""
+    umask = os.umask(0)
+    os.umask(umask)
+    return umask
+
+
+def _pack_latencies(latencies: Sequence[float]) -> bytes:
+    """Per-request latencies as little-endian float64 bytes.
+
+    The bulky part of an entry lives in a binary sidecar: packed floats
+    decode orders of magnitude faster than a JSON array (what makes warm
+    sweeps effectively free) and round-trip bit-exactly.
+    """
+    return np.asarray(latencies, dtype="<f8").tobytes()
+
+
+def _unpack_latencies(blob: bytes) -> List[float]:
+    return np.frombuffer(blob, dtype="<f8").tolist()
+
+
+_FINGERPRINT_CACHE: Dict[Tuple[str, str], str] = {}
+
+
+def device_fingerprint(architecture: str) -> str:
+    """Content digest of the device model an architecture name builds.
+
+    Hashes every field of the built :class:`MemoryDeviceModel` (timings,
+    energy, geometry), so any change to the device configuration — a
+    retuned pulse energy, a different bank count — changes the digest
+    and invalidates stored results for that architecture.
+    """
+    key = ("device", architecture)
+    digest = _FINGERPRINT_CACHE.get(key)
+    if digest is None:
+        # device_for is the engine's per-process device cache, shared by
+        # every controller regardless of queue depth, so fingerprinting
+        # never rebuilds a device the evaluation already built (COMET's
+        # mode-solver stack costs ~0.7 s).
+        digest = _sha256(dataclasses.asdict(device_for(architecture)))
+        _FINGERPRINT_CACHE[key] = digest
+    return digest
+
+
+def workload_fingerprint(workload: str) -> str:
+    """Content digest of a workload preset's full parameter set."""
+    key = ("workload", workload)
+    digest = _FINGERPRINT_CACHE.get(key)
+    if digest is None:
+        digest = _sha256(dataclasses.asdict(get_workload(workload)))
+        _FINGERPRINT_CACHE[key] = digest
+    return digest
+
+
+_DIGEST_CACHE: Dict[EvalTask, str] = {}
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized fingerprints and digests (tests / in-process model
+    edits — a rebuilt device model only re-fingerprints after this).
+
+    Also clears the engine's device/controller caches: fingerprints are
+    derived from the cached device, so an edited model definition must
+    rebuild before it can re-fingerprint.
+    """
+    _FINGERPRINT_CACHE.clear()
+    _DIGEST_CACHE.clear()
+    clear_device_caches()
+
+
+def task_digest(task: EvalTask) -> str:
+    """Stable content digest of one grid cell.
+
+    Pure function of the task parameters, the device and workload
+    fingerprints, and :data:`RESULTS_VERSION` — no process state, dict
+    ordering or hash randomization involved, so digests agree across
+    processes and hosts.  Memoized per
+    task (the fingerprints are fixed within a process), which keeps warm
+    store lookups on the fast path.
+    """
+    digest = _DIGEST_CACHE.get(task)
+    if digest is None:
+        digest = _sha256({
+            "schema": STORE_SCHEMA_VERSION,
+            "results_version": RESULTS_VERSION,
+            "architecture": task.architecture,
+            "workload": task.workload,
+            "num_requests": task.num_requests,
+            "seed": task.seed,
+            "queue_depth": task.queue_depth,
+            "device": device_fingerprint(task.architecture),
+            "workload_model": workload_fingerprint(task.workload),
+        })
+        _DIGEST_CACHE[task] = digest
+    return digest
+
+
+class ResultStore:
+    """On-disk result store: ``directory/cells/<ab>/<digest>.json``
+    entries plus ``<digest>.lat`` packed-latency sidecars.
+
+    * **Content-addressed** — the filename is :func:`task_digest`, so a
+      lookup is one ``open``; stale results (changed device/workload
+      models) simply stop being addressed.
+    * **Atomic** — entries are written to a temp file and ``os.replace``d
+      into place, sidecar before entry; readers never observe a torn
+      entry, and an interrupted sweep resumes from exactly the cells
+      that completed.
+    * **Self-describing** — each entry carries the task parameters and
+      fingerprints alongside the serialized stats, so a store can be
+      exported or audited without recomputing digests.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        self._check_meta()
+
+    def _check_meta(self) -> None:
+        meta_path = self.root / "store.json"
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except json.JSONDecodeError:
+                raise SimulationError(
+                    f"corrupt store metadata: {meta_path}") from None
+            if meta.get("schema") != STORE_SCHEMA_VERSION:
+                raise SimulationError(
+                    f"store {self.root} has schema {meta.get('schema')!r}; "
+                    f"this build writes schema {STORE_SCHEMA_VERSION}")
+        else:
+            self._atomic_write(
+                meta_path, {"schema": STORE_SCHEMA_VERSION,
+                            "format": "repro.sim result store"})
+
+    # -- addressing ---------------------------------------------------------
+
+    def path_for(self, task: EvalTask) -> Path:
+        return self._digest_path(task_digest(task))
+
+    def _digest_path(self, digest: str) -> Path:
+        return self.cells_dir / digest[:2] / f"{digest}.json"
+
+    # -- read/write ---------------------------------------------------------
+
+    def get(self, task: EvalTask) -> Optional[SimStats]:
+        """Stored stats for a task, or ``None`` (miss / unreadable)."""
+        path = self.path_for(task)
+        try:
+            return self._entry_stats(json.loads(path.read_text()), path)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                SimulationError):
+            # Unreadable entries are treated as misses and recomputed
+            # (the subsequent put overwrites them atomically).
+            return None
+
+    def put(self, task: EvalTask, stats: SimStats,
+            latencies: bool = True) -> str:
+        """Persist one cell atomically; returns its digest.
+
+        ``latencies=False`` stores only the aggregate stats (NaN latency
+        columns on reload) for space-constrained archival stores.
+        """
+        digest = task_digest(task)
+        path = self._digest_path(digest)
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "digest": digest,
+            "task": dataclasses.asdict(task),
+            "device_fingerprint": device_fingerprint(task.architecture),
+            "workload_fingerprint": workload_fingerprint(task.workload),
+            "stats": stats.to_dict(latencies=False),
+        }
+        if latencies:
+            # Sidecar before entry: an entry that names a latency count
+            # always finds complete bytes beside it.
+            entry["latencies_count"] = len(stats.latencies_ns)
+            self._atomic_write_bytes(self._sidecar_path(path),
+                                     _pack_latencies(stats.latencies_ns))
+        self._atomic_write(path, entry)
+        if not latencies:
+            # Re-putting a cell in archival mode must actually reclaim
+            # the bulky sidecar; the new entry no longer references it.
+            self._sidecar_path(path).unlink(missing_ok=True)
+        return digest
+
+    def __contains__(self, task: EvalTask) -> bool:
+        return self.path_for(task).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cells_dir.glob("*/*.json"))
+
+    def entries(self) -> Iterator[Tuple[EvalTask, SimStats]]:
+        """Iterate every readable stored cell (digest order)."""
+        for path in sorted(self.cells_dir.glob("*/*.json")):
+            try:
+                entry = json.loads(path.read_text())
+                task = EvalTask(**entry["task"])
+                yield task, self._entry_stats(entry, path)
+            except (FileNotFoundError, json.JSONDecodeError, KeyError,
+                    TypeError, ValueError, SimulationError):
+                continue
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _sidecar_path(entry_path: Path) -> Path:
+        return entry_path.with_suffix(".lat")
+
+    def _entry_stats(self, entry: Dict[str, Any], path: Path) -> SimStats:
+        payload = entry["stats"]
+        count = entry.get("latencies_count")
+        if count is not None:
+            blob = self._sidecar_path(path).read_bytes()
+            if len(blob) != 8 * count:
+                raise ValueError("torn latency sidecar")
+            payload = dict(payload, latencies_ns=_unpack_latencies(blob))
+        return SimStats.from_dict(payload)
+
+    @classmethod
+    def _atomic_write(cls, path: Path, payload: Dict[str, Any]) -> None:
+        cls._atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
+
+    @staticmethod
+    def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "wb", dir=path.parent, prefix=f".{path.name}.", delete=False)
+        try:
+            with handle:
+                handle.write(blob)
+            # NamedTemporaryFile creates 0600; restore umask-derived
+            # permissions so the store stays rsync/NFS-shareable.
+            os.chmod(handle.name, 0o666 & ~_current_umask())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,190 @@
+"""Resumable, sharded parameter sweeps over the evaluation grid.
+
+Where :func:`repro.sim.engine.run_evaluation` runs the fixed Fig. 9
+(architecture x workload) grid, a :class:`SweepSpec` names an arbitrary
+parameter grid — architectures x workloads x request counts x seeds x
+queue-depth overrides — and :func:`run_sweep` executes it the way large
+DSE studies do:
+
+* cells already present in the :class:`~repro.sim.store.ResultStore`
+  are skipped (``resume=True``),
+* missing cells are sharded workload-major across worker processes,
+* every result is checkpointed to the store the moment it arrives, so
+  an interrupted sweep resumes exactly where it stopped and the final
+  results are bit-identical to an uninterrupted serial run.
+
+``rows()`` / :func:`write_csv` / :func:`write_json` flatten a finished
+sweep for export.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from typing import IO, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError, TraceError
+from .engine import EvalTask, ResultCallback, evaluate_tasks
+from .factory import ARCHITECTURE_NAMES
+from .stats import SimStats
+from .store import ResultStore
+from .tracegen import SPEC_WORKLOADS, get_workload
+
+#: Column order of one exported sweep row: the task axes, then metrics.
+ROW_FIELDS: Tuple[str, ...] = (
+    "architecture", "workload", "num_requests", "seed", "queue_depth",
+    "bandwidth_gbps", "avg_latency_ns", "p95_latency_ns", "epb_pj",
+    "bw_per_epb", "row_hit_rate", "utilization",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An arbitrary parameter grid, axes crossed in deterministic order.
+
+    ``queue_depths`` entries override the controller transaction queue
+    (``None`` = the architecture's per-channel default), which is the
+    queue-depth ablation axis.
+    """
+
+    architectures: Tuple[str, ...] = ARCHITECTURE_NAMES
+    workloads: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(sorted(SPEC_WORKLOADS)))
+    num_requests: Tuple[int, ...] = (20_000,)
+    seeds: Tuple[int, ...] = (1,)
+    queue_depths: Tuple[Optional[int], ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for axis in ("architectures", "workloads", "num_requests",
+                     "seeds", "queue_depths"):
+            values = tuple(getattr(self, axis))
+            if not values:
+                raise SimulationError(f"sweep axis {axis!r} is empty")
+            if len(set(values)) != len(values):
+                # Duplicates would compute identical cells repeatedly
+                # and double-count store hits — almost certainly a typo.
+                raise SimulationError(
+                    f"sweep axis {axis!r} has duplicate values: {values}")
+            object.__setattr__(self, axis, values)
+        for arch in self.architectures:
+            if arch not in ARCHITECTURE_NAMES:
+                raise SimulationError(
+                    f"unknown architecture {arch!r}; "
+                    f"known: {ARCHITECTURE_NAMES}")
+        for name in self.workloads:
+            try:
+                get_workload(name)
+            except TraceError as error:
+                raise SimulationError(str(error)) from None
+        for depth in self.queue_depths:
+            if depth is not None and depth < 1:
+                raise SimulationError("queue depth override must be >= 1")
+
+    @property
+    def num_cells(self) -> int:
+        return (len(self.architectures) * len(self.workloads)
+                * len(self.num_requests) * len(self.seeds)
+                * len(self.queue_depths))
+
+    def tasks(self) -> List[EvalTask]:
+        """All grid cells, workload-major within each outer combination
+        (one shard reuses one cached trace across all architectures)."""
+        return [
+            EvalTask(arch, workload, n, seed, depth)
+            for n in self.num_requests
+            for seed in self.seeds
+            for depth in self.queue_depths
+            for workload in self.workloads
+            for arch in self.architectures
+        ]
+
+
+@dataclass
+class SweepResult:
+    """A finished (or resumed) sweep: results plus provenance counts."""
+
+    spec: SweepSpec
+    results: Dict[EvalTask, SimStats]
+    store_hits: int
+    computed: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat export rows in sweep order (NaN latencies kept)."""
+        flattened = []
+        for task in self.spec.tasks():
+            stats = self.results[task]
+            metrics = stats.as_row()
+            row: Dict[str, object] = {
+                "architecture": task.architecture,
+                "workload": task.workload,
+                "num_requests": task.num_requests,
+                "seed": task.seed,
+                "queue_depth": task.queue_depth,
+            }
+            for key in ROW_FIELDS:
+                if key not in row:
+                    row[key] = metrics[key]
+            flattened.append(row)
+        return flattened
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+    on_result: Optional[ResultCallback] = None,
+) -> SweepResult:
+    """Execute a sweep with store read-through and incremental writes.
+
+    Cells already in ``store`` (by content digest) are served from disk
+    when ``resume`` is true; the rest are sharded over ``workers``
+    processes (``0`` = one per CPU) and checkpointed as they complete.
+    Interrupt it anywhere — a rerun with the same spec and store picks
+    up the surviving cells and produces bit-identical final results.
+    """
+    tasks = spec.tasks()
+    computed_cells = 0
+
+    def count(task: EvalTask, stats: SimStats) -> None:
+        nonlocal computed_cells
+        computed_cells += 1
+        if on_result is not None:
+            on_result(task, stats)
+
+    results = evaluate_tasks(
+        tasks, workers=workers, store=store, resume=resume,
+        chunksize=len(spec.architectures), on_result=count)
+    return SweepResult(spec=spec, results=results,
+                       store_hits=len(tasks) - computed_cells,
+                       computed=computed_cells)
+
+
+# -- export -----------------------------------------------------------------
+
+
+def write_csv(rows: Sequence[Dict[str, object]], stream: IO[str]) -> None:
+    """CSV export (header + one line per cell; NaN prints as ``nan``)."""
+    writer = csv.DictWriter(stream, fieldnames=list(ROW_FIELDS))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+
+
+def write_json(rows: Sequence[Dict[str, object]], stream: IO[str]) -> None:
+    """JSON export: a list of row objects, strictly RFC 8259.
+
+    NaN metrics (empty-latency cells, archival stores without latency
+    samples) become ``null`` — ``json.dump``'s default would emit the
+    bare ``NaN`` token, which standard parsers reject.
+    """
+    def jsonable(value: object) -> object:
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        return value
+
+    json.dump([{key: jsonable(value) for key, value in row.items()}
+               for row in rows], stream, indent=2, allow_nan=False)
+    stream.write("\n")

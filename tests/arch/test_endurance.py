@@ -85,6 +85,41 @@ class TestStartGap:
             leveler.record_write()
         assert leveler.leveling_efficiency() > 0.95
 
+    def test_uniform_traffic_limit_is_one(self):
+        """Regression: uniform traffic (hot_fraction -> 0) is already
+        perfectly spread, so efficiency must approach 1.0 — the old
+        formula capped it at 1 - 1/physical_rows."""
+        leveler = StartGapWearLeveler(rows=16, gap_move_interval=100)
+        for _ in range(2_000):
+            leveler.record_write()
+        assert leveler.leveling_efficiency(hot_fraction=0.0) == 1.0
+        assert leveler.leveling_efficiency(hot_fraction=1e-9) == \
+            pytest.approx(1.0, abs=1e-8)
+        # Strictly above the old cap for a small array.
+        assert leveler.leveling_efficiency(hot_fraction=1e-9) \
+            > 1.0 - 1.0 / leveler.physical_rows
+
+    def test_single_hot_line_limit(self):
+        """Regression: a purely hot stream is spread over all physical
+        rows at the gap-copy cost: spread * (1 - overhead), unchanged
+        from the pre-fix default-path value."""
+        leveler = StartGapWearLeveler(rows=64, gap_move_interval=50)
+        for _ in range(1_000):
+            leveler.record_write()
+        spread = 1.0 - 1.0 / leveler.physical_rows
+        expected = spread * (1.0 - leveler.write_overhead())
+        assert leveler.leveling_efficiency(hot_fraction=1.0) == \
+            pytest.approx(expected)
+
+    def test_efficiency_monotone_in_hot_fraction(self):
+        leveler = StartGapWearLeveler(rows=32, gap_move_interval=10)
+        for _ in range(500):
+            leveler.record_write()
+        samples = [leveler.leveling_efficiency(hot_fraction=h)
+                   for h in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert samples == sorted(samples, reverse=True)
+        assert all(0.0 < value <= 1.0 for value in samples)
+
     def test_validation(self):
         with pytest.raises(ConfigError):
             StartGapWearLeveler(rows=1)
@@ -94,4 +129,6 @@ class TestStartGap:
         with pytest.raises(AddressError):
             leveler.physical_row(8)
         with pytest.raises(ConfigError):
-            leveler.leveling_efficiency(hot_fraction=0.0)
+            leveler.leveling_efficiency(hot_fraction=-0.1)
+        with pytest.raises(ConfigError):
+            leveler.leveling_efficiency(hot_fraction=1.1)

@@ -25,6 +25,16 @@ class TestRegistry:
         with pytest.raises(ConfigError):
             get_experiment("fig99")
 
+    def test_fig9_unusable_store_is_a_clean_exit(self, tmp_path, capsys):
+        """$REPRO_RESULT_STORE pointing at a file must fail with a
+        message, not a raw mkdir traceback."""
+        from repro.exp import fig9
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(SystemExit):
+            fig9.main(num_requests=100, store=str(blocker))
+        assert "unusable" in capsys.readouterr().err
+
 
 class TestFig2Shape:
     def test_crossbar_corrupts_comet_does_not(self):

@@ -33,6 +33,7 @@ class TestExamplesRun:
             "dota_accelerator_study.py",
             "functional_memory_demo.py",
             "reliability_study.py",
+            "sweep_resume_demo.py",
         }
 
     def test_quickstart(self):
@@ -77,3 +78,10 @@ class TestExamplesRun:
         result = run_example("reliability_study.py")
         assert result.returncode == 0, result.stderr
         assert "disturb-free: True" in result.stdout
+
+    def test_sweep_resume_demo_small(self):
+        result = run_example("sweep_resume_demo.py", "800")
+        assert result.returncode == 0, result.stderr
+        assert "18 cells" in result.stdout
+        assert "warm run : 0 computed, 18 cached" in result.stdout
+        assert "architecture,workload" in result.stdout

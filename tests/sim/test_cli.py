@@ -1,10 +1,12 @@
 """Command-line runner (python -m repro.sim)."""
 
 import io
+import json
 import tempfile
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim.__main__ import build_parser, main
 from repro.sim.trace import TraceWriter
 from repro.sim.tracegen import generate_trace
@@ -81,3 +83,169 @@ class TestGridMode:
                      "--requests", "600"])
         assert code == 0
         assert "checkpoint" in capsys.readouterr().out
+
+
+class TestStoreAndExport:
+    GRID = ["--arch", "EPCM-MM", "--grid", "--workloads", "gcc,bursty",
+            "--requests", "300"]
+
+    def test_store_then_resume_serves_cached_cells(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "grid-store")
+        assert main(self.GRID + ["--store", store_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "0 cached, 2 computed" in cold
+
+        assert main(self.GRID + ["--store", store_dir, "--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "2 cached, 0 computed" in warm
+        # Identical table modulo the store provenance line.
+        strip = lambda out: [line for line in out.splitlines()
+                             if not line.startswith("store")]
+        assert strip(warm) == strip(cold)
+
+    def test_export_csv_to_file(self, capsys, tmp_path):
+        path = tmp_path / "rows.csv"
+        code = main(self.GRID + ["--export", "csv",
+                                 "--export-path", str(path)])
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3      # header + 2 cells
+        assert lines[0].startswith("architecture,workload,num_requests")
+
+    def test_export_json_to_stdout_is_pure(self, capsys):
+        """Exporting to stdout keeps it machine-readable: the whole
+        stream parses as JSON, the table goes to stderr."""
+        code = main(self.GRID + ["--export", "json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert [row["workload"] for row in payload] == ["gcc", "bursty"]
+        assert "BW (GB/s)" in captured.err
+
+    def test_cell_failure_reports_resume_hint(self, capsys, tmp_path,
+                                              monkeypatch):
+        """A runtime cell failure is not a usage error: exit 1, the
+        annotated cell message, and the --resume pointer."""
+        from repro.sim import engine as engine_mod
+
+        def explode(task):
+            raise SimulationError("device model diverged")
+
+        monkeypatch.setattr(engine_mod, "evaluate_cell", explode)
+        code = main(self.GRID + ["--store", str(tmp_path / "s")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "usage:" not in err
+        assert "EPCM-MM x gcc" in err
+        assert "rerun with --resume" in err
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--resume"])
+
+    def test_unwritable_export_path_fails_before_the_sweep(
+            self, capsys, tmp_path, monkeypatch):
+        """A bad --export-path must be rejected up front, not after the
+        whole grid has been computed and is about to be discarded."""
+        from repro.sim import sweep as sweep_mod
+
+        def never(*args, **kwargs):
+            pytest.fail("sweep ran despite unwritable export path")
+
+        monkeypatch.setattr(sweep_mod, "run_sweep", never)
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--export", "csv", "--export-path",
+                              str(tmp_path / "missing" / "out.csv")])
+        assert "cannot write --export-path" in capsys.readouterr().err
+
+    def test_failed_run_preserves_existing_export(self, tmp_path,
+                                                  monkeypatch):
+        """An interrupted/failed sweep must not truncate yesterday's
+        export file, and must not leave temp litter behind."""
+        from repro.sim import sweep as sweep_mod
+        target = tmp_path / "fig9.csv"
+        target.write_text("yesterday's rows\n")
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_mod, "run_sweep", interrupted)
+        code = main(self.GRID + ["--export", "csv",
+                                 "--export-path", str(target)])
+        assert code == 130
+        assert target.read_text() == "yesterday's rows\n"
+        assert list(tmp_path.iterdir()) == [target]   # no temp litter
+
+    def test_export_path_requires_export(self):
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--export-path", "out.csv"])
+
+    def test_export_path_directory_rejected_up_front(self, capsys,
+                                                     tmp_path, monkeypatch):
+        from repro.sim import sweep as sweep_mod
+
+        def never(*args, **kwargs):
+            pytest.fail("sweep ran despite directory export path")
+
+        monkeypatch.setattr(sweep_mod, "run_sweep", never)
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--export", "csv",
+                              "--export-path", str(tmp_path)])
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_bad_workers_is_a_usage_error_not_a_runtime_one(
+            self, capsys, tmp_path):
+        """Argument problems must not print the misleading
+        'rerun with --resume' runtime hint."""
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--workers", "-1",
+                              "--store", str(tmp_path / "s")])
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "--resume to continue" not in err
+
+    def test_disk_failure_mid_sweep_reports_resume_hint(
+            self, capsys, tmp_path, monkeypatch):
+        """An OSError from checkpointing (disk full) gets the same
+        friendly runtime-error + resume message as a cell failure."""
+        from repro.sim.store import ResultStore
+
+        def full_disk(self, task, stats, latencies=True):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(ResultStore, "put", full_disk)
+        code = main(self.GRID + ["--store", str(tmp_path / "s")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "No space left" in err
+        assert "rerun with --resume" in err
+
+    def test_unusable_store_path_is_a_clean_error(self, capsys, tmp_path):
+        """A file in the store's place errors like any bad argument,
+        not a raw OSError traceback."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(SystemExit):
+            main(self.GRID + ["--store", str(blocker)])
+        assert "unusable" in capsys.readouterr().err
+
+    def test_interrupt_exits_gracefully(self, capsys, tmp_path,
+                                        monkeypatch):
+        from repro.sim import sweep as sweep_mod
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_mod, "run_sweep", interrupted)
+        code = main(self.GRID + ["--store", str(tmp_path / "s")])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "rerun with --resume" in err
+
+    def test_store_and_export_require_grid(self):
+        with pytest.raises(SystemExit):
+            main(["--arch", "COMET", "--workload", "mcf",
+                  "--store", "somewhere"])
+        with pytest.raises(SystemExit):
+            main(["--arch", "COMET", "--workload", "mcf",
+                  "--export", "csv"])

@@ -1,11 +1,15 @@
 """Parallel evaluation engine: equivalence, determinism, fan-out."""
 
+import os
+
 import pytest
 
 from repro.errors import SimulationError
 from repro.sim import MainMemorySimulator
+from repro.sim import engine
 from repro.sim.engine import (
     EvalTask,
+    _resolve_workers,
     controller_for,
     evaluate_cell,
     run_evaluation,
@@ -95,6 +99,91 @@ class TestEngineShape:
         assert stats.device_name == "EPCM-MM"
         assert stats.workload_name == "checkpoint"
         assert stats.num_requests == 600
+
+    def test_zero_workers_means_one_per_cpu(self):
+        assert _resolve_workers(0) == (os.cpu_count() or 1)
+        results = run_evaluation(architectures=("EPCM-MM",),
+                                 workloads=("gcc",), num_requests=200,
+                                 workers=0)
+        assert results["EPCM-MM"]["gcc"].num_requests == 200
+
+
+class TestFailureAnnotation:
+    """A cell failure names the failing (arch, workload, n, seed) cell
+    instead of surfacing a bare worker traceback."""
+
+    @pytest.fixture
+    def broken_cell(self, monkeypatch):
+        real = engine.evaluate_cell
+
+        def explode(task):
+            if task.workload == "bursty":
+                raise SimulationError("device model diverged")
+            return real(task)
+
+        monkeypatch.setattr(engine, "evaluate_cell", explode)
+
+    def test_serial_failure_names_the_cell(self, broken_cell):
+        with pytest.raises(SimulationError, match=
+                           r"EPCM-MM x bursty, n=300, seed=9"):
+            run_evaluation(architectures=("EPCM-MM",),
+                           workloads=("gcc", "bursty"),
+                           num_requests=300, seed=9, workers=1)
+
+    def test_parallel_failure_names_the_cell(self, broken_cell):
+        """The annotated error pickles back through the pool (or the
+        serial fallback) identically."""
+        with pytest.raises(SimulationError, match=
+                           r"grid cell \(EPCM-MM x bursty"):
+            run_evaluation(architectures=("EPCM-MM",),
+                           workloads=("gcc", "bursty"),
+                           num_requests=300, seed=9, workers=2)
+
+    def test_original_error_preserved_in_message(self, broken_cell):
+        with pytest.raises(SimulationError, match="device model diverged"):
+            run_evaluation(architectures=("EPCM-MM",),
+                           workloads=("bursty",), num_requests=300, seed=9)
+
+    def test_non_repro_errors_also_annotated(self, monkeypatch):
+        """Unexpected exception kinds (the ones that need the cell label
+        most) are wrapped too, with the original type named."""
+        def explode(task):
+            raise ValueError("negative timestamp")
+
+        monkeypatch.setattr(engine, "evaluate_cell", explode)
+        with pytest.raises(SimulationError, match=
+                           r"EPCM-MM x gcc.*ValueError: negative timestamp"):
+            run_evaluation(architectures=("EPCM-MM",), workloads=("gcc",),
+                           num_requests=300, seed=9)
+
+    def test_queue_depth_in_annotation(self):
+        task = EvalTask("EPCM-MM", "gcc", 100, 1, queue_depth=4)
+        assert "queue_depth=4" in task.describe()
+        assert "queue_depth" not in EvalTask("EPCM-MM", "gcc", 100, 1
+                                             ).describe()
+
+
+class TestQueueDepthOverride:
+    def test_controller_for_override(self):
+        default = controller_for("EPCM-MM")
+        shallow = controller_for("EPCM-MM", queue_depth=4)
+        assert shallow.queue_depth == 4
+        assert shallow is not default
+        assert controller_for("EPCM-MM", queue_depth=4) is shallow
+
+    def test_depths_share_one_device_build(self):
+        """Distinct queue depths (and store fingerprinting) must reuse
+        one cached device model per architecture."""
+        assert controller_for("EPCM-MM").device \
+            is controller_for("EPCM-MM", queue_depth=4).device
+        assert engine.device_for("EPCM-MM") \
+            is controller_for("EPCM-MM").device
+
+    def test_override_changes_cell_results(self):
+        base = evaluate_cell(EvalTask("EPCM-MM", "gcc", 500, 3))
+        shallow = evaluate_cell(EvalTask("EPCM-MM", "gcc", 500, 3,
+                                         queue_depth=1))
+        assert shallow.latencies_ns != base.latencies_ns
 
 
 class TestCaches:

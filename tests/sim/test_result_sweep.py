@@ -1,0 +1,185 @@
+"""Sweep runner: resumability, cache hits, export, queue-depth axis."""
+
+import csv
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import engine
+from repro.sim.engine import EvalTask
+from repro.sim.store import ResultStore
+from repro.sim.sweep import (
+    ROW_FIELDS,
+    SweepSpec,
+    run_sweep,
+    write_csv,
+    write_json,
+)
+
+SPEC = SweepSpec(architectures=("EPCM-MM", "2D_DDR3"),
+                 workloads=("gcc", "bursty"),
+                 num_requests=(500,), seeds=(3,))
+
+
+@pytest.fixture(autouse=True)
+def _serial_default(monkeypatch):
+    """Don't let a developer's REPRO_EVAL_WORKERS turn these serial-order
+    and call-count assumptions into pool runs."""
+    monkeypatch.delenv("REPRO_EVAL_WORKERS", raising=False)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "sweep-store")
+
+
+class TestSpec:
+    def test_tasks_cover_the_full_cross_product(self):
+        spec = SweepSpec(architectures=("EPCM-MM",), workloads=("gcc",),
+                         num_requests=(100, 200), seeds=(1, 2),
+                         queue_depths=(None, 8))
+        tasks = spec.tasks()
+        assert len(tasks) == spec.num_cells == 8
+        assert len(set(tasks)) == 8
+
+    def test_workload_major_sharding_order(self):
+        tasks = SPEC.tasks()
+        # All architectures of one workload are adjacent (one shard
+        # shares one cached trace).
+        assert [t.architecture for t in tasks[:2]] == ["EPCM-MM", "2D_DDR3"]
+        assert tasks[0].workload == tasks[1].workload
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SweepSpec(architectures=())
+        with pytest.raises(SimulationError):
+            SweepSpec(architectures=("HBM3",))
+        with pytest.raises(SimulationError):
+            SweepSpec(workloads=("nope",))
+        with pytest.raises(SimulationError):
+            SweepSpec(queue_depths=(0,))
+
+    def test_duplicate_axis_values_rejected(self):
+        """Duplicates would compute identical cells twice and skew the
+        store-hit provenance counts."""
+        with pytest.raises(SimulationError, match="duplicate"):
+            SweepSpec(seeds=(1, 1))
+        with pytest.raises(SimulationError, match="duplicate"):
+            SweepSpec(architectures=("EPCM-MM", "EPCM-MM"))
+
+
+class TestRunSweep:
+    def test_cold_run_populates_store(self, store):
+        result = run_sweep(SPEC, store=store)
+        assert result.computed == SPEC.num_cells
+        assert result.store_hits == 0
+        assert len(store) == SPEC.num_cells
+
+    def test_warm_run_hits_every_cell_and_skips_evaluate_cell(
+            self, store, monkeypatch):
+        cold = run_sweep(SPEC, store=store)
+
+        def forbidden(task):
+            raise AssertionError(f"evaluate_cell called for {task}")
+
+        monkeypatch.setattr(engine, "evaluate_cell", forbidden)
+        warm = run_sweep(SPEC, store=store)
+        assert warm.store_hits == SPEC.num_cells
+        assert warm.computed == 0
+        assert warm.results == cold.results   # bit-identical stats
+
+    def test_resume_false_recomputes(self, store):
+        run_sweep(SPEC, store=store)
+        again = run_sweep(SPEC, store=store, resume=False)
+        assert again.computed == SPEC.num_cells
+        assert again.store_hits == 0
+
+    def test_interrupted_sweep_resumes_bit_identical(
+            self, tmp_path, monkeypatch):
+        """Kill the sweep mid-run; the restarted sweep must finish from
+        the checkpoint and match an uninterrupted serial run exactly."""
+        reference = run_sweep(SPEC, workers=1)   # uninterrupted, storeless
+
+        store = ResultStore(tmp_path / "interrupted")
+        real = engine.evaluate_cell
+        calls = {"n": 0}
+
+        def dies_after_three(task):
+            if calls["n"] >= 3:
+                raise SimulationError("worker killed")
+            calls["n"] += 1
+            return real(task)
+
+        monkeypatch.setattr(engine, "evaluate_cell", dies_after_three)
+        with pytest.raises(SimulationError):
+            run_sweep(SPEC, store=store, workers=1)
+        assert len(store) == 3          # checkpointed up to the crash
+
+        monkeypatch.setattr(engine, "evaluate_cell", real)
+        resumed = run_sweep(SPEC, store=store, workers=1)
+        assert resumed.store_hits == 3
+        assert resumed.computed == SPEC.num_cells - 3
+        assert resumed.results == reference.results
+
+    def test_queue_depth_axis_changes_results(self, store):
+        spec = SweepSpec(architectures=("EPCM-MM",), workloads=("gcc",),
+                         num_requests=(500,), seeds=(3,),
+                         queue_depths=(None, 1))
+        result = run_sweep(spec, store=store)
+        default = result.results[EvalTask("EPCM-MM", "gcc", 500, 3, None)]
+        shallow = result.results[EvalTask("EPCM-MM", "gcc", 500, 3, 1)]
+        # A depth-1 transaction queue throttles admission: same service
+        # totals, lower measured queue latency.
+        assert shallow.avg_latency_ns < default.avg_latency_ns
+        assert len(store) == 2           # distinct digests per depth
+
+    def test_on_result_fires_per_computed_cell(self):
+        seen = []
+        run_sweep(SPEC, workers=1,
+                  on_result=lambda task, stats: seen.append(task))
+        assert seen == SPEC.tasks()   # serial: completion order == task order
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(SPEC)
+
+    def test_rows_in_sweep_order_with_all_fields(self, result):
+        rows = result.rows()
+        assert len(rows) == SPEC.num_cells
+        assert all(tuple(row) == ROW_FIELDS for row in rows)
+        assert [r["workload"] for r in rows[:2]] == ["gcc", "gcc"]
+
+    def test_csv_round_trip(self, result):
+        buffer = io.StringIO()
+        write_csv(result.rows(), buffer)
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(parsed) == SPEC.num_cells
+        first = result.rows()[0]
+        assert parsed[0]["architecture"] == first["architecture"]
+        assert float(parsed[0]["bandwidth_gbps"]) == \
+            pytest.approx(first["bandwidth_gbps"])
+
+    def test_json_export_parses(self, result):
+        buffer = io.StringIO()
+        write_json(result.rows(), buffer)
+        parsed = json.loads(buffer.getvalue())
+        assert len(parsed) == SPEC.num_cells
+        assert not math.isnan(parsed[0]["avg_latency_ns"])
+
+    def test_json_export_nan_becomes_null(self, result):
+        """Strict JSON: NaN latency columns (empty-latency cells) must
+        export as null, never as the bare NaN token."""
+        rows = result.rows()
+        rows[0] = dict(rows[0], avg_latency_ns=float("nan"))
+        buffer = io.StringIO()
+        write_json(rows, buffer)
+        text = buffer.getvalue()
+        assert "NaN" not in text
+        parsed = json.loads(text, parse_constant=lambda token: pytest.fail(
+            f"non-standard JSON token {token!r}"))
+        assert parsed[0]["avg_latency_ns"] is None

@@ -1,5 +1,8 @@
 """SimStats metrics, the device factory, and end-to-end simulator runs."""
 
+import json
+import math
+
 import pytest
 
 from repro.errors import ConfigError, SimulationError
@@ -48,6 +51,46 @@ class TestStats:
     def test_as_row_keys(self):
         row = make_stats().as_row()
         assert {"device", "workload", "bandwidth_gbps", "epb_pj"} <= set(row)
+
+    def test_empty_latencies_row_is_nan_not_crash(self):
+        """A cell with no completed requests keeps its table row: latency
+        columns come back NaN instead of raising mid-table."""
+        stats = make_stats(latencies_ns=[])
+        row = stats.as_row()
+        assert math.isnan(row["avg_latency_ns"])
+        assert math.isnan(row["p95_latency_ns"])
+        assert row["bandwidth_gbps"] == pytest.approx(1.28)
+        latency = stats.latency_row()
+        assert all(math.isnan(latency[key]) for key in
+                   ("avg_latency_ns", "p95_latency_ns", "max_latency_ns"))
+        # Direct property access still surfaces the inconsistency.
+        with pytest.raises(SimulationError):
+            stats.avg_latency_ns
+
+    def test_empty_latencies_survive_summarize(self):
+        from repro.sim import summarize
+        summary = summarize({"X": {"w": make_stats(latencies_ns=[])}})
+        assert math.isnan(summary["X"]["avg_latency_ns"])
+        assert summary["X"]["bandwidth_gbps"] == pytest.approx(1.28)
+
+
+class TestStatsSerialization:
+    def test_round_trip_is_bit_identical(self):
+        stats = make_stats(latencies_ns=[1.5, 2.25, 1e-7])
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert SimStats.from_dict(payload) == stats
+
+    def test_unknown_keys_ignored(self):
+        payload = make_stats().to_dict()
+        payload["future_field"] = 42
+        assert SimStats.from_dict(payload) == make_stats()
+
+    def test_to_dict_without_latencies(self):
+        payload = make_stats().to_dict(latencies=False)
+        assert payload["latencies_ns"] == []
+        restored = SimStats.from_dict(payload)
+        assert restored.num_requests == 10
+        assert math.isnan(restored.as_row()["avg_latency_ns"])
 
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)

@@ -1,0 +1,194 @@
+"""Persistent result store: digests, round trips, invalidation."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EvalTask, evaluate_cell
+from repro.sim import store as store_mod
+from repro.sim.store import (
+    ResultStore,
+    STORE_SCHEMA_VERSION,
+    device_fingerprint,
+    task_digest,
+    workload_fingerprint,
+)
+
+TASK = EvalTask("EPCM-MM", "gcc", 400, 7)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self):
+        assert task_digest(TASK) == task_digest(TASK)
+        assert len(task_digest(TASK)) == 64
+
+    def test_digest_covers_every_task_axis(self):
+        base = task_digest(TASK)
+        assert task_digest(EvalTask("2D_DDR3", "gcc", 400, 7)) != base
+        assert task_digest(EvalTask("EPCM-MM", "mcf", 400, 7)) != base
+        assert task_digest(EvalTask("EPCM-MM", "gcc", 500, 7)) != base
+        assert task_digest(EvalTask("EPCM-MM", "gcc", 400, 8)) != base
+        assert task_digest(EvalTask("EPCM-MM", "gcc", 400, 7, 16)) != base
+
+    def test_digest_stable_across_processes(self):
+        """No dict-ordering or hash-randomization dependence: a fresh
+        interpreter computes the same digest."""
+        script = (
+            "from repro.sim.engine import EvalTask\n"
+            "from repro.sim.store import task_digest\n"
+            "print(task_digest(EvalTask('EPCM-MM', 'gcc', 400, 7)))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONHASHSEED": "random"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == task_digest(TASK)
+
+    def test_fingerprints_differ_between_models(self):
+        assert device_fingerprint("EPCM-MM") != device_fingerprint("2D_DDR3")
+        assert workload_fingerprint("gcc") != workload_fingerprint("mcf")
+
+
+class TestResultStore:
+    def test_put_get_round_trip_is_bit_identical(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        assert TASK in store
+        assert len(store) == 1
+        assert store.get(TASK) == stats   # dataclass eq: every field
+
+    def test_get_unknown_is_miss(self, store):
+        assert store.get(TASK) is None
+        assert TASK not in store
+
+    def test_corrupt_entry_is_a_miss(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        store.path_for(TASK).write_text("{not json")
+        assert store.get(TASK) is None
+
+    def test_missing_or_torn_sidecar_is_a_miss(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        sidecar = store.path_for(TASK).with_suffix(".lat")
+        truncated = sidecar.read_bytes()[:-8]
+        sidecar.write_bytes(truncated)
+        assert store.get(TASK) is None
+        sidecar.unlink()
+        assert store.get(TASK) is None
+
+    def test_entries_iterates_tasks_and_stats(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        listed = list(store.entries())
+        assert listed == [(TASK, stats)]
+
+    def test_entries_respect_umask(self, store):
+        """Atomic staging must not leave the shareable store files at
+        NamedTemporaryFile's private 0600."""
+        old_umask = os.umask(0o022)
+        try:
+            store.put(TASK, evaluate_cell(TASK))
+        finally:
+            os.umask(old_umask)
+        for path in (store.path_for(TASK),
+                     store.path_for(TASK).with_suffix(".lat")):
+            assert path.stat().st_mode & 0o777 == 0o644
+
+    def test_reopen_preserves_contents(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        reopened = ResultStore(store.root)
+        assert reopened.get(TASK) == stats
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "old-store"
+        ResultStore(root)
+        meta = json.loads((root / "store.json").read_text())
+        meta["schema"] = STORE_SCHEMA_VERSION + 1
+        (root / "store.json").write_text(json.dumps(meta))
+        with pytest.raises(SimulationError):
+            ResultStore(root)
+
+    def test_put_without_latencies_reloads_with_nan_row(self, store):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats, latencies=False)
+        lean = store.get(TASK)
+        assert lean.latencies_ns == []
+        assert lean.bandwidth_gbps == stats.bandwidth_gbps
+        row = lean.as_row()
+        assert row["avg_latency_ns"] != row["avg_latency_ns"]   # NaN
+
+    def test_archival_reput_reclaims_the_sidecar(self, store):
+        """Re-putting latencies=False over a full entry must delete the
+        bulky .lat sidecar, not just stop referencing it."""
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        sidecar = store.path_for(TASK).with_suffix(".lat")
+        assert sidecar.exists()
+        store.put(TASK, stats, latencies=False)
+        assert not sidecar.exists()
+        assert store.get(TASK).latencies_ns == []
+
+
+class TestInvalidation:
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        """Digests/fingerprints are memoized per process; clear around
+        each test so monkeypatched fingerprints take effect and fake
+        digests never leak into other tests."""
+        store_mod.clear_fingerprint_cache()
+        yield
+        store_mod.clear_fingerprint_cache()
+
+    def test_device_fingerprint_change_invalidates(self, store, monkeypatch):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        assert store.get(TASK) is not None
+        monkeypatch.setattr(store_mod, "device_fingerprint",
+                            lambda arch: "0" * 64)
+        store_mod.clear_fingerprint_cache()
+        assert store.get(TASK) is None
+        assert TASK not in store
+
+    def test_workload_fingerprint_change_invalidates(self, store,
+                                                     monkeypatch):
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        monkeypatch.setattr(store_mod, "workload_fingerprint",
+                            lambda name: "f" * 64)
+        store_mod.clear_fingerprint_cache()
+        assert store.get(TASK) is None
+
+    def test_results_version_bump_invalidates(self, store, monkeypatch):
+        """Simulator-behavior changes can't be fingerprinted from config;
+        bumping RESULTS_VERSION must orphan every stored result."""
+        stats = evaluate_cell(TASK)
+        store.put(TASK, stats)
+        monkeypatch.setattr(store_mod, "RESULTS_VERSION",
+                            store_mod.RESULTS_VERSION + 1)
+        store_mod.clear_fingerprint_cache()
+        assert store.get(TASK) is None
+
+    def test_clear_fingerprint_cache(self):
+        from repro.sim import engine
+        device_fingerprint("EPCM-MM")
+        task_digest(TASK)
+        store_mod.clear_fingerprint_cache()
+        assert store_mod._FINGERPRINT_CACHE == {}
+        assert store_mod._DIGEST_CACHE == {}
+        # The engine caches clear too: fingerprints derive from the
+        # cached device, so an in-process model edit re-fingerprints.
+        assert engine._DEVICE_CACHE == {}
+        assert engine._CONTROLLER_CACHE == {}
