@@ -1,0 +1,74 @@
+"""Evaluation-daemon smoke test: start, one miss + one hit, clean exit.
+
+The CI job runs this end to end against real processes (no pytest, no
+in-process shortcuts): launch ``python -m repro.sim serve`` as a
+subprocess, wait for its ready line, issue one cache-miss query and the
+same query again (served without recomputation — verified via
+``/stats``), then request shutdown and assert the daemon exits 0.
+
+Usage::
+
+    PYTHONPATH=src python examples/server_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.sim.client import EvalClient
+from repro.sim.engine import EvalTask, evaluate_cell
+
+TASK = EvalTask("EPCM-MM", "gcc", 500, 7)
+
+
+def main() -> int:
+    store_dir = tempfile.mkdtemp(prefix="eval-smoke-store-")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim", "serve", "--port", "0",
+         "--store", store_dir, "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env={**os.environ},
+    )
+    try:
+        ready = daemon.stdout.readline().strip()
+        assert ready.startswith("ready: "), f"unexpected banner: {ready!r}"
+        address = ready.split("ready: ", 1)[1]
+        print(f"daemon up at {address}")
+
+        client = EvalClient(address)
+        assert client.ping(), "health check failed"
+
+        miss = client.eval_cell(TASK)
+        counters = client.stats()
+        assert counters["computed"] == 1, counters
+        print(f"miss computed: {miss.bandwidth_gbps:.2f} GB/s")
+
+        hit = client.eval_cell(TASK)
+        counters = client.stats()
+        assert counters["computed"] == 1, \
+            f"warm query recomputed: {counters}"
+        assert counters["lru_hits"] + counters["store_hits"] >= 1, counters
+        assert hit == miss, "hit diverged from the computed stats"
+        print("hit served without recomputation")
+
+        direct = evaluate_cell(TASK)
+        assert miss == direct, "served stats differ from direct evaluation"
+        print("served stats bit-identical to direct evaluate_cell")
+
+        client.shutdown()
+        code = daemon.wait(timeout=60)
+        assert code == 0, f"daemon exited {code}"
+        print("clean shutdown")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+        stderr = daemon.stderr.read()
+        if stderr:
+            print(stderr, file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..errors import SimulationError
-from ..sim.engine import run_evaluation
+from ..sim.client import SERVER_ENV_VAR, evaluate_tasks_remote
+from ..sim.engine import grid_tasks, run_evaluation
 from ..sim.factory import ARCHITECTURE_NAMES
 from ..sim.simulator import summarize
 from ..sim.stats import SimStats
@@ -23,7 +24,10 @@ from .report import print_table
 
 #: Environment variable naming a result-store directory; when set,
 #: ``python -m repro.exp fig9`` regenerates the figure incrementally
-#: (only cells missing from the store are simulated).
+#: (only cells missing from the store are simulated).  When
+#: ``$REPRO_EVAL_SERVER`` (see :mod:`repro.sim.client`) is also set —
+#: or set alone — the grid is answered by the daemon instead, whose
+#: store/LRU make repeated regenerations effectively free.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
 
 #: Paper-reported average ratios (COMET vs each architecture).
@@ -62,7 +66,8 @@ def run(num_requests: int = 8000, seed: int = 1,
         workers: Optional[int] = None,
         workloads: Optional[Iterable[str]] = None,
         store: Optional[Union[str, Path, ResultStore]] = None,
-        resume: bool = True) -> Fig9Result:
+        resume: bool = True,
+        server: Optional[str] = None) -> Fig9Result:
     """Run the grid; ``workers`` > 1 fans it out over processes and
     ``workloads`` swaps in a non-default set (e.g. the multi-programmed
     mixes) without changing the reported metrics.
@@ -71,7 +76,22 @@ def run(num_requests: int = 8000, seed: int = 1,
     incremental: cells already stored are reused, new cells are
     checkpointed, so figure regeneration after a model change only
     recomputes the invalidated architectures.
+
+    ``server`` (an evaluation-daemon address, see
+    :mod:`repro.sim.client`) answers the grid remotely instead: the
+    daemon's store read-through, coalescing and LRU do the caching, and
+    the returned stats are bit-identical to a local run.  ``workers``
+    and ``store`` are the daemon's concern in that mode.
     """
+    if server is not None:
+        tasks = grid_tasks(num_requests=num_requests, seed=seed,
+                           workloads=workloads)
+        lookup = evaluate_tasks_remote(tasks, server)
+        results: Dict[str, Dict[str, SimStats]] = {
+            arch: {} for arch in ARCHITECTURE_NAMES}
+        for task in tasks:
+            results[task.architecture][task.workload] = lookup[task]
+        return Fig9Result(results=results, summary=summarize(results))
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
     results = run_evaluation(num_requests=num_requests, seed=seed,
@@ -81,7 +101,20 @@ def run(num_requests: int = 8000, seed: int = 1,
 
 
 def main(num_requests: int = 8000,
-         store: Optional[Union[str, Path, ResultStore]] = None) -> Fig9Result:
+         store: Optional[Union[str, Path, ResultStore]] = None,
+         server: Optional[str] = None) -> Fig9Result:
+    if server is None:
+        server = os.environ.get(SERVER_ENV_VAR) or None
+    if server is not None:
+        # A running daemon answers the whole grid; its store (if any)
+        # makes the regeneration incremental server-side.
+        try:
+            result = run(num_requests=num_requests, server=server)
+        except SimulationError as error:
+            print(f"fig9: evaluation server {server!r} failed: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return _print_report(result)
     if store is None:
         store = os.environ.get(STORE_ENV_VAR) or None
     if store is not None and not isinstance(store, ResultStore):
@@ -94,7 +127,10 @@ def main(num_requests: int = 8000,
                   file=sys.stderr)
             raise SystemExit(2)
     result = run(num_requests=num_requests, store=store)
+    return _print_report(result)
 
+
+def _print_report(result: Fig9Result) -> Fig9Result:
     workloads = sorted(next(iter(result.results.values())))
     for metric, fmt in (("bandwidth_gbps", "{:.2f}"),
                         ("energy_per_bit_pj", "{:.1f}"),

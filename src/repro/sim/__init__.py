@@ -25,6 +25,10 @@ Key entry points:
 * :func:`repro.sim.sweep.run_sweep` — resumable sharded parameter
   sweeps (arch x workload x n x seed x queue depth) with incremental
   checkpointing and CSV/JSON export.
+* :class:`repro.sim.server.EvalServer` /
+  :class:`repro.sim.client.EvalClient` — the async evaluation daemon
+  (HTTP + line protocol, store read-through, request coalescing) and
+  its sync/async clients (``python -m repro.sim serve / query``).
 """
 
 from .request import MemRequest, OpType
@@ -53,10 +57,14 @@ from .devices import (
 from .stats import SimStats
 from .controller import MemoryController, QUEUE_DEPTH_PER_CHANNEL
 from .factory import build_device, build_workload, ARCHITECTURE_NAMES
-from .engine import EvalTask, evaluate_tasks, run_evaluation
+from .engine import (EvalTask, evaluate_cell, evaluate_tasks, grid_tasks,
+                     run_evaluation, task_from_dict, task_to_dict)
 from .store import ResultStore, task_digest
 from .sweep import SweepResult, SweepSpec, run_sweep, write_csv, write_json
 from .simulator import MainMemorySimulator, summarize
+from .server import EvalServer
+from .client import (AsyncEvalClient, EvalClient, SERVER_ENV_VAR,
+                     evaluate_tasks_remote)
 
 __all__ = [
     "MemRequest",
@@ -88,10 +96,19 @@ __all__ = [
     "MainMemorySimulator",
     "summarize",
     "EvalTask",
+    "evaluate_cell",
     "evaluate_tasks",
+    "grid_tasks",
     "run_evaluation",
+    "task_from_dict",
+    "task_to_dict",
     "ResultStore",
     "task_digest",
+    "EvalServer",
+    "EvalClient",
+    "AsyncEvalClient",
+    "SERVER_ENV_VAR",
+    "evaluate_tasks_remote",
     "SweepSpec",
     "SweepResult",
     "run_sweep",

@@ -23,6 +23,12 @@ with a persistent result store (incremental + resumable) and export::
     python -m repro.sim --arch ALL --grid --store results/ --resume
     python -m repro.sim --arch ALL --grid --store results/ --resume \
         --export csv --export-path fig9.csv
+
+or run / query the async evaluation daemon::
+
+    python -m repro.sim serve --port 8787 --store results/ --workers 4
+    python -m repro.sim query --arch COMET --workload mcf --requests 8000
+    python -m repro.sim query --stats
 """
 
 from __future__ import annotations
@@ -219,7 +225,20 @@ def _run_grid(args: argparse.Namespace,
                 pass
 
 
+#: Subcommands dispatched before the legacy flag-style parser; the
+#: flag interface (``--arch ... --workload ...``) stays unchanged.
+SUBCOMMANDS = ("serve", "query")
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        if argv[0] == "serve":
+            from .server import serve_main
+            return serve_main(argv[1:])
+        from .client import query_main
+        return query_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.resume and not args.store:

@@ -1,0 +1,409 @@
+"""Clients for the async evaluation service (:mod:`repro.sim.server`).
+
+Two transports, one wire format:
+
+* ``http://host:port`` — the daemon's HTTP endpoint, spoken by the sync
+  :class:`EvalClient` (stdlib ``http.client``) and the
+  :class:`AsyncEvalClient` (raw asyncio streams).
+* ``unix:///path/to.sock`` — the newline-delimited-JSON line protocol
+  over a unix socket (both clients).
+
+``REPRO_EVAL_SERVER`` names the default server address, which is how
+``exp/fig9.py`` and the ``python -m repro.sim query`` CLI find a warm
+daemon.  Responses deserialize back into :class:`SimStats` that are
+bit-identical to a local :func:`repro.sim.engine.evaluate_cell` call
+(Python floats survive JSON exactly).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import sys
+import urllib.parse
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .engine import EvalTask, task_to_dict
+from .stats import SimStats
+from .sweep import SweepSpec
+
+#: Environment variable naming the default evaluation-server address;
+#: when set, ``exp/fig9.py`` routes its grid through the daemon.
+SERVER_ENV_VAR = "REPRO_EVAL_SERVER"
+
+DEFAULT_TIMEOUT = 600.0
+
+
+def default_server() -> Optional[str]:
+    """The ``$REPRO_EVAL_SERVER`` address, or ``None``."""
+    return os.environ.get(SERVER_ENV_VAR) or None
+
+
+def _split_address(address: Optional[str]) -> Tuple[str, Any]:
+    """Normalize an address into ``("http", (host, port))`` or
+    ``("unix", path)``."""
+    address = address or default_server()
+    if not address:
+        raise SimulationError(
+            f"no evaluation server address: pass one explicitly or set "
+            f"${SERVER_ENV_VAR}")
+    if address.startswith("unix://"):
+        path = address[len("unix://"):]
+        if not path:
+            raise SimulationError(f"empty unix socket path in {address!r}")
+        return "unix", path
+    if "://" not in address:
+        address = "http://" + address
+    parsed = urllib.parse.urlsplit(address)
+    if parsed.scheme != "http":
+        raise SimulationError(
+            f"unsupported server scheme {parsed.scheme!r} in {address!r}; "
+            f"use http://host:port or unix:///path")
+    if not parsed.hostname or not parsed.port:
+        raise SimulationError(
+            f"server address {address!r} needs an explicit host and port")
+    return "http", (parsed.hostname, parsed.port)
+
+
+def _check_reply(reply: Any, status: Optional[int] = None) -> Dict[str, Any]:
+    """Raise the server's structured error, or return the ok payload."""
+    if not isinstance(reply, dict):
+        raise SimulationError(f"malformed server reply: {reply!r}")
+    if not reply.get("ok", False):
+        error = reply.get("error", "unknown server error")
+        prefix = f"server error ({status}): " if status else "server error: "
+        raise SimulationError(prefix + str(error))
+    return reply
+
+
+def _results_to_stats(tasks: Sequence[EvalTask], reply: Dict[str, Any]) \
+        -> Dict[EvalTask, SimStats]:
+    """Zip an eval reply back onto the requested tasks (server order ==
+    request order; the echoed task dict is cross-checked)."""
+    results = reply.get("results")
+    if not isinstance(results, list) or len(results) != len(tasks):
+        raise SimulationError(
+            f"server returned {len(results) if isinstance(results, list) else 'malformed'} "
+            f"results for {len(tasks)} tasks")
+    lookup: Dict[EvalTask, SimStats] = {}
+    for task, row in zip(tasks, results):
+        echoed = row.get("task")
+        if echoed != task_to_dict(task):
+            raise SimulationError(
+                f"server reply out of order: expected {task.describe()}, "
+                f"got {echoed!r}")
+        lookup[task] = SimStats.from_dict(row["stats"])
+    return lookup
+
+
+class EvalClient:
+    """Synchronous client (HTTP or unix line protocol).
+
+    ``EvalClient()`` with no address uses ``$REPRO_EVAL_SERVER``.
+    """
+
+    def __init__(self, address: Optional[str] = None,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.transport, self.target = _split_address(address)
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _http_request(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None) \
+            -> Tuple[int, Any]:
+        host, port = self.target
+        connection = http.client.HTTPConnection(host, port,
+                                                timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            headers = {"Content-Type": "application/json"} \
+                if body is not None else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                raise SimulationError(
+                    f"evaluation server {host}:{port} unreachable: "
+                    f"{error}") from error
+            try:
+                return response.status, json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise SimulationError(
+                    f"malformed server response: {error}") from error
+        finally:
+            connection.close()
+
+    def _line_request(self, payload: Dict[str, Any]) -> Any:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout)
+                sock.connect(self.target)
+                sock.sendall(json.dumps(payload).encode() + b"\n")
+                with sock.makefile("rb") as stream:
+                    line = stream.readline()
+        except OSError as error:
+            raise SimulationError(
+                f"evaluation server unix://{self.target} unreachable: "
+                f"{error}") from error
+        if not line:
+            raise SimulationError("evaluation server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SimulationError(
+                f"malformed server response: {error}") from error
+
+    def _call(self, op: str, path: str, method: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if self.transport == "unix":
+            message = dict(payload or {})
+            message["op"] = op
+            return _check_reply(self._line_request(message))
+        status, reply = self._http_request(method, path, payload)
+        return _check_reply(reply, status)
+
+    # -- queries ------------------------------------------------------------
+
+    def eval_tasks(self, tasks: Sequence[EvalTask],
+                   latencies: bool = True) -> Dict[EvalTask, SimStats]:
+        """Evaluate a batch; returns ``{task: stats}`` (server-side
+        read-through / coalescing / compute as needed)."""
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        payload = {"tasks": [task_to_dict(task) for task in tasks],
+                   "latencies": latencies}
+        reply = self._call("eval", "/eval", "POST", payload)
+        return _results_to_stats(tasks, reply)
+
+    def eval_cell(self, task: EvalTask, latencies: bool = True) -> SimStats:
+        """Evaluate one cell."""
+        return self.eval_tasks([task], latencies=latencies)[task]
+
+    def eval_sweep(self, spec: SweepSpec,
+                   latencies: bool = True) -> Dict[EvalTask, SimStats]:
+        """Evaluate a full sweep spec server-side."""
+        payload = {"sweep": spec.to_dict(), "latencies": latencies}
+        reply = self._call("eval", "/eval", "POST", payload)
+        return _results_to_stats(spec.tasks(), reply)
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's ``/stats`` counters."""
+        return self._call("stats", "/stats", "GET")["stats"]
+
+    def ping(self) -> bool:
+        """True iff the daemon answers its health check."""
+        try:
+            if self.transport == "unix":
+                return bool(self._call("ping", "", "").get("pong"))
+            return bool(self._call("ping", "/healthz", "GET").get("ok"))
+        except SimulationError:
+            return False
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit cleanly."""
+        self._call("shutdown", "/shutdown", "POST")
+
+
+class AsyncEvalClient:
+    """Asyncio client: same wire format, non-blocking transports.
+
+    HTTP requests open one connection per call (the server speaks
+    ``Connection: close``); unix line-protocol calls do the same for
+    simplicity.  All methods mirror :class:`EvalClient`.
+    """
+
+    def __init__(self, address: Optional[str] = None,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.transport, self.target = _split_address(address)
+        self.timeout = timeout
+
+    async def _http_request(self, method: str, path: str,
+                            payload: Optional[Dict[str, Any]] = None) \
+            -> Tuple[int, Any]:
+        import asyncio
+
+        host, port = self.target
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.timeout)
+        except (OSError, asyncio.TimeoutError) as error:
+            raise SimulationError(
+                f"evaluation server {host}:{port} unreachable: "
+                f"{error}") from error
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else b""
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await asyncio.wait_for(reader.readline(),
+                                                 self.timeout)
+            try:
+                status = int(status_line.split()[1])
+            except (IndexError, ValueError):
+                raise SimulationError(
+                    f"malformed HTTP status line: {status_line!r}") from None
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            raw = await asyncio.wait_for(reader.readexactly(length),
+                                         self.timeout)
+            try:
+                return status, json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise SimulationError(
+                    f"malformed server response: {error}") from error
+        except asyncio.IncompleteReadError as error:
+            raise SimulationError(
+                f"evaluation server closed mid-response: {error}") from error
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _line_request(self, payload: Dict[str, Any]) -> Any:
+        import asyncio
+
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(self.target), self.timeout)
+        except (OSError, asyncio.TimeoutError) as error:
+            raise SimulationError(
+                f"evaluation server unix://{self.target} unreachable: "
+                f"{error}") from error
+        try:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise SimulationError("evaluation server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SimulationError(
+                f"malformed server response: {error}") from error
+
+    async def _call(self, op: str, path: str, method: str,
+                    payload: Optional[Dict[str, Any]] = None) \
+            -> Dict[str, Any]:
+        if self.transport == "unix":
+            message = dict(payload or {})
+            message["op"] = op
+            return _check_reply(await self._line_request(message))
+        status, reply = await self._http_request(method, path, payload)
+        return _check_reply(reply, status)
+
+    async def eval_tasks(self, tasks: Sequence[EvalTask],
+                         latencies: bool = True) -> Dict[EvalTask, SimStats]:
+        tasks = list(tasks)
+        if not tasks:
+            return {}
+        payload = {"tasks": [task_to_dict(task) for task in tasks],
+                   "latencies": latencies}
+        reply = await self._call("eval", "/eval", "POST", payload)
+        return _results_to_stats(tasks, reply)
+
+    async def eval_cell(self, task: EvalTask,
+                        latencies: bool = True) -> SimStats:
+        return (await self.eval_tasks([task], latencies=latencies))[task]
+
+    async def eval_sweep(self, spec: SweepSpec,
+                         latencies: bool = True) -> Dict[EvalTask, SimStats]:
+        payload = {"sweep": spec.to_dict(), "latencies": latencies}
+        reply = await self._call("eval", "/eval", "POST", payload)
+        return _results_to_stats(spec.tasks(), reply)
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self._call("stats", "/stats", "GET"))["stats"]
+
+    async def shutdown(self) -> None:
+        await self._call("shutdown", "/shutdown", "POST")
+
+
+def evaluate_tasks_remote(tasks: Sequence[EvalTask],
+                          address: Optional[str] = None,
+                          latencies: bool = True) \
+        -> Dict[EvalTask, SimStats]:
+    """One-shot remote evaluation (the fig9 read-through path)."""
+    return EvalClient(address).eval_tasks(tasks, latencies=latencies)
+
+
+def query_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.sim query`` — one query against a daemon."""
+    import argparse
+
+    from .factory import ARCHITECTURE_NAMES
+    from .tracegen import WORKLOAD_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim query",
+        description="Query a running evaluation daemon (see "
+                    "'python -m repro.sim serve').",
+    )
+    parser.add_argument("--server", default=None,
+                        help=f"daemon address (default: ${SERVER_ENV_VAR}); "
+                             f"http://host:port or unix:///path")
+    parser.add_argument("--arch", choices=ARCHITECTURE_NAMES)
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES)
+    parser.add_argument("--requests", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--queue-depth", type=int, default=None)
+    parser.add_argument("--stats", action="store_true",
+                        help="print the daemon's /stats counters and exit")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to exit cleanly")
+    args = parser.parse_args(argv)
+    try:
+        client = EvalClient(args.server)
+        if args.stats:
+            for key, value in sorted(client.stats().items()):
+                print(f"{key:12s}: {value}")
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("shutdown requested")
+            return 0
+        if not args.arch or not args.workload:
+            parser.error("--arch and --workload are required for an "
+                         "evaluation query (or use --stats/--shutdown)")
+        task = EvalTask(args.arch, args.workload, args.requests, args.seed,
+                        args.queue_depth)
+        stats = client.eval_cell(task)
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    row = stats.as_row()
+    print(f"architecture : {stats.device_name}")
+    print(f"workload     : {stats.workload_name}")
+    print(f"requests     : {stats.num_requests} "
+          f"({stats.num_reads} R / {stats.num_writes} W)")
+    print(f"bandwidth    : {row['bandwidth_gbps']:.2f} GB/s")
+    print(f"avg latency  : {row['avg_latency_ns']:.1f} ns "
+          f"(p95 {row['p95_latency_ns']:.1f} ns)")
+    print(f"EPB          : {row['epb_pj']:.1f} pJ/bit")
+    print(f"BW/EPB       : {row['bw_per_epb']:.4f}")
+    return 0

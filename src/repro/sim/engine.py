@@ -24,10 +24,11 @@ path.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
+                    Optional, Sequence, Tuple)
 
 from ..errors import ReproError, SimulationError, TraceError
 from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
@@ -72,6 +73,82 @@ class EvalTask:
         if self.queue_depth is not None:
             label += f", queue_depth={self.queue_depth}"
         return label
+
+
+#: Wire-format field names of one :class:`EvalTask`, in dataclass order.
+TASK_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(EvalTask))
+
+
+def task_to_dict(task: EvalTask) -> Dict[str, Any]:
+    """JSON-serializable dict of one task (inverse of
+    :func:`task_from_dict`)."""
+    return dataclasses.asdict(task)
+
+
+def _require_int(payload: Dict[str, Any], key: str, default: int) -> int:
+    """Fetch an integer field from an untrusted payload.
+
+    ``bool`` is an ``int`` subclass in Python, but ``"seed": true`` on
+    the wire is a client bug, not a seed of 1 — reject it explicitly.
+    """
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SimulationError(f"task field {key!r} must be an integer, "
+                              f"got {value!r}")
+    return value
+
+
+def task_from_dict(payload: Any) -> EvalTask:
+    """Validated :class:`EvalTask` from an untrusted wire payload.
+
+    This is the trust boundary of the evaluation service: every field is
+    type- and range-checked so malformed queries surface as structured
+    ``SimulationError`` messages (the server's 4xx path) instead of a
+    worker traceback mid-compute.  ``num_requests`` defaults to 20000 and
+    ``seed`` to 1, matching :func:`run_evaluation`; re-encoding the same
+    task (dict round trip, any key order) yields an equal task and
+    therefore the same store digest.
+    """
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"task must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(TASK_FIELDS))
+    if unknown:
+        raise SimulationError(
+            f"unknown task fields {unknown}; known: {list(TASK_FIELDS)}")
+    architecture = payload.get("architecture")
+    if not isinstance(architecture, str):
+        raise SimulationError("task field 'architecture' must be a string")
+    if architecture not in ARCHITECTURE_NAMES:
+        raise SimulationError(
+            f"unknown architecture {architecture!r}; "
+            f"known: {ARCHITECTURE_NAMES}")
+    workload = payload.get("workload")
+    if not isinstance(workload, str):
+        raise SimulationError("task field 'workload' must be a string")
+    try:
+        get_workload(workload)
+    except TraceError as error:
+        raise SimulationError(str(error)) from None
+    num_requests = _require_int(payload, "num_requests", 20_000)
+    if num_requests < 1:
+        raise SimulationError("task field 'num_requests' must be >= 1")
+    seed = _require_int(payload, "seed", 1)
+    if not 0 <= seed < 2 ** 32:
+        # numpy's RandomState range; catching it here keeps it a 4xx
+        # validation error instead of a mid-compute worker failure.
+        raise SimulationError(
+            "task field 'seed' must be in [0, 2**32)")
+    queue_depth = payload.get("queue_depth")
+    if queue_depth is not None:
+        if isinstance(queue_depth, bool) or not isinstance(queue_depth, int):
+            raise SimulationError(
+                f"task field 'queue_depth' must be an integer or null, "
+                f"got {queue_depth!r}")
+        if queue_depth < 1:
+            raise SimulationError("task field 'queue_depth' must be >= 1")
+    return EvalTask(architecture, workload, num_requests, seed, queue_depth)
 
 
 def device_for(architecture: str):
@@ -124,7 +201,7 @@ def evaluate_cell(task: EvalTask) -> SimStats:
         trace, workload_name=task.workload)
 
 
-def _evaluate_cell_checked(task: EvalTask) -> SimStats:
+def evaluate_cell_checked(task: EvalTask) -> SimStats:
     """``evaluate_cell`` with the failing cell annotated on error.
 
     Without this, an exception raised inside a pool worker surfaces as
@@ -133,6 +210,9 @@ def _evaluate_cell_checked(task: EvalTask) -> SimStats:
     (ValueError, numpy errors) are exactly the ones that need the cell
     label most.  The re-raised error is a plain one-argument
     ``SimulationError``, so it pickles cleanly back through the pool.
+
+    Module-level (hence picklable) on purpose: this is the unit of work
+    both the grid pool and the evaluation server's executors submit.
     """
     try:
         return evaluate_cell(task)
@@ -141,6 +221,10 @@ def _evaluate_cell_checked(task: EvalTask) -> SimStats:
             else f"{type(error).__name__}: {error}"
         raise SimulationError(
             f"grid cell ({task.describe()}) failed: {detail}") from error
+
+
+#: Backwards-compatible alias (pre-server name).
+_evaluate_cell_checked = evaluate_cell_checked
 
 
 def _evaluate_cell_indexed(indexed: Tuple[int, EvalTask]) \
@@ -218,6 +302,39 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
         return slots
 
 
+def grid_tasks(
+    architectures: Sequence[str] = ARCHITECTURE_NAMES,
+    workloads: Optional[Iterable[str]] = None,
+    num_requests: int = 20_000,
+    seed: int = 1,
+) -> List[EvalTask]:
+    """The validated (architecture x workload) grid as a task list.
+
+    Workload-major order: one chunk covers every architecture for one
+    workload, so each worker generates (or receives via fork) each trace
+    at most once.  Shared by :func:`run_evaluation` and remote grid
+    consumers (the evaluation client's Fig. 9 path), so both expand the
+    same grid to the same tasks in the same order.
+    """
+    workload_names = list(workloads) if workloads is not None \
+        else sorted(SPEC_WORKLOADS)
+    if not workload_names:
+        raise SimulationError("need at least one workload")
+    architectures = list(architectures)
+    if not architectures:
+        raise SimulationError("need at least one architecture")
+    for name in workload_names:
+        try:
+            get_workload(name)
+        except TraceError as error:
+            raise SimulationError(str(error)) from None
+    return [
+        EvalTask(arch, workload, num_requests, seed)
+        for workload in workload_names
+        for arch in architectures
+    ]
+
+
 def run_evaluation(
     architectures: Sequence[str] = ARCHITECTURE_NAMES,
     workloads: Optional[Iterable[str]] = None,
@@ -239,29 +356,11 @@ def run_evaluation(
     instead of being recomputed (``resume=False`` recomputes and
     overwrites).  Stored results are bit-identical to computed ones.
     """
-    workload_names = list(workloads) if workloads is not None \
-        else sorted(SPEC_WORKLOADS)
-    if not workload_names:
-        raise SimulationError("need at least one workload")
     architectures = list(architectures)
-    if not architectures:
-        raise SimulationError("need at least one architecture")
-    for name in workload_names:
-        try:
-            get_workload(name)
-        except TraceError as error:
-            raise SimulationError(str(error)) from None
-
-    # Workload-major order: one chunk covers every architecture for one
-    # workload, so each worker generates (or receives via fork) each
-    # trace at most once.
-    tasks = [
-        EvalTask(arch, workload, num_requests, seed)
-        for workload in workload_names
-        for arch in architectures
-    ]
+    tasks = grid_tasks(architectures, workloads, num_requests, seed)
     lookup = evaluate_tasks(tasks, workers=workers, store=store,
-                            resume=resume, chunksize=len(architectures))
+                            resume=resume,
+                            chunksize=max(len(architectures), 1))
 
     results: Dict[str, Dict[str, SimStats]] = {
         arch: {} for arch in architectures
@@ -290,10 +389,8 @@ def evaluate_tasks(
     """
     cached: Dict[EvalTask, SimStats] = {}
     if store is not None and resume:
-        for task in tasks:
-            hit = store.get(task)
-            if hit is not None:
-                cached[task] = hit
+        cached = {task: hit for task, hit in store.get_many(tasks).items()
+                  if hit is not None}
     missing = [task for task in tasks if task not in cached]
 
     def checkpoint(task: EvalTask, stats: SimStats) -> None:

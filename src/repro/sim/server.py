@@ -1,0 +1,660 @@
+"""Async evaluation service: store read-through, coalescing, bounded compute.
+
+PR 1/PR 2 built batch evaluation (``evaluate_tasks`` fan-out, the
+content-addressed :class:`~repro.sim.store.ResultStore`); this module is
+the online layer over them — an asyncio daemon that answers evaluation
+*queries* instead of running fixed sweeps:
+
+* **Two front-ends, one core.**  A minimal HTTP/1.1 endpoint
+  (``POST /eval``, ``GET /stats``, ``GET /healthz``, ``POST /shutdown``)
+  and a newline-delimited-JSON line protocol over a unix socket or TCP
+  port both funnel into :meth:`EvalServer.handle_query`.
+* **Read-through.**  Every query resolves to :class:`EvalTask` digests;
+  cells already in the :class:`ResultStore` are served from disk, and a
+  small in-process LRU over *deserialized* :class:`SimStats` short-cuts
+  repeated hot cells past JSON parsing entirely.
+* **Coalescing.**  N concurrent identical queries trigger exactly one
+  computation: the first arrival owns a shared resolution task keyed by
+  digest, later arrivals await it (counted in ``/stats`` as
+  ``coalesced``).  The shared task is shielded, so one cancelled client
+  never aborts a computation other clients are waiting on.
+* **Bounded compute.**  Misses are scheduled onto a bounded executor —
+  a ``ProcessPoolExecutor`` for ``workers > 1`` (with a probe-and-fall-
+  back to threads in sandboxes that cannot fork), a single worker
+  thread for ``workers <= 1`` (the deterministic test configuration).
+  Store I/O runs on its own small thread pool so disk reads never stall
+  the event loop.
+* **Structured errors.**  Malformed JSON, unknown architectures/
+  workloads and bad field types are 4xx-style JSON errors; a cell that
+  dies mid-compute comes back as a 5xx JSON error annotated with the
+  failing cell (the same ``grid cell (...) failed`` shape the sweep
+  path uses) — never a hung connection or a bare worker traceback.
+
+Served stats are bit-identical to a direct :func:`evaluate_cell` call:
+the wire format is ``SimStats.to_dict`` and Python floats round-trip
+exactly through JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, Executor, \
+    ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError, SimulationError
+from .engine import (EvalTask, _resolve_workers, evaluate_cell_checked,
+                     task_from_dict, task_to_dict)
+from .stats import SimStats
+from .store import ResultStore, task_digest
+from .sweep import SweepSpec
+
+#: Default size of the in-process LRU over deserialized SimStats.
+DEFAULT_LRU_SIZE = 256
+
+#: Hard cap on cells expanded from a single query (a typo'd sweep must
+#: not wedge the daemon behind a million-cell grid).
+MAX_CELLS_PER_QUERY = 4096
+
+#: Hard cap on one cell's request count over the wire: a single
+#: ``num_requests=2e9`` cell would occupy the bounded executor for
+#: hours and allocate multi-GB traces — far past any legitimate query
+#: (the full-size grid runs 20k).
+MAX_REQUESTS_PER_CELL = 1_000_000
+
+#: Hard cap on an HTTP request body / line-protocol line.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_HTTP_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Counter names reported by ``/stats`` (all start at zero).
+COUNTER_NAMES = (
+    "queries",        # queries accepted (any protocol)
+    "cells",          # cells resolved successfully across all queries
+    "store_hits",     # cells served from the ResultStore
+    "lru_hits",       # cells served from the in-process LRU
+    "coalesced",      # cells that joined an in-flight identical compute
+    "computed",       # cells actually evaluated by the executor
+    "errors",         # queries answered with a structured error
+)
+
+
+def _parse_query(payload: Any) -> Tuple[List[EvalTask], bool]:
+    """Expand one eval query into validated tasks.
+
+    Exactly one of ``task`` (single cell), ``tasks`` (batch) or
+    ``sweep`` (a :class:`SweepSpec` payload) selects the cells;
+    ``latencies: false`` trims the bulky per-request samples from the
+    response.  Every validation failure is a ``SimulationError`` — the
+    server's 4xx path.
+    """
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"query must be a JSON object, got {type(payload).__name__}")
+    allowed = {"task", "tasks", "sweep", "latencies", "op"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise SimulationError(
+            f"unknown query fields {unknown}; known: {sorted(allowed)}")
+    sources = [key for key in ("task", "tasks", "sweep") if key in payload]
+    if len(sources) != 1:
+        raise SimulationError(
+            "query needs exactly one of 'task', 'tasks' or 'sweep'")
+    latencies = payload.get("latencies", True)
+    if not isinstance(latencies, bool):
+        raise SimulationError(
+            f"query field 'latencies' must be a boolean, got {latencies!r}")
+    def check_cell_count(count: int) -> None:
+        if count > MAX_CELLS_PER_QUERY:
+            raise SimulationError(
+                f"query expands to {count} cells; the per-query limit "
+                f"is {MAX_CELLS_PER_QUERY} — split it into smaller batches")
+
+    if sources[0] == "task":
+        tasks = [task_from_dict(payload["task"])]
+    elif sources[0] == "tasks":
+        raw = payload["tasks"]
+        if not isinstance(raw, list) or not raw:
+            raise SimulationError(
+                "query field 'tasks' must be a non-empty list")
+        check_cell_count(len(raw))
+        tasks = [task_from_dict(item) for item in raw]
+    else:
+        spec = SweepSpec.from_dict(payload["sweep"])
+        # Check the axis product *before* materializing the cross
+        # product: a {1e5 n's x 1e5 seeds} payload is small on the wire
+        # but 10^10 tasks in memory.
+        check_cell_count(spec.num_cells)
+        tasks = spec.tasks()
+    for task in tasks:
+        if task.num_requests > MAX_REQUESTS_PER_CELL:
+            raise SimulationError(
+                f"cell ({task.describe()}) exceeds the per-cell request "
+                f"limit {MAX_REQUESTS_PER_CELL}")
+    return tasks, latencies
+
+
+class EvalServer:
+    """The asyncio evaluation daemon (see the module docstring).
+
+    Construct, ``await start()``, query over HTTP / the line protocol /
+    directly via :meth:`handle_query`, ``await stop()``.  ``port=0``
+    binds an ephemeral port (read it back from :attr:`http_address`);
+    ``workers`` follows the engine convention (``0`` = one per CPU,
+    ``<= 1`` = a single in-process worker thread, the configuration the
+    deterministic tests pin).
+    """
+
+    def __init__(
+        self,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        workers: int = 1,
+        lru_size: int = DEFAULT_LRU_SIZE,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        line_port: Optional[int] = None,
+        unix_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.workers = _resolve_workers(workers)
+        self.host = host
+        self.port = port
+        self.line_port = line_port
+        self.unix_path = str(unix_path) if unix_path is not None else None
+        self._lru_size = max(0, int(lru_size))
+        self._lru: "OrderedDict[str, SimStats]" = OrderedDict()
+        self._inflight: Dict[str, "asyncio.Task"] = {}
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self._compute: Optional[Executor] = None
+        self._io: Optional[ThreadPoolExecutor] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._shutdown = asyncio.Event()
+        self.executor_kind = "none"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the front-ends and spin up the executors."""
+        self._compute = self._build_compute_pool()
+        self._io = ThreadPoolExecutor(max_workers=2,
+                                      thread_name_prefix="eval-store-io")
+        http_server = await asyncio.start_server(
+            self._handle_http, self.host, self.port, limit=MAX_BODY_BYTES)
+        self.port = http_server.sockets[0].getsockname()[1]
+        self._servers.append(http_server)
+        if self.line_port is not None:
+            line_server = await asyncio.start_server(
+                self._handle_line, self.host, self.line_port,
+                limit=MAX_BODY_BYTES)
+            self.line_port = line_server.sockets[0].getsockname()[1]
+            self._servers.append(line_server)
+        if self.unix_path is not None:
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_line, self.unix_path, limit=MAX_BODY_BYTES))
+
+    async def stop(self) -> None:
+        """Close the front-ends and shut the executors down."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        if self.unix_path is not None:
+            try:
+                Path(self.unix_path).unlink()
+            except OSError:
+                pass
+        if self._compute is not None:
+            self._compute.shutdown(wait=True, cancel_futures=True)
+            self._compute = None
+        if self._io is not None:
+            self._io.shutdown(wait=True, cancel_futures=True)
+            self._io = None
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """``start()`` then block until ``/shutdown`` (or ``stop()``)."""
+        await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    @property
+    def http_address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (idempotent, callable from
+        handlers and signal handlers)."""
+        self._shutdown.set()
+
+    def _build_compute_pool(self) -> Executor:
+        """The bounded compute executor.
+
+        ``workers <= 1`` pins everything to one worker thread — fully
+        deterministic scheduling, the configuration the load-test
+        harness replays.  More workers try a ``ProcessPoolExecutor``
+        (probed with a no-op so a sandbox that cannot fork fails *here*,
+        not on the first query) and degrade to a thread pool — same
+        results, GIL-bound throughput.
+        """
+        if self.workers <= 1:
+            self.executor_kind = "thread"
+            return ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="eval-compute")
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool.submit(int, 0).result(timeout=60)
+            self.executor_kind = "process"
+            return pool
+        except Exception:
+            self.executor_kind = "thread"
+            return ThreadPoolExecutor(max_workers=self.workers,
+                                      thread_name_prefix="eval-compute")
+
+    def _rebuild_compute_pool(self) -> Executor:
+        """Replace a broken pool with a fresh one of the same kind.
+
+        Unlike the startup build there is no blocking probe (start
+        already established whether this environment can fork, and this
+        runs on the event loop), and construction is lazy/cheap — the
+        replacement is ready before the next query submits to it.
+        """
+        if self.executor_kind == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="eval-compute")
+
+    # -- stats / LRU --------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: counters plus configuration."""
+        return {
+            **self._counters,
+            "inflight": len(self._inflight),
+            "lru_entries": len(self._lru),
+            "lru_size": self._lru_size,
+            "workers": self.workers,
+            "executor": self.executor_kind,
+            "store": str(self.store.root) if self.store is not None else None,
+        }
+
+    def _lru_get(self, digest: str) -> Optional[SimStats]:
+        stats = self._lru.get(digest)
+        if stats is not None:
+            self._lru.move_to_end(digest)
+        return stats
+
+    def _lru_put(self, digest: str, stats: SimStats) -> None:
+        if self._lru_size <= 0:
+            return
+        self._lru[digest] = stats
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self._lru_size:
+            self._lru.popitem(last=False)
+
+    # -- resolution core ----------------------------------------------------
+
+    async def resolve_task(self, task: EvalTask) -> Tuple[SimStats, str]:
+        """One cell → ``(stats, source)`` with read-through + coalescing.
+
+        ``source`` is ``"lru"``, ``"store"``, ``"computed"`` or
+        ``"coalesced"`` (this request joined an identical in-flight
+        computation started by an earlier one).
+        """
+        loop = asyncio.get_running_loop()
+        # First digest of an architecture builds its device model
+        # (~0.7 s for COMET) — keep that off the event loop.
+        digest = await loop.run_in_executor(self._io, task_digest, task)
+        stats = self._lru_get(digest)
+        if stats is not None:
+            self._counters["lru_hits"] += 1
+            return stats, "lru"
+        shared = self._inflight.get(digest)
+        if shared is None:
+            created = True
+            shared = asyncio.ensure_future(self._resolve_miss(task, digest))
+            self._inflight[digest] = shared
+
+            def _cleanup(done: "asyncio.Task", digest: str = digest) -> None:
+                if self._inflight.get(digest) is shared:
+                    del self._inflight[digest]
+                if not done.cancelled():
+                    done.exception()    # mark retrieved: no GC warning
+            shared.add_done_callback(_cleanup)
+        else:
+            created = False
+            self._counters["coalesced"] += 1
+        # Shielded: cancelling one waiter (e.g. a gather sibling failed)
+        # must not abort a computation other waiters share.
+        stats, source = await asyncio.shield(shared)
+        return stats, (source if created else "coalesced")
+
+    async def _resolve_miss(self, task: EvalTask, digest: str) \
+            -> Tuple[SimStats, str]:
+        """The shared per-digest resolution: store, then compute."""
+        loop = asyncio.get_running_loop()
+        pool = self._compute
+        try:
+            if self.store is not None:
+                stats = await loop.run_in_executor(
+                    self._io, self.store.get, task)
+                if stats is not None:
+                    self._counters["store_hits"] += 1
+                    self._lru_put(digest, stats)
+                    return stats, "store"
+            pool = self._compute    # re-read: may have been rebuilt
+            stats = await loop.run_in_executor(
+                pool, evaluate_cell_checked, task)
+            self._counters["computed"] += 1
+            if self.store is not None:
+                await loop.run_in_executor(
+                    self._io, self.store.put, task, stats)
+            self._lru_put(digest, stats)
+            return stats, "computed"
+        except BrokenExecutor as error:
+            # A worker died hard (segfault, OOM-kill): the pool is
+            # unusable for every later query — rebuild it and surface
+            # the failing cell the way the sweep path does.  A broken
+            # process pool fails *every* pending future at once, so
+            # several handlers land here back to back: only the one
+            # whose submission pool is still current replaces it (no
+            # await between the check and the swap), the rest must not
+            # tear down the healthy replacement.
+            if self._compute is pool:
+                self._compute = self._rebuild_compute_pool()
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise SimulationError(
+                f"grid cell ({task.describe()}) failed: evaluation worker "
+                f"died ({type(error).__name__}); worker pool restarted"
+            ) from error
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            if isinstance(error, ReproError):
+                raise
+            raise SimulationError(
+                f"grid cell ({task.describe()}) failed: "
+                f"{type(error).__name__}: {error}") from error
+
+    async def handle_query(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        """Answer one eval query → ``(http_status, response_payload)``.
+
+        The protocol-independent core both front-ends call; tests may
+        call it directly.  Responses are all-or-nothing: any failing
+        cell fails the query with a structured error.
+        """
+        self._counters["queries"] += 1
+        try:
+            tasks, latencies = _parse_query(payload)
+        except SimulationError as error:
+            self._counters["errors"] += 1
+            return 400, {"ok": False, "error": str(error)}
+        try:
+            resolved = await asyncio.gather(
+                *(self.resolve_task(task) for task in tasks))
+        except ReproError as error:
+            self._counters["errors"] += 1
+            return 500, {"ok": False, "error": str(error)}
+        self._counters["cells"] += len(tasks)
+        results = [
+            {
+                "task": task_to_dict(task),
+                "digest": task_digest(task),   # memoized by resolution
+                "source": source,
+                "stats": stats.to_dict(latencies=latencies),
+            }
+            for task, (stats, source) in zip(tasks, resolved)
+        ]
+        return 200, {"ok": True, "results": results}
+
+    # -- HTTP front-end -----------------------------------------------------
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """One HTTP/1.1 request per connection (``Connection: close``)."""
+        shutting_down = False
+        try:
+            status, payload = await self._http_exchange(reader)
+            if status == 200 and payload.get("shutting_down"):
+                shutting_down = True
+            await self._write_http(writer, status, payload)
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError, ValueError):
+            pass    # client went away or sent garbage beyond recovery
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if shutting_down:
+                # Response flushed first, then the serve loop exits.
+                self.request_shutdown()
+
+    async def _http_exchange(self, reader: asyncio.StreamReader) \
+            -> Tuple[int, Dict[str, Any]]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("empty request")
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            self._counters["errors"] += 1
+            return 400, {"ok": False, "error": "malformed request line"}
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            self._counters["errors"] += 1
+            return 400, {"ok": False, "error": "bad Content-Length"}
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._counters["errors"] += 1
+            return 413, {"ok": False,
+                         "error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        return await self._route_http(method, target.split("?", 1)[0], body)
+
+    async def _route_http(self, method: str, path: str, body: bytes) \
+            -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, {"ok": True}
+        if path == "/stats":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, {"ok": True, "stats": self.stats_snapshot()}
+        if path == "/eval":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                self._counters["errors"] += 1
+                return 400, {"ok": False,
+                             "error": f"malformed JSON body: {error}"}
+            return await self.handle_query(payload)
+        if path == "/shutdown":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return 200, {"ok": True, "shutting_down": True}
+        self._counters["errors"] += 1
+        return 404, {"ok": False, "error": f"unknown path {path!r}; "
+                     f"routes: /eval /stats /healthz /shutdown"}
+
+    def _method_not_allowed(self, allowed: str) -> Tuple[int, Dict[str, Any]]:
+        self._counters["errors"] += 1
+        return 405, {"ok": False, "error": f"method not allowed; use {allowed}"}
+
+    @staticmethod
+    async def _write_http(writer: asyncio.StreamWriter, status: int,
+                          payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- line-protocol front-end -------------------------------------------
+
+    async def _handle_line(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """Newline-delimited JSON: one query per line, one reply per line.
+
+        ``{"op": "eval", ...}`` (the default op), ``{"op": "stats"}``,
+        ``{"op": "ping"}``, ``{"op": "shutdown"}``.  The connection is
+        persistent: a client can stream queries back-to-back.
+        """
+        shutting_down = False
+        try:
+            while not shutting_down:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._counters["errors"] += 1
+                    response = {"ok": False,
+                                "error": f"line exceeds {MAX_BODY_BYTES} "
+                                         f"bytes"}
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                    break    # framing lost: drop the connection
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response, shutting_down = await self._line_response(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if shutting_down:
+                self.request_shutdown()
+
+    async def _line_response(self, line: bytes) \
+            -> Tuple[Dict[str, Any], bool]:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            self._counters["errors"] += 1
+            return {"ok": False, "error": f"malformed JSON line: {error}"}, \
+                False
+        op = payload.get("op", "eval") if isinstance(payload, dict) else "eval"
+        if op == "ping":
+            return {"ok": True, "pong": True}, False
+        if op == "stats":
+            return {"ok": True, "stats": self.stats_snapshot()}, False
+        if op == "shutdown":
+            return {"ok": True, "shutting_down": True}, True
+        if op == "eval":
+            _status, response = await self.handle_query(payload)
+            return response, False
+        self._counters["errors"] += 1
+        return {"ok": False, "error": f"unknown op {op!r}; "
+                f"ops: eval stats ping shutdown"}, False
+
+
+async def _serve(server: EvalServer, quiet: bool = False) -> None:
+    """CLI body: start, announce, install signal handlers, serve."""
+    import signal
+
+    await server.start()
+    if not quiet:
+        print(f"ready: {server.http_address}", flush=True)
+        if server.line_port is not None:
+            print(f"line protocol: {server.host}:{server.line_port}",
+                  flush=True)
+        if server.unix_path is not None:
+            print(f"line protocol: unix://{server.unix_path}", flush=True)
+        if server.store is not None:
+            print(f"store: {server.store.root}", flush=True)
+        print(f"workers: {server.workers} ({server.executor_kind})",
+              flush=True)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass    # non-unix event loops: KeyboardInterrupt still works
+    try:
+        await server._shutdown.wait()
+    finally:
+        await server.stop()
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.sim serve`` — run the daemon until shutdown."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim serve",
+        description="Async evaluation daemon: JSON queries over HTTP and "
+                    "an optional unix/TCP line protocol, with result-store "
+                    "read-through, request coalescing and an LRU.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="HTTP port (0 = ephemeral, printed on start)")
+    parser.add_argument("--line-port", type=int, default=None, metavar="PORT",
+                        help="also serve the JSON line protocol on this TCP "
+                             "port (0 = ephemeral)")
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="also serve the JSON line protocol on this "
+                             "unix socket")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result store directory for read-through and "
+                             "write-back")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="compute workers (1 = in-process worker "
+                             "thread, N > 1 = process pool, 0 = one per "
+                             "CPU)")
+    parser.add_argument("--lru", type=int, default=DEFAULT_LRU_SIZE,
+                        help="in-process LRU entries over deserialized "
+                             "stats (0 disables)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the startup banner")
+    args = parser.parse_args(argv)
+    try:
+        server = EvalServer(store=args.store, workers=args.workers,
+                            lru_size=args.lru, host=args.host,
+                            port=args.port, line_port=args.line_port,
+                            unix_path=args.unix)
+    except (SimulationError, OSError) as error:
+        parser.error(str(error))
+    try:
+        asyncio.run(_serve(server, quiet=args.quiet))
+    except KeyboardInterrupt:
+        pass    # signal handler missed the window: still a clean exit
+    except OSError as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("shutdown clean", flush=True)
+    return 0

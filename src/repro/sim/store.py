@@ -167,6 +167,21 @@ class ResultStore:
     * **Self-describing** — each entry carries the task parameters and
       fingerprints alongside the serialized stats, so a store can be
       exported or audited without recomputing digests.
+
+    **Concurrency contract.**  A store directory may be shared by any
+    number of readers and writers (sweep workers, the evaluation
+    server's I/O threads, rsync'd peers) without external locking:
+
+    * writes stage into a sibling temp file and ``os.replace`` into
+      place, so a reader observes either no entry or a complete one —
+      never a torn file;
+    * concurrent ``put`` of the same digest is benign: the digest pins
+      the task *and* model fingerprints, evaluation is deterministic,
+      so both writers rename identical bytes and either rename winning
+      leaves a valid entry (sidecars are written before the entry that
+      references them);
+    * entries vanishing mid-read (a concurrent invalidation or GC) are
+      reported as misses, not raised.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -207,13 +222,26 @@ class ResultStore:
         path = self.path_for(task)
         try:
             return self._entry_stats(json.loads(path.read_text()), path)
-        except FileNotFoundError:
-            return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError,
-                SimulationError):
-            # Unreadable entries are treated as misses and recomputed
-            # (the subsequent put overwrites them atomically).
+                SimulationError, OSError):
+            # Unreadable entries — torn by a crashed writer, deleted by
+            # a concurrent GC, or plain missing — are treated as misses
+            # and recomputed (the subsequent put overwrites atomically).
             return None
+
+    def get_many(self, tasks: Sequence[EvalTask]) \
+            -> Dict[EvalTask, Optional[SimStats]]:
+        """Batch lookup: ``{task: stats-or-None}`` for every task.
+
+        One digest computation + one read per *distinct* task (duplicate
+        tasks in the input are resolved once); the read-through path of
+        the evaluation engine and server.
+        """
+        resolved: Dict[EvalTask, Optional[SimStats]] = {}
+        for task in tasks:
+            if task not in resolved:
+                resolved[task] = self.get(task)
+        return resolved
 
     def put(self, task: EvalTask, stats: SimStats,
             latencies: bool = True) -> str:
@@ -258,8 +286,10 @@ class ResultStore:
                 entry = json.loads(path.read_text())
                 task = EvalTask(**entry["task"])
                 yield task, self._entry_stats(entry, path)
-            except (FileNotFoundError, json.JSONDecodeError, KeyError,
-                    TypeError, ValueError, SimulationError):
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    SimulationError, OSError):
+                # Same rule as get(): entries torn or concurrently
+                # removed are skipped, not raised.
                 continue
 
     # -- internals ----------------------------------------------------------

@@ -78,6 +78,14 @@ class SweepSpec:
                 get_workload(name)
             except TraceError as error:
                 raise SimulationError(str(error)) from None
+        for n in self.num_requests:
+            if n < 1:
+                raise SimulationError("request counts must be >= 1")
+        for seed in self.seeds:
+            if not 0 <= seed < 2 ** 32:
+                # numpy's RandomState range — fail at spec construction,
+                # not inside a pool worker mid-sweep.
+                raise SimulationError("seeds must be in [0, 2**32)")
         for depth in self.queue_depths:
             if depth is not None and depth < 1:
                 raise SimulationError("queue depth override must be >= 1")
@@ -99,6 +107,65 @@ class SweepSpec:
             for workload in self.workloads
             for arch in self.architectures
         ]
+
+    # -- wire format --------------------------------------------------------
+
+    _AXES = ("architectures", "workloads", "num_requests", "seeds",
+             "queue_depths")
+
+    def to_dict(self) -> Dict[str, list]:
+        """JSON-serializable axes (inverse of :meth:`from_dict`)."""
+        return {axis: list(getattr(self, axis)) for axis in self._AXES}
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "SweepSpec":
+        """Validated spec from an untrusted wire payload.
+
+        Part of the evaluation service's trust boundary: axis names are
+        checked, scalars are accepted as one-element axes, and every
+        value must already be JSON-native (no tuples-as-strings) —
+        anything else raises :class:`SimulationError` before a single
+        cell is expanded.  Omitted axes keep the dataclass defaults, so
+        ``{"workloads": ["gcc"]}`` names the full architecture set on
+        one workload.  ``__post_init__`` then applies the same
+        validation a locally constructed spec gets.
+        """
+        if not isinstance(payload, dict):
+            raise SimulationError(
+                f"sweep must be a JSON object, got {type(payload).__name__}")
+        unknown = sorted(set(payload) - set(cls._AXES))
+        if unknown:
+            raise SimulationError(
+                f"unknown sweep axes {unknown}; known: {list(cls._AXES)}")
+        name_axes = {"architectures", "workloads"}
+        kwargs = {}
+        for axis in cls._AXES:
+            if axis not in payload:
+                continue
+            values = payload[axis]
+            if isinstance(values, (str, int)) and not isinstance(values, bool):
+                values = [values]    # scalar convenience: one-element axis
+            if not isinstance(values, list):
+                raise SimulationError(
+                    f"sweep axis {axis!r} must be a list, got {values!r}")
+            for value in values:
+                if axis in name_axes:
+                    valid = isinstance(value, str)
+                elif axis == "queue_depths":
+                    valid = value is None or (isinstance(value, int)
+                                              and not isinstance(value, bool))
+                else:
+                    valid = isinstance(value, int) \
+                        and not isinstance(value, bool)
+                if not valid:
+                    expected = "a string" if axis in name_axes else (
+                        "an integer or null" if axis == "queue_depths"
+                        else "an integer")
+                    raise SimulationError(
+                        f"sweep axis {axis!r} value {value!r} must be "
+                        f"{expected}")
+            kwargs[axis] = tuple(values)
+        return cls(**kwargs)
 
 
 @dataclass

@@ -34,6 +34,7 @@ class TestExamplesRun:
             "functional_memory_demo.py",
             "reliability_study.py",
             "sweep_resume_demo.py",
+            "server_smoke.py",
         }
 
     def test_quickstart(self):
@@ -85,3 +86,10 @@ class TestExamplesRun:
         assert "18 cells" in result.stdout
         assert "warm run : 0 computed, 18 cached" in result.stdout
         assert "architecture,workload" in result.stdout
+
+    def test_server_smoke(self):
+        result = run_example("server_smoke.py")
+        assert result.returncode == 0, result.stderr
+        assert "hit served without recomputation" in result.stdout
+        assert "bit-identical" in result.stdout
+        assert "clean shutdown" in result.stdout

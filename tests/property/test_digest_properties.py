@@ -1,0 +1,114 @@
+"""Property tests for task digests: per-field sensitivity and
+encoding invariance.
+
+The store's addressing contract, stated as properties rather than
+examples: perturbing *any* single :class:`EvalTask` field changes the
+digest (otherwise two different cells would alias one stored result),
+and re-encoding the same task — dataclass dict round trip, any key
+order, client-serialized JSON — never does (otherwise a served query
+would miss results a sweep just computed).
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (EvalTask, TASK_FIELDS, task_from_dict,
+                              task_to_dict)
+from repro.sim.store import task_digest
+
+# Cheap device builds only (no mode-solver stack): fingerprints are
+# memoized per architecture, so the property run pays for each build
+# once per process.
+ARCHS = ("2D_DDR3", "3D_DDR4", "EPCM-MM")
+WORKLOADS = ("gcc", "mcf", "lbm", "omnetpp")
+
+tasks = st.builds(
+    EvalTask,
+    architecture=st.sampled_from(ARCHS),
+    workload=st.sampled_from(WORKLOADS),
+    num_requests=st.integers(min_value=1, max_value=100_000),
+    seed=st.integers(min_value=0, max_value=10_000),
+    queue_depth=st.none() | st.integers(min_value=1, max_value=256),
+)
+
+
+class TestFieldSensitivity:
+    @given(task=tasks, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_perturbing_any_single_field_changes_the_digest(self, task,
+                                                            data):
+        field = data.draw(st.sampled_from(TASK_FIELDS), label="field")
+        if field == "architecture":
+            new = data.draw(st.sampled_from(
+                [a for a in ARCHS if a != task.architecture]))
+        elif field == "workload":
+            new = data.draw(st.sampled_from(
+                [w for w in WORKLOADS if w != task.workload]))
+        elif field == "queue_depth":
+            new = data.draw((st.none() | st.integers(1, 256)).filter(
+                lambda v: v != task.queue_depth))
+        else:
+            current = getattr(task, field)
+            new = data.draw(st.integers(1, 200_000).filter(
+                lambda v: v != current))
+        perturbed = dataclasses.replace(task, **{field: new})
+        assert task_digest(perturbed) != task_digest(task), \
+            f"digest insensitive to {field}"
+
+    @given(task=tasks)
+    @settings(max_examples=50, deadline=None)
+    def test_queue_depth_none_distinct_from_every_override(self, task):
+        """The per-channel-default cell (None) must never alias an
+        explicit override of any value."""
+        base = dataclasses.replace(task, queue_depth=None)
+        override = dataclasses.replace(
+            task, queue_depth=task.queue_depth or 32)
+        assert task_digest(base) != task_digest(override)
+
+
+class TestEncodingInvariance:
+    @given(task=tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_dict_round_trip_preserves_task_and_digest(self, task):
+        rebuilt = task_from_dict(task_to_dict(task))
+        assert rebuilt == task
+        assert task_digest(rebuilt) == task_digest(task)
+
+    @given(task=tasks, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_key_order_never_matters(self, task, data):
+        """A client may serialize fields in any order; the decoded task
+        and digest must not depend on it."""
+        order = data.draw(st.permutations(list(TASK_FIELDS)), label="order")
+        payload = task_to_dict(task)
+        shuffled = {key: payload[key] for key in order}
+        rebuilt = task_from_dict(shuffled)
+        assert rebuilt == task
+        assert task_digest(rebuilt) == task_digest(task)
+
+    @given(task=tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_client_serialized_json_round_trip(self, task):
+        """The exact wire path: dict → JSON text → dict → task."""
+        wire = json.dumps(task_to_dict(task))
+        rebuilt = task_from_dict(json.loads(wire))
+        assert rebuilt == task
+        assert task_digest(rebuilt) == task_digest(task)
+
+    @given(task=tasks)
+    @settings(max_examples=50, deadline=None)
+    def test_omitted_defaults_equal_explicit_defaults(self, task):
+        """A minimal wire payload (architecture + workload only) decodes
+        to the same task — and digest — as one spelling every default
+        out."""
+        explicit = {"architecture": task.architecture,
+                    "workload": task.workload,
+                    "num_requests": 20_000, "seed": 1, "queue_depth": None}
+        minimal = {"architecture": task.architecture,
+                   "workload": task.workload}
+        assert task_from_dict(minimal) == task_from_dict(explicit)
+        assert task_digest(task_from_dict(minimal)) == \
+            task_digest(task_from_dict(explicit))

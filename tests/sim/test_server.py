@@ -1,0 +1,632 @@
+"""Async evaluation service: served results, coalescing, deterministic
+load-test replay, structured error paths.
+
+The daemon is spun up in-process (ephemeral port, ``workers=1`` — a
+single worker thread, so compute scheduling is fully deterministic) and
+driven through the real front-ends: raw HTTP bytes, the sync/async
+clients, and the unix line protocol.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import engine
+from repro.sim.client import AsyncEvalClient, EvalClient
+from repro.sim.engine import EvalTask, evaluate_cell, grid_tasks, task_to_dict
+from repro.sim.server import EvalServer, MAX_CELLS_PER_QUERY, _parse_query
+from repro.sim.store import ResultStore
+from repro.sim.sweep import SweepSpec
+
+TASK = EvalTask("EPCM-MM", "gcc", 300, 7)
+OTHER = EvalTask("EPCM-MM", "mcf", 300, 7)
+BURST = EvalTask("EPCM-MM", "lbm", 300, 7)
+
+
+def run_scenario(scenario, **server_kwargs):
+    """Start a fresh daemon, run the async scenario against it, always
+    stop it — the shared harness of every test here."""
+    async def wrapper():
+        server = EvalServer(port=0, **server_kwargs)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+    return asyncio.run(wrapper())
+
+
+def slow_compute(monkeypatch, delay=0.25):
+    """Slow every cell evaluation down by ``delay`` seconds.
+
+    Concurrency tests need the guarantee that *all* concurrent requests
+    arrive while the first computation is still in flight; a loopback
+    connect takes microseconds, so a quarter second makes the coalescing
+    outcome deterministic instead of a race.  Applies to the in-process
+    worker thread (``workers=1``), which is how every test here runs.
+    """
+    real = engine.evaluate_cell
+
+    def delayed(task):
+        time.sleep(delay)
+        return real(task)
+    monkeypatch.setattr(engine, "evaluate_cell", delayed)
+
+
+async def raw_http(port, method, path, body=b""):
+    """One raw HTTP exchange → (status, parsed-JSON body).
+
+    Bypasses the clients on purpose: the malformed-request tests need
+    to send bytes no well-behaved client would produce.
+    """
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (f"{method} {path} HTTP/1.1\r\nHost: x\r\n"
+            f"Content-Length: {len(body)}\r\n")
+    writer.write(head.encode() + b"\r\n" + body)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = json.loads(await reader.readexactly(length))
+    writer.close()
+    await writer.wait_closed()
+    return status, payload
+
+
+class TestServedResults:
+    def test_miss_is_bit_identical_to_direct_evaluate_cell(self):
+        async def scenario(server):
+            return await AsyncEvalClient(server.http_address).eval_cell(TASK)
+        served = run_scenario(scenario)
+        assert served == evaluate_cell(TASK)   # dataclass eq: every field,
+        # including the full per-request latency list, bit-for-bit
+
+    def test_store_read_through_skips_compute(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(TASK, evaluate_cell(TASK))
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            stats = await client.eval_cell(TASK)
+            return stats, await client.stats()
+        stats, counters = run_scenario(scenario, store=store)
+        assert stats == evaluate_cell(TASK)
+        assert counters["store_hits"] == 1
+        assert counters["computed"] == 0
+
+    def test_computed_cell_written_back_to_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+
+        async def scenario(server):
+            await AsyncEvalClient(server.http_address).eval_cell(TASK)
+        run_scenario(scenario, store=store)
+        assert store.get(TASK) == evaluate_cell(TASK)
+
+    def test_lru_short_circuits_repeat_queries(self):
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            first = await client.eval_cell(TASK)
+            second = await client.eval_cell(TASK)
+            return first, second, await client.stats()
+        first, second, counters = run_scenario(scenario)
+        assert first == second
+        assert counters["computed"] == 1
+        assert counters["lru_hits"] == 1
+
+    def test_batch_query_matches_direct(self):
+        tasks = [TASK, OTHER]
+
+        async def scenario(server):
+            return await AsyncEvalClient(server.http_address).eval_tasks(tasks)
+        lookup = run_scenario(scenario)
+        for task in tasks:
+            assert lookup[task] == evaluate_cell(task)
+
+    def test_sweep_query_expands_server_side(self):
+        spec = SweepSpec(architectures=("EPCM-MM",),
+                         workloads=("gcc", "mcf"),
+                         num_requests=(300,), seeds=(7,))
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            return await client.eval_sweep(spec), await client.stats()
+        lookup, counters = run_scenario(scenario)
+        assert set(lookup) == set(spec.tasks())
+        assert counters["cells"] == spec.num_cells
+        for task, stats in lookup.items():
+            assert stats == evaluate_cell(task)
+
+    def test_latencies_false_trims_the_samples(self):
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            return await client.eval_cell(TASK, latencies=False)
+        lean = run_scenario(scenario)
+        assert lean.latencies_ns == []
+        assert lean.bandwidth_gbps == evaluate_cell(TASK).bandwidth_gbps
+
+    def test_sync_client_over_unix_line_protocol(self, tmp_path):
+        sock = tmp_path / "eval.sock"
+
+        async def scenario(server):
+            loop = asyncio.get_running_loop()
+
+            def sync_part():
+                client = EvalClient(f"unix://{sock}")
+                assert client.ping()
+                stats = client.eval_cell(TASK)
+                counters = client.stats()
+                return stats, counters
+            return await loop.run_in_executor(None, sync_part)
+        stats, counters = run_scenario(scenario, unix_path=sock)
+        assert stats == evaluate_cell(TASK)
+        assert counters["computed"] == 1
+
+
+class TestCoalescing:
+    def test_16_concurrent_identical_queries_trigger_one_compute(
+            self, monkeypatch):
+        slow_compute(monkeypatch)
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            results = await asyncio.gather(
+                *(client.eval_cell(BURST) for _ in range(16)))
+            return results, await client.stats()
+        results, counters = run_scenario(scenario)
+        direct = evaluate_cell(BURST)
+        assert all(stats == direct for stats in results)
+        # The coalescing contract, observable in /stats: exactly one
+        # computation, the other fifteen joined it in flight.
+        assert counters["computed"] == 1
+        assert counters["coalesced"] == 15
+        assert counters["cells"] == 16
+
+    def test_coalesced_compute_failure_reaches_every_waiter(self,
+                                                            monkeypatch):
+        def boom(task):
+            raise ValueError("boom")
+        monkeypatch.setattr(engine, "evaluate_cell", boom)
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            errors = []
+            for result in await asyncio.gather(
+                    *(client.eval_cell(BURST) for _ in range(4)),
+                    return_exceptions=True):
+                assert isinstance(result, SimulationError)
+                errors.append(str(result))
+            return errors, await client.stats()
+        errors, counters = run_scenario(scenario)
+        assert len(errors) == 4
+        for message in errors:
+            assert "grid cell (" in message and "boom" in message
+        assert counters["computed"] == 0
+
+
+class TestLoadReplay:
+    """The scripted load-test harness: a fixed mix of hits, misses,
+    malformed requests and duplicate bursts, replayed against a fresh
+    daemon — responses must be identical across replays and misses
+    bit-identical to direct computation."""
+
+    MIX = [TASK, OTHER, TASK, BURST, OTHER, TASK]
+
+    async def _replay(self, server):
+        client = AsyncEvalClient(server.http_address)
+        transcript = []
+        # Sequential section: misses, then hits of the same cells.
+        for task in self.MIX:
+            status, payload = await raw_http(
+                server.port, "POST", "/eval",
+                json.dumps({"task": task_to_dict(task)}).encode())
+            transcript.append((status, json.dumps(payload, sort_keys=True)))
+        # Malformed + unknown-arch requests interleave with real load.
+        status, payload = await raw_http(server.port, "POST", "/eval",
+                                         b"{definitely not json")
+        transcript.append((status, json.dumps(payload, sort_keys=True)))
+        status, payload = await raw_http(
+            server.port, "POST", "/eval",
+            json.dumps({"task": {"architecture": "NOPE",
+                                 "workload": "gcc"}}).encode())
+        transcript.append((status, json.dumps(payload, sort_keys=True)))
+        # Duplicate burst: concurrent identical queries.  *Which* of the
+        # eight wins the race to compute is scheduling-dependent, so the
+        # transcript records the sorted response set — with the
+        # slowed-down compute all eight are guaranteed in flight
+        # together, so the multiset (1 computed + 7 coalesced, equal
+        # stats) is deterministic.
+        burst_task = EvalTask("EPCM-MM", "omnetpp", 300, 7)
+        responses = await asyncio.gather(*(
+            raw_http(server.port, "POST", "/eval",
+                     json.dumps({"task": task_to_dict(burst_task)}).encode())
+            for _ in range(8)))
+        transcript.extend(sorted(
+            (status, json.dumps(payload, sort_keys=True))
+            for status, payload in responses))
+        counters = await client.stats()
+        counters.pop("store")    # tmp dir differs between replays
+        transcript.append((200, json.dumps(counters, sort_keys=True)))
+        return transcript
+
+    def test_replay_is_deterministic_and_matches_direct(self, tmp_path,
+                                                        monkeypatch):
+        slow_compute(monkeypatch, delay=0.1)
+        transcripts = []
+        for run in ("one", "two"):
+            store = ResultStore(tmp_path / f"store-{run}")
+            transcripts.append(
+                run_scenario(self._replay, store=store, workers=1))
+        assert transcripts[0] == transcripts[1]
+
+        # Spot-check the first miss against direct computation: the
+        # served stats dict is exactly SimStats.to_dict.
+        status, body = transcripts[0][0]
+        assert status == 200
+        first = json.loads(body)["results"][0]
+        assert first["stats"] == json.loads(
+            json.dumps(evaluate_cell(TASK).to_dict()))
+        # Errors are structured, not hung connections.
+        assert transcripts[0][len(self.MIX)][0] == 400
+        assert transcripts[0][len(self.MIX) + 1][0] == 400
+
+    @pytest.mark.slow
+    def test_heavy_replay_is_deterministic(self, tmp_path):
+        """The long mix: every SPEC workload x two architectures, three
+        passes with bursts — slow, run with --runslow."""
+        from repro.sim.tracegen import SPEC_WORKLOADS
+
+        tasks = [EvalTask(arch, workload, 2000, 7)
+                 for arch in ("EPCM-MM", "2D_DDR3")
+                 for workload in sorted(SPEC_WORKLOADS)]
+
+        async def replay(server):
+            client = AsyncEvalClient(server.http_address)
+            transcript = []
+            for _ in range(3):
+                lookup = await client.eval_tasks(tasks)
+                transcript.append(
+                    {t.describe(): lookup[t].to_dict() for t in tasks})
+                bursts = await asyncio.gather(
+                    *(client.eval_cell(tasks[0]) for _ in range(16)))
+                assert all(b == bursts[0] for b in bursts)
+            counters = await client.stats()
+            counters.pop("store")
+            transcript.append(counters)
+            return transcript
+
+        first = run_scenario(replay, store=ResultStore(tmp_path / "s1"))
+        second = run_scenario(replay, store=ResultStore(tmp_path / "s2"))
+        assert first == second
+        assert first[0] == {t.describe(): evaluate_cell(t).to_dict()
+                            for t in tasks}
+
+
+class TestErrorPaths:
+    """Malformed and failing queries come back as structured JSON
+    errors with 4xx/5xx statuses — never a hang or a raw traceback."""
+
+    def _status_of(self, payload, **server_kwargs):
+        async def scenario(server):
+            body = payload if isinstance(payload, bytes) \
+                else json.dumps(payload).encode()
+            return await raw_http(server.port, "POST", "/eval", body)
+        return run_scenario(scenario, **server_kwargs)
+
+    def test_malformed_json_is_400(self):
+        status, body = self._status_of(b"{not json at all")
+        assert status == 400
+        assert body["ok"] is False and "malformed JSON" in body["error"]
+
+    def test_unknown_architecture_is_400(self):
+        status, body = self._status_of(
+            {"task": {"architecture": "NOPE", "workload": "gcc"}})
+        assert status == 400
+        assert "unknown architecture 'NOPE'" in body["error"]
+
+    def test_unknown_workload_is_400(self):
+        status, body = self._status_of(
+            {"task": {"architecture": "COMET", "workload": "doom"}})
+        assert status == 400
+        assert body["ok"] is False
+
+    def test_bad_field_types_are_400(self):
+        for task in (
+            {"architecture": "COMET", "workload": "gcc",
+             "num_requests": "many"},
+            {"architecture": "COMET", "workload": "gcc", "seed": True},
+            {"architecture": "COMET", "workload": "gcc", "queue_depth": 0},
+            {"architecture": "COMET", "workload": "gcc", "bogus": 1},
+        ):
+            status, body = self._status_of({"task": task})
+            assert status == 400, task
+            assert body["ok"] is False
+
+    def test_query_shape_errors_are_400(self):
+        for payload in (
+            [],                                   # not an object
+            {},                                   # no source
+            {"task": {}, "tasks": []},            # two sources
+            {"tasks": []},                        # empty batch
+            {"task": {"architecture": "COMET", "workload": "gcc"},
+             "latencies": "yes"},                 # non-bool latencies
+            {"sweep": {"bogus_axis": [1]}},       # unknown sweep axis
+            {"sweep": {"num_requests": ["many"]}},
+        ):
+            status, body = self._status_of(payload)
+            assert status == 400, payload
+            assert body["ok"] is False and body["error"]
+
+    def test_oversized_sweep_is_rejected_up_front(self):
+        status, body = self._status_of(
+            {"sweep": {"architectures": ["EPCM-MM"],
+                       "workloads": ["gcc"],
+                       "seeds": list(range(MAX_CELLS_PER_QUERY + 1))}})
+        assert status == 400
+        assert str(MAX_CELLS_PER_QUERY) in body["error"]
+
+    def test_huge_axis_product_rejected_before_expansion(self):
+        """The cell cap must fire on the axis *product*, before the
+        cross product is materialized — two 10k-element axes expand to
+        10^8 tasks, which would wedge the daemon if built first."""
+        status, body = self._status_of(
+            {"sweep": {"architectures": ["EPCM-MM"],
+                       "workloads": ["gcc"],
+                       "seeds": list(range(10_000)),
+                       "num_requests": list(range(1, 10_001))}})
+        assert status == 400
+        assert str(MAX_CELLS_PER_QUERY) in body["error"]
+
+    def test_out_of_range_seed_is_400_not_worker_error(self):
+        for seed in (-1, 2 ** 32):
+            status, body = self._status_of(
+                {"task": {"architecture": "COMET", "workload": "gcc",
+                          "seed": seed}})
+            assert status == 400, seed
+            assert "seed" in body["error"]
+        status, body = self._status_of(
+            {"sweep": {"architectures": ["EPCM-MM"],
+                       "workloads": ["gcc"], "seeds": [-1]}})
+        assert status == 400
+        assert "seed" in body["error"]
+
+    def test_oversized_cell_request_count_is_400(self):
+        from repro.sim.server import MAX_REQUESTS_PER_CELL
+
+        status, body = self._status_of(
+            {"task": {"architecture": "COMET", "workload": "gcc",
+                      "num_requests": MAX_REQUESTS_PER_CELL + 1}})
+        assert status == 400
+        assert "request limit" in body["error"]
+
+    def test_unknown_path_and_method(self):
+        async def scenario(server):
+            missing = await raw_http(server.port, "GET", "/nope")
+            wrong = await raw_http(server.port, "GET", "/eval")
+            return missing, wrong
+        (missing_status, missing_body), (wrong_status, wrong_body) = \
+            run_scenario(scenario)
+        assert missing_status == 404 and missing_body["ok"] is False
+        assert wrong_status == 405 and "POST" in wrong_body["error"]
+
+    def test_worker_crash_annotates_the_failing_cell(self, monkeypatch):
+        """A cell dying mid-compute surfaces like the sweep path: a 5xx
+        JSON error naming the cell, not a worker traceback."""
+        def boom(task):
+            raise ValueError("synthetic crash")
+        monkeypatch.setattr(engine, "evaluate_cell", boom)
+
+        async def scenario(server):
+            return await raw_http(
+                server.port, "POST", "/eval",
+                json.dumps({"task": task_to_dict(TASK)}).encode())
+        status, body = run_scenario(scenario)
+        assert status == 500
+        assert body["ok"] is False
+        assert f"grid cell ({TASK.describe()})" in body["error"]
+        assert "synthetic crash" in body["error"]
+
+    def test_server_survives_a_crashed_cell(self, monkeypatch):
+        real = engine.evaluate_cell
+        calls = {"n": 0}
+
+        def flaky(task):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first one dies")
+            return real(task)
+        monkeypatch.setattr(engine, "evaluate_cell", flaky)
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            with pytest.raises(SimulationError):
+                await client.eval_cell(TASK)
+            stats = await client.eval_cell(TASK)    # recovered
+            return stats, await client.stats()
+        stats, counters = run_scenario(scenario)
+        assert stats == evaluate_cell(TASK)
+        assert counters["errors"] == 1
+
+    def test_broken_executor_rebuilds_the_pool_once(self, monkeypatch):
+        """A hard worker death (BrokenExecutor) must replace the compute
+        pool and keep serving; the error names the cell."""
+        from concurrent.futures import BrokenExecutor
+
+        from repro.sim import server as server_mod
+
+        real = server_mod.evaluate_cell_checked
+        calls = {"n": 0}
+
+        def dying(task):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BrokenExecutor("worker vanished")
+            return real(task)
+        monkeypatch.setattr(server_mod, "evaluate_cell_checked", dying)
+
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            old_pool = server._compute
+            with pytest.raises(SimulationError, match="worker died"):
+                await client.eval_cell(TASK)
+            rebuilt = server._compute
+            stats = await client.eval_cell(TASK)
+            return old_pool is rebuilt, stats
+        same_pool, stats = run_scenario(scenario)
+        assert not same_pool
+        assert stats == evaluate_cell(TASK)
+
+    def test_parse_query_rejects_non_dict_tasks(self):
+        with pytest.raises(SimulationError):
+            _parse_query({"tasks": ["COMET"]})
+
+
+class TestLineProtocol:
+    def test_ops_over_unix_socket(self, tmp_path):
+        sock = tmp_path / "eval.sock"
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_unix_connection(str(sock))
+
+            async def roundtrip(message):
+                writer.write(message if isinstance(message, bytes)
+                             else json.dumps(message).encode())
+                writer.write(b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            ping = await roundtrip({"op": "ping"})
+            evaluated = await roundtrip({"op": "eval",
+                                         "task": task_to_dict(TASK)})
+            implicit = await roundtrip({"task": task_to_dict(TASK)})
+            malformed = await roundtrip(b"{nope")
+            unknown = await roundtrip({"op": "teleport"})
+            stats = await roundtrip({"op": "stats"})
+            writer.close()
+            await writer.wait_closed()
+            return ping, evaluated, implicit, malformed, unknown, stats
+
+        ping, evaluated, implicit, malformed, unknown, stats = \
+            run_scenario(scenario, unix_path=tmp_path / "eval.sock")
+        assert ping == {"ok": True, "pong": True}
+        assert evaluated["ok"] and implicit["ok"]
+        assert evaluated["results"][0]["source"] == "computed"
+        assert implicit["results"][0]["source"] == "lru"
+        assert malformed["ok"] is False
+        assert unknown["ok"] is False and "teleport" in unknown["error"]
+        assert stats["stats"]["computed"] == 1
+
+    def test_shutdown_op_stops_the_serve_loop(self, tmp_path):
+        sock = tmp_path / "eval.sock"
+
+        async def scenario():
+            server = EvalServer(port=0, unix_path=sock)
+            serve = asyncio.ensure_future(server.serve_until_shutdown())
+            await asyncio.sleep(0)          # let it bind
+            for _ in range(50):
+                if server._servers:
+                    break
+                await asyncio.sleep(0.05)
+            reader, writer = await asyncio.open_unix_connection(str(sock))
+            writer.write(b'{"op": "shutdown"}\n')
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await asyncio.wait_for(serve, timeout=10)
+            return reply
+        reply = asyncio.run(scenario())
+        assert reply == {"ok": True, "shutting_down": True}
+
+
+class TestHttpMisc:
+    def test_healthz_and_stats(self):
+        async def scenario(server):
+            health = await raw_http(server.port, "GET", "/healthz")
+            stats = await raw_http(server.port, "GET", "/stats")
+            return health, stats
+        (health_status, health), (stats_status, stats) = run_scenario(scenario)
+        assert health_status == 200 and health == {"ok": True}
+        assert stats_status == 200
+        for key in ("queries", "cells", "computed", "coalesced",
+                    "store_hits", "lru_hits", "errors", "inflight",
+                    "workers", "executor"):
+            assert key in stats["stats"]
+
+    def test_http_shutdown_endpoint(self):
+        async def scenario():
+            server = EvalServer(port=0)
+            serve = asyncio.ensure_future(server.serve_until_shutdown())
+            for _ in range(50):
+                if server._servers:
+                    break
+                await asyncio.sleep(0.05)
+            status, body = await raw_http(server.port, "POST", "/shutdown")
+            await asyncio.wait_for(serve, timeout=10)
+            return status, body
+        status, body = asyncio.run(scenario())
+        assert status == 200 and body["shutting_down"] is True
+
+
+class TestFig9ReadThrough:
+    def test_warm_daemon_answers_fig9_grid_with_zero_recomputes(
+            self, tmp_path):
+        """The acceptance scenario, scaled to tier-1: a repeated fig9
+        query set against a warm daemon computes nothing the second
+        time (store + LRU hits only, verified via /stats)."""
+        from repro.exp import fig9
+
+        async def scenario(server):
+            loop = asyncio.get_running_loop()
+            address = server.http_address
+
+            def run_fig9():
+                return fig9.run(num_requests=300, workloads=["gcc"],
+                                server=address)
+            client = AsyncEvalClient(address)
+            cold = await loop.run_in_executor(None, run_fig9)
+            after_cold = await client.stats()
+            warm = await loop.run_in_executor(None, run_fig9)
+            after_warm = await client.stats()
+            return cold, warm, after_cold, after_warm
+
+        cold, warm, after_cold, after_warm = run_scenario(
+            scenario, store=ResultStore(tmp_path / "store"))
+        assert after_warm["computed"] == after_cold["computed"]
+        assert cold.summary == warm.summary
+        assert cold.results["COMET"]["gcc"] == warm.results["COMET"]["gcc"]
+
+    @pytest.mark.slow
+    def test_full_fig9_grid_warm_daemon(self, tmp_path):
+        """Full SPEC grid through the daemon twice: zero recomputations
+        on the second pass, summaries identical to the local engine."""
+        from repro.exp import fig9
+        from repro.sim.engine import run_evaluation
+        from repro.sim.simulator import summarize
+
+        async def scenario(server):
+            loop = asyncio.get_running_loop()
+            address = server.http_address
+
+            def run_fig9():
+                return fig9.run(num_requests=2000, server=address)
+            client = AsyncEvalClient(address)
+            cold = await loop.run_in_executor(None, run_fig9)
+            after_cold = await client.stats()
+            warm = await loop.run_in_executor(None, run_fig9)
+            after_warm = await client.stats()
+            return cold, warm, after_cold, after_warm
+
+        cold, warm, after_cold, after_warm = run_scenario(
+            scenario, store=ResultStore(tmp_path / "store"))
+        assert after_warm["computed"] == after_cold["computed"]
+        assert cold.summary == warm.summary
+        local = summarize(run_evaluation(num_requests=2000))
+        assert cold.summary == local
