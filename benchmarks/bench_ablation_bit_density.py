@@ -4,21 +4,23 @@ The paper picks b=4 from the power stacks alone (capacity and line
 bandwidth are equal by construction).  This bench carries the three
 densities through the full simulator: equal bandwidth, EPB ordered by the
 power stacks — confirming the power study is the whole story.
+
+The densities are the registered ``COMET-b1`` / ``COMET-b2`` variant
+architectures (b=4 is COMET itself), so the cells are store-addressable
+and a ``$REPRO_RESULT_STORE`` makes re-runs incremental.
 """
 
-from repro.arch.comet import CometArchitecture
-from repro.sim import MainMemorySimulator
-from repro.sim.factory import build_comet_device
+from repro.sim.engine import EvalTask, evaluate_tasks
+
+VARIANT_OF = {1: "COMET-b1", 2: "COMET-b2", 4: "COMET"}
 
 
-def bench_ablation_bit_density_end_to_end(benchmark):
+def bench_ablation_bit_density_end_to_end(benchmark, eval_store):
     def run():
-        results = {}
-        for bits in (1, 2, 4):
-            device = build_comet_device(CometArchitecture(bits_per_cell=bits))
-            stats = MainMemorySimulator(device).run_workload("milc", 4000)
-            results[bits] = stats
-        return results
+        tasks = {bits: EvalTask(arch, "milc", 4000, 1)
+                 for bits, arch in VARIANT_OF.items()}
+        lookup = evaluate_tasks(list(tasks.values()), store=eval_store)
+        return {bits: lookup[task] for bits, task in tasks.items()}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -3,32 +3,32 @@
 Two knobs the paper turns when making COSMOS simulable:
 
 1. the subtractive read flow (read + erase + read) versus an idealized
-   direct read — how much of COSMOS's deficit is the read mechanism;
+   direct read (the registered ``COSMOS-direct`` variant architecture) —
+   how much of COSMOS's deficit is the read mechanism;
 2. the effective-medium blending scheme (Lorentz–Lorenz vs naive linear)
    — how much the multi-level map depends on the Wang et al. model.
+
+The simulation cells are store-addressable; a ``$REPRO_RESULT_STORE``
+makes re-runs incremental.
 """
 
 import numpy as np
 
-from repro.baselines.cosmos import CosmosArchitecture
 from repro.materials import get_material
 from repro.materials.pcm import PhaseChangeMaterial
-from repro.sim import MainMemorySimulator
-from repro.sim.factory import build_cosmos_device
+from repro.sim.engine import EvalTask, evaluate_tasks
 
 
-def bench_ablation_subtractive_read(benchmark):
+def bench_ablation_subtractive_read(benchmark, eval_store):
     def run():
-        subtractive = build_cosmos_device(
-            CosmosArchitecture(subtractive_read=True))
-        stats_sub = MainMemorySimulator(subtractive).run_workload("mcf", 4000)
-        # Idealized COSMOS: pretend a direct, non-destructive read existed.
-        direct_arch = CosmosArchitecture(subtractive_read=False)
-        direct = build_cosmos_device(direct_arch)
-        stats_direct = MainMemorySimulator(direct).run_workload("mcf", 4000)
-        return stats_sub, stats_direct
+        tasks = [EvalTask("COSMOS", "mcf", 4000, 1),
+                 EvalTask("COSMOS-direct", "mcf", 4000, 1),
+                 EvalTask("COMET", "mcf", 4000, 1)]
+        lookup = evaluate_tasks(tasks, store=eval_store)
+        return tuple(lookup[task] for task in tasks)
 
-    stats_sub, stats_direct = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats_sub, stats_direct, comet = benchmark.pedantic(
+        run, rounds=1, iterations=1)
     print(f"\n  subtractive read: {stats_sub.bandwidth_gbps:6.2f} GB/s | "
           f"idealized direct read: {stats_direct.bandwidth_gbps:6.2f} GB/s")
 
@@ -37,8 +37,6 @@ def bench_ablation_subtractive_read(benchmark):
     assert stats_direct.bandwidth_gbps > 1.2 * stats_sub.bandwidth_gbps
     # ...but even idealized COSMOS keeps the 1.6 us write pulse train, so
     # it cannot reach COMET-class write behaviour.
-    from repro.sim.factory import build_comet_device
-    comet = MainMemorySimulator(build_comet_device()).run_workload("mcf", 4000)
     assert comet.bandwidth_gbps > stats_direct.bandwidth_gbps
 
 

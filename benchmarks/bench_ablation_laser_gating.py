@@ -3,33 +3,24 @@
 Section IV.C: laser power dominates photonic EPB; dynamic management
 "could significantly improve photonic memory energy consumption".  This
 bench quantifies it: the same COMET device with an always-on optical rail
-versus the gated rail, on a low-utilization workload where gating matters
-most, plus the closed-form bound from the governor model.
+(the registered ``COMET-ungated`` variant) versus the gated rail, on a
+low-utilization workload where gating matters most, plus the closed-form
+bound from the governor model.  A ``$REPRO_RESULT_STORE`` makes re-runs
+incremental.
 """
 
-import dataclasses
-
 from repro.arch.laser_management import LaserPowerManager, managed_epb_pj
-from repro.sim import MainMemorySimulator
-from repro.sim.factory import build_comet_device
+from repro.sim.engine import EvalTask, evaluate_tasks
+
+ARCH_OF = {False: "COMET-ungated", True: "COMET"}
 
 
-def _with_gating(device, gated: bool):
-    return dataclasses.replace(
-        device, energy=dataclasses.replace(
-            device.energy, gate_active_power=gated))
-
-
-def bench_ablation_laser_gating(benchmark):
-    base = build_comet_device()
-
+def bench_ablation_laser_gating(benchmark, eval_store):
     def run():
-        results = {}
-        for gated in (False, True):
-            device = _with_gating(base, gated)
-            stats = MainMemorySimulator(device).run_workload("gcc", 5000)
-            results[gated] = stats
-        return results
+        tasks = {gated: EvalTask(arch, "gcc", 5000, 1)
+                 for gated, arch in ARCH_OF.items()}
+        lookup = evaluate_tasks(list(tasks.values()), store=eval_store)
+        return {gated: lookup[task] for gated, task in tasks.items()}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     always_on = results[False].energy_per_bit_pj

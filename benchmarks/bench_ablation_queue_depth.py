@@ -4,23 +4,33 @@ The Fig. 9 gaps depend on how much MLP the controller exposes; this bench
 sweeps the per-channel queue depth to show the COMET-vs-COSMOS bandwidth
 ratio is robust to the choice (it is a service-capacity gap, not a
 queueing artifact), while absolute latencies scale with depth.
+
+The cells route through the evaluation engine's queue-depth axis, so a
+``$REPRO_RESULT_STORE`` makes re-runs incremental.
 """
 
-from repro.sim import MainMemorySimulator
+from repro.sim.engine import EvalTask, device_for, evaluate_tasks
+
+DEPTHS = (2, 8, 32)
 
 
-def bench_ablation_queue_depth(benchmark):
+def bench_ablation_queue_depth(benchmark, eval_store):
     def run():
-        results = {}
-        for depth in (2, 8, 32):
-            comet = MainMemorySimulator(
-                "COMET", queue_depth_per_channel=depth
-            ).run_workload("mcf", 4000)
-            cosmos = MainMemorySimulator(
-                "COSMOS", queue_depth_per_channel=depth
-            ).run_workload("mcf", 4000)
-            results[depth] = (comet, cosmos)
-        return results
+        tasks = {
+            (arch, depth): EvalTask(
+                arch, "mcf", 4000, 1,
+                # EvalTask carries the *total* transaction-queue depth;
+                # the ablation axis is per channel.
+                queue_depth=depth * device_for(arch).channels)
+            for depth in DEPTHS
+            for arch in ("COMET", "COSMOS")
+        }
+        lookup = evaluate_tasks(list(tasks.values()), store=eval_store)
+        return {
+            depth: (lookup[tasks[("COMET", depth)]],
+                    lookup[tasks[("COSMOS", depth)]])
+            for depth in DEPTHS
+        }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -34,5 +44,5 @@ def bench_ablation_queue_depth(benchmark):
     # The bandwidth advantage holds at every depth (robustness).
     assert all(ratio > 2.0 for ratio in ratios.values())
     # Deeper queues -> more latency on the saturated device.
-    cosmos_latency = [results[d][1].avg_latency_ns for d in (2, 8, 32)]
+    cosmos_latency = [results[d][1].avg_latency_ns for d in DEPTHS]
     assert cosmos_latency[0] < cosmos_latency[-1]

@@ -3,35 +3,24 @@
 Section II.B's core circuit-level decision: thermal tuning is us-scale and
 would "severely increase the latency and reduce achievable bandwidth";
 COMET pays 0.31 dB extra through loss for ns-scale EO tuning.  This bench
-swaps the access mechanism and measures what the paper only argues.
+swaps the access mechanism (the registered ``COMET-thermal`` variant
+architecture) and measures what the paper only argues; a
+``$REPRO_RESULT_STORE`` makes re-runs incremental.
 """
 
-import dataclasses
-
-from repro.config import TABLE_I
 from repro.photonics.ring import RingTuningModel, TuningMechanism
-from repro.sim import MainMemorySimulator
-from repro.sim.factory import build_comet_device
+from repro.sim.engine import EvalTask, evaluate_tasks
 
 
-def bench_ablation_eo_vs_thermal_tuning(benchmark):
+def bench_ablation_eo_vs_thermal_tuning(benchmark, eval_store):
     eo = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
     thermal = RingTuningModel.from_parameters(TuningMechanism.THERMAL)
 
     def run():
-        base = build_comet_device()
-        # Thermal access control replaces the 2 ns EO step of every access
-        # with the us-scale thermal settle (reads and writes alike).
-        extra_ns = (thermal.latency_s - eo.latency_s) * 1e9
-        slow = dataclasses.replace(
-            base,
-            name="COMET-thermal",
-            read_occupancy_ns=base.read_occupancy_ns + extra_ns,
-            write_occupancy_ns=base.write_occupancy_ns + extra_ns,
-        )
-        fast_stats = MainMemorySimulator(base).run_workload("milc", 4000)
-        slow_stats = MainMemorySimulator(slow).run_workload("milc", 4000)
-        return fast_stats, slow_stats
+        tasks = [EvalTask("COMET", "milc", 4000, 1),
+                 EvalTask("COMET-thermal", "milc", 4000, 1)]
+        lookup = evaluate_tasks(tasks, store=eval_store)
+        return lookup[tasks[0]], lookup[tasks[1]]
 
     fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"\n  EO tuning:      {fast.bandwidth_gbps:7.2f} GB/s, "

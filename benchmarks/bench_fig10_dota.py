@@ -1,11 +1,16 @@
-"""Bench Fig. 10 — DOTA accelerator EPB with each main memory."""
+"""Bench Fig. 10 — DOTA accelerator EPB with each main memory.
+
+With ``$REPRO_RESULT_STORE`` set, the memory-simulation cells read
+through the store and the bench times the *incremental* regeneration.
+"""
 
 from repro.exp.fig10 import run as run_fig10
 
 
-def bench_fig10_dota_case_study(benchmark):
+def bench_fig10_dota_case_study(benchmark, eval_store):
     result = benchmark.pedantic(
-        run_fig10, kwargs={"num_requests": 6000}, rounds=1, iterations=1)
+        run_fig10, kwargs={"num_requests": 6000, "store": eval_store},
+        rounds=1, iterations=1)
 
     print()
     for model, per_mem in result.results.items():

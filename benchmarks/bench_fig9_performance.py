@@ -9,9 +9,11 @@ from repro.exp.fig9 import run as run_fig9
 from repro.sim.factory import ARCHITECTURE_NAMES
 
 
-def bench_fig9_full_grid(benchmark):
+def bench_fig9_full_grid(benchmark, eval_store):
+    # With $REPRO_RESULT_STORE set this times the *incremental* grid.
     result = benchmark.pedantic(
-        run_fig9, kwargs={"num_requests": 8000}, rounds=1, iterations=1)
+        run_fig9, kwargs={"num_requests": 8000, "store": eval_store},
+        rounds=1, iterations=1)
 
     summary = result.summary
     print()

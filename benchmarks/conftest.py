@@ -24,6 +24,24 @@ from pathlib import Path
 import pytest
 
 
+@pytest.fixture
+def eval_store():
+    """Result store named by ``$REPRO_RESULT_STORE``, or ``None``.
+
+    The grid-backed benches route their simulation cells through
+    ``evaluate_tasks(..., store=eval_store)``: cold runs measure a full
+    regeneration and leave the cells behind; with the env var set, a
+    second bench run is the *incremental* regeneration (only cells
+    invalidated by model edits recompute).
+    """
+    root = os.environ.get("REPRO_RESULT_STORE")
+    if not root:
+        return None
+    from repro.sim.store import ResultStore
+
+    return ResultStore(root)
+
+
 def _benchmarks_requested(config) -> bool:
     if os.environ.get("REPRO_BENCH"):
         return True

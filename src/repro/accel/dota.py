@@ -20,15 +20,26 @@ memory sees DOTA's actual access pattern rather than a generic trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TraceError
+from ..sim.engine import EvalTask, evaluate_cell, evaluate_tasks
 from ..sim.simulator import MainMemorySimulator
-from ..sim.tracegen import SyntheticWorkload
+from ..sim.stats import SimStats
+from ..sim.tracegen import SyntheticWorkload, get_workload
 from .transformer import DEIT_BASE, DEIT_TINY, TransformerConfig
+
+if TYPE_CHECKING:   # import cycle: the store fingerprints via the engine
+    from ..sim.store import ResultStore
 
 #: Memories that deliver data optically (no E-O conversion at DOTA input).
 PHOTONIC_MEMORIES = ("COMET", "COSMOS")
+
+#: Trace seed of the Fig. 10 memory-simulation cells.  Part of every
+#: cell's store digest, so it is a named constant rather than a buried
+#: default: changing it re-addresses (and therefore recomputes) the
+#: whole figure.
+DOTA_SEED = 7
 
 
 @dataclass(frozen=True)
@@ -137,14 +148,29 @@ class DotaSystem:
             line_bytes=line_bytes,
         )
 
-    def evaluate(self, num_requests: int = 8000, seed: int = 7) -> DotaResult:
-        """Run the traffic through the memory simulator; return system EPB."""
+    def task(self, num_requests: int = 8000, seed: int = DOTA_SEED) \
+            -> EvalTask:
+        """This system's memory-simulation cell as an :class:`EvalTask`.
+
+        Only valid when the traffic workload is *registered* (see
+        :meth:`is_engine_addressable`): the engine resolves workloads by
+        name, so a customized system (non-default inference rate or
+        buffer) must use the direct path instead.
+        """
+        return EvalTask(self.memory_name, self.traffic_workload().name,
+                        num_requests, seed)
+
+    def is_engine_addressable(self) -> bool:
+        """True iff this system's traffic equals the registered preset,
+        so its cell can go through the engine (store/server caching)."""
         workload = self.traffic_workload()
-        simulator = MainMemorySimulator(self.memory_name)
-        stats = simulator.run(
-            workload.generate(num_requests, seed=seed),
-            workload_name=workload.name,
-        )
+        try:
+            return get_workload(workload.name) == workload
+        except TraceError:
+            return False
+
+    def result_from_stats(self, stats: SimStats) -> DotaResult:
+        """Wrap one simulated cell into the system-EPB result."""
         return DotaResult(
             memory_name=self.memory_name,
             model_name=self.model.name,
@@ -154,22 +180,93 @@ class DotaSystem:
             ),
         )
 
+    def evaluate(self, num_requests: int = 8000,
+                 seed: int = DOTA_SEED) -> DotaResult:
+        """Run the traffic through the memory simulator; return system EPB.
+
+        A default-configured system evaluates through the engine cell
+        (shared trace cache, same digest the store/server use); a
+        customized one generates its own trace directly.  Both paths are
+        bit-identical for the same parameters (the engine's vectorized
+        controller and the object path share one scheduler).
+        """
+        if self.is_engine_addressable():
+            return self.result_from_stats(
+                evaluate_cell(self.task(num_requests, seed)))
+        workload = self.traffic_workload()
+        simulator = MainMemorySimulator(self.memory_name)
+        stats = simulator.run(
+            workload.generate(num_requests, seed=seed),
+            workload_name=workload.name,
+        )
+        return self.result_from_stats(stats)
+
+
+def dota_traffic_workloads() -> Dict[str, SyntheticWorkload]:
+    """The named DOTA traffic presets (``dota-DeiT-T``, ``dota-DeiT-B``).
+
+    This is what :func:`repro.sim.tracegen.get_workload` resolves the
+    ``dota-*`` names to: the memory-side traffic of a default-configured
+    :class:`DotaSystem` running each DeiT variant.  The traffic model is
+    memory-independent, so one preset serves every candidate memory, and
+    because the preset is derived from the transformer configuration,
+    editing a model's dimensions re-fingerprints (and so invalidates)
+    exactly its own stored cells.
+    """
+    workloads = {}
+    for model in (DEIT_TINY, DEIT_BASE):
+        workload = DotaSystem("COMET", model).traffic_workload()
+        workloads[workload.name] = workload
+    return workloads
+
 
 def dota_case_study(
-    memories: List[str] = None,
-    models: List[TransformerConfig] = None,
+    memories: Optional[List[str]] = None,
+    models: Optional[List[TransformerConfig]] = None,
     num_requests: int = 8000,
+    seed: int = DOTA_SEED,
+    store: Optional["ResultStore"] = None,
+    server: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, DotaResult]]:
-    """The full Fig. 10 grid: ``results[model][memory] -> DotaResult``."""
+    """The full Fig. 10 grid: ``results[model][memory] -> DotaResult``.
+
+    The memory-simulation cells route through the evaluation engine:
+    ``store`` (a :class:`repro.sim.store.ResultStore`) makes the run
+    incremental — cells already stored are served from disk, new ones
+    are checkpointed — and ``server`` (an evaluation-daemon address)
+    answers them remotely instead.  Systems whose traffic is not a
+    registered preset (custom ``models``) fall back to direct
+    simulation, cell by cell.
+    """
     memory_names = memories if memories is not None else [
         "2D_DDR3", "3D_DDR3", "2D_DDR4", "3D_DDR4", "EPCM-MM",
         "COSMOS", "COMET",
     ]
     model_list = models if models is not None else [DEIT_TINY, DEIT_BASE]
-    results: Dict[str, Dict[str, DotaResult]] = {}
+    systems: Dict[EvalTask, DotaSystem] = {}
+    direct: List[DotaSystem] = []
+    results: Dict[str, Dict[str, DotaResult]] = {
+        model.name: {} for model in model_list}
     for model in model_list:
-        results[model.name] = {}
         for memory in memory_names:
             system = DotaSystem(memory, model)
-            results[model.name][memory] = system.evaluate(num_requests)
+            if system.is_engine_addressable():
+                systems[system.task(num_requests, seed)] = system
+            else:
+                direct.append(system)
+    if systems:
+        tasks = list(systems)
+        if server is not None:
+            from ..sim.client import evaluate_tasks_remote
+
+            lookup = evaluate_tasks_remote(tasks, server)
+        else:
+            lookup = evaluate_tasks(tasks, workers=workers, store=store)
+        for task, system in systems.items():
+            results[system.model.name][system.memory_name] = \
+                system.result_from_stats(lookup[task])
+    for system in direct:
+        results[system.model.name][system.memory_name] = \
+            system.evaluate(num_requests, seed)
     return results

@@ -1,17 +1,101 @@
 """Command-line entry point: ``python -m repro.exp [experiment ...]``.
 
 With no arguments, runs every registered experiment in paper order.
+
+``run-all`` regenerates the paper artifacts through the store/server
+substrate so a second pass is incremental end to end::
+
+    python -m repro.exp run-all --store results/ --num-requests 4000
+    python -m repro.exp run-all fig9 fig10 headline --store results/
+    REPRO_RESULT_STORE=results/ python -m repro.exp run-all
+
+Precedence: ``--server`` (else ``$REPRO_EVAL_SERVER``) routes the
+simulation grids through a running evaluation daemon; otherwise
+``--store`` (else ``$REPRO_RESULT_STORE``) serves cells from disk and
+checkpoints new ones.  ``--expect-no-compute`` exits 3 if any
+store-capable experiment computed a cell — the warm-regeneration
+invariant CI pins.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 
+from ..errors import ReproError, SimulationError
 from .registry import EXPERIMENTS, get_experiment
+
+
+def run_all_main(argv) -> int:
+    from ..sim.client import SERVER_ENV_VAR
+    from ..sim.store import ResultStore
+    from .fig9 import STORE_ENV_VAR
+    from .report import run_all
+
+    parser = argparse.ArgumentParser(
+        prog="repro.exp run-all",
+        description="Regenerate paper artifacts incrementally through "
+                    "the result-store / evaluation-server substrate.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids to run (default: all, in "
+                             "paper order)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default: "
+                             f"${STORE_ENV_VAR})")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="evaluation-daemon address; overrides "
+                             f"--store (default: ${SERVER_ENV_VAR})")
+    parser.add_argument("--num-requests", type=int, default=None,
+                        metavar="N",
+                        help="simulation request count per grid cell "
+                             "(default: each experiment's own)")
+    parser.add_argument("--expect-no-compute", action="store_true",
+                        help="exit 3 if any simulation cell was computed "
+                             "(warm-store regeneration check)")
+    args = parser.parse_args(argv)
+
+    server = args.server or os.environ.get(SERVER_ENV_VAR) or None
+    store = None
+    if server is None:
+        store_path = args.store or os.environ.get(STORE_ENV_VAR) or None
+        if store_path is not None:
+            try:
+                store = ResultStore(store_path)
+            except (OSError, SimulationError) as error:
+                print(f"run-all: result store {store_path!r} unusable: "
+                      f"{error}", file=sys.stderr)
+                return 2
+    for exp_id in args.experiments:
+        get_experiment(exp_id)    # fail on typos before running anything
+    summary = run_all(args.experiments or None, store=store, server=server,
+                      num_requests=args.num_requests)
+    failed = [row["experiment"] for row in summary
+              if row["status"] != "ok"]
+    if failed:
+        print(f"run-all: failed experiments: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    if args.expect_no_compute:
+        computed = sum(int(row["computed cells"]) for row in summary)
+        if computed:
+            print(f"run-all: expected a warm store but computed "
+                  f"{computed} cells", file=sys.stderr)
+            return 3
+    return 0
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "run-all":
+        try:
+            return run_all_main(args[1:])
+        except (ReproError, OSError) as error:
+            # Unknown experiment id, unusable substrate, transport
+            # failure: a clean one-line message, not a traceback.
+            print(f"run-all: {error}", file=sys.stderr)
+            return 1
     ids = args if args else list(EXPERIMENTS)
     for exp_id in ids:
         experiment = get_experiment(exp_id)

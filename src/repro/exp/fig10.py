@@ -2,15 +2,28 @@
 
 DeiT-T and DeiT-B inference traffic through every candidate memory, plus
 the electro-optic conversion tax electronic memories pay at the photonic
-tensor core's boundary.
+tensor core's boundary.  The memory-simulation cells route through the
+evaluation engine, so ``$REPRO_RESULT_STORE`` makes regeneration
+incremental and ``$REPRO_EVAL_SERVER`` answers the grid from a warm
+daemon — the same substrate Fig. 9 uses.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
-from typing import Dict
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from ..accel.dota import DotaResult, dota_case_study
+from ..errors import ConfigError, SimulationError
+from ..sim.client import SERVER_ENV_VAR
+from ..sim.store import ResultStore
+# One authoritative copy of the store env-var name: when set,
+# ``python -m repro.exp fig10`` only simulates the cells missing from
+# the store, exactly like fig9.
+from .fig9 import STORE_ENV_VAR
 from .report import print_table
 
 #: Paper-reported Fig. 10 ratios (COMET vs other, per model).
@@ -28,16 +41,68 @@ class Fig10Result:
 
     def ratio(self, model: str, other: str) -> float:
         """How much lower COMET's system EPB is than ``other``'s."""
-        per_mem = self.results[model]
+        try:
+            per_mem = self.results[model]
+        except KeyError:
+            raise ConfigError(
+                f"unknown model {model!r}; known: {sorted(self.results)}"
+            ) from None
+        for memory in (other, "COMET"):
+            if memory not in per_mem:
+                raise ConfigError(
+                    f"unknown memory {memory!r} for model {model!r}; "
+                    f"known: {sorted(per_mem)}")
         return per_mem[other].system_epb_pj / per_mem["COMET"].system_epb_pj
 
 
-def run(num_requests: int = 6000) -> Fig10Result:
-    return Fig10Result(results=dota_case_study(num_requests=num_requests))
+def run(num_requests: int = 6000,
+        store: Optional[Union[str, Path, ResultStore]] = None,
+        server: Optional[str] = None,
+        workers: Optional[int] = None) -> Fig10Result:
+    """Run the Fig. 10 grid.
+
+    ``store`` (a directory path or :class:`ResultStore`) serves cells
+    already on disk and checkpoints new ones; ``server`` (an
+    evaluation-daemon address) answers them remotely instead, with the
+    daemon's store/LRU doing the caching.  Either way the returned
+    stats are bit-identical to a cold local run.
+    """
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return Fig10Result(results=dota_case_study(
+        num_requests=num_requests, store=store, server=server,
+        workers=workers))
 
 
-def main() -> Fig10Result:
-    result = run()
+def main(num_requests: int = 6000,
+         store: Optional[Union[str, Path, ResultStore]] = None,
+         server: Optional[str] = None) -> Fig10Result:
+    if server is None:
+        server = os.environ.get(SERVER_ENV_VAR) or None
+    if server is not None:
+        try:
+            result = run(num_requests=num_requests, server=server)
+        except (SimulationError, OSError) as error:
+            # Transport failures (daemon died, refused socket) must
+            # surface as the same clean exit as a server-side error.
+            print(f"fig10: evaluation server {server!r} failed: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return _print_report(result)
+    if store is None:
+        store = os.environ.get(STORE_ENV_VAR) or None
+    if store is not None and not isinstance(store, ResultStore):
+        try:
+            store = ResultStore(store)
+        except (OSError, SimulationError) as error:
+            print(f"fig10: result store {str(store)!r} unusable: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    result = run(num_requests=num_requests, store=store)
+    return _print_report(result)
+
+
+def _print_report(result: Fig10Result) -> Fig10Result:
     for model, per_mem in result.results.items():
         rows = []
         for memory, res in per_mem.items():

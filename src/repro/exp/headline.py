@@ -40,8 +40,14 @@ PAPER_CLAIMS = {
 }
 
 
-def run(num_requests: int = 8000) -> HeadlineResult:
-    fig9 = run_fig9(num_requests=num_requests)
+def run(num_requests: int = 8000, store=None, server=None) -> HeadlineResult:
+    """Measure the headline ratios.
+
+    ``store`` / ``server`` thread straight through to the Fig. 9 grid
+    (the only simulation here), so a warm store or daemon makes the
+    headline regeneration free; the Fig. 8 power stacks are closed-form.
+    """
+    fig9 = run_fig9(num_requests=num_requests, store=store, server=server)
     fig8 = run_fig8()
     measured = {
         "bandwidth_vs_cosmos": fig9.bw_ratio("COSMOS"),
@@ -54,8 +60,9 @@ def run(num_requests: int = 8000) -> HeadlineResult:
     return HeadlineResult(measured=measured, paper=dict(PAPER_CLAIMS))
 
 
-def main() -> HeadlineResult:
-    result = run()
+def main(num_requests: int = 8000, store=None,
+         server=None) -> HeadlineResult:
+    result = run(num_requests=num_requests, store=store, server=server)
     print("Headline claims (measured | paper):")
     for key, measured, paper in result.comparison_rows():
         print(f"  {key:28s}: {measured:7.2f} | {paper:.2f}")

@@ -1,23 +1,99 @@
-"""Experiment registry mapping paper artifact ids to runners."""
+"""Experiment registry mapping paper artifact ids to runners.
+
+Every experiment exposes the same invocation contract —
+``Experiment.run(store=..., server=..., num_requests=...)`` — whether or
+not its runner uses the simulation grid: the registry inspects each
+runner's signature once and forwards only the keywords it accepts, so
+grid-backed artifacts (fig9, fig10, headline) pick up result-store
+read-through and evaluation-server routing while closed-form artifacts
+(fig2–fig8, the tables) ignore them.  ``store_capable`` tells callers
+(the ``run-all`` orchestrator, the round-trip pinning tests) which
+experiments actually consume the substrate.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, FrozenSet, Optional
 
 from ..errors import ConfigError
 from . import fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10
 from . import headline, reliability, table1, table2
 
+#: The uniform keywords :meth:`Experiment.run` / :meth:`Experiment.main`
+#: forward when the underlying runner accepts them.
+CONTRACT_KEYWORDS = ("store", "server", "num_requests")
+
+
+def _accepted_keywords(func: Callable[..., object]) -> FrozenSet[str]:
+    """Contract keywords ``func`` can receive (by name or ``**kwargs``)."""
+    try:
+        parameters = inspect.signature(func).parameters
+    except (TypeError, ValueError):    # C/builtin callables: assume none
+        return frozenset()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in parameters.values()):
+        return frozenset(CONTRACT_KEYWORDS)
+    named = {
+        name for name, p in parameters.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+    }
+    return frozenset(named) & frozenset(CONTRACT_KEYWORDS)
+
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible paper artifact."""
+    """One reproducible paper artifact.
+
+    ``runner`` returns the result object quietly; ``printer`` prints the
+    paper's rows/series and returns the same result.  Both are invoked
+    through the uniform contract methods below.
+    """
 
     exp_id: str
     description: str
-    run: Callable[[], object]
-    main: Callable[[], object]
+    runner: Callable[..., object]
+    printer: Callable[..., object]
+
+    @property
+    def store_capable(self) -> bool:
+        """True iff this experiment routes simulation cells through the
+        store/server substrate (its runner accepts ``store``)."""
+        return "store" in _accepted_keywords(self.runner)
+
+    def _contract_kwargs(self, func: Callable[..., object],
+                         store: Any, server: Optional[str],
+                         num_requests: Optional[int]) -> Dict[str, Any]:
+        accepted = _accepted_keywords(func)
+        provided = {"store": store, "server": server,
+                    "num_requests": num_requests}
+        return {key: value for key, value in provided.items()
+                if value is not None and key in accepted}
+
+    def run(self, *, store: Any = None, server: Optional[str] = None,
+            num_requests: Optional[int] = None, **kwargs: Any) -> object:
+        """Run quietly with the uniform contract.
+
+        ``store`` (path or :class:`~repro.sim.store.ResultStore`),
+        ``server`` (daemon address) and ``num_requests`` reach the
+        runner only if it accepts them; ``None`` means "use the
+        experiment's default".  Extra ``kwargs`` pass through verbatim
+        (experiment-specific axes like ``workloads``).
+        """
+        call = self._contract_kwargs(self.runner, store, server,
+                                     num_requests)
+        call.update(kwargs)
+        return self.runner(**call)
+
+    def main(self, *, store: Any = None, server: Optional[str] = None,
+             num_requests: Optional[int] = None) -> object:
+        """Print the artifact (the ``python -m repro.exp`` path), with
+        the same uniform contract as :meth:`run`."""
+        call = self._contract_kwargs(self.printer, store, server,
+                                     num_requests)
+        return self.printer(**call)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -69,6 +145,6 @@ def get_experiment(exp_id: str) -> Experiment:
         ) from None
 
 
-def run_experiment(exp_id: str) -> object:
+def run_experiment(exp_id: str, **kwargs: Any) -> object:
     """Run an experiment quietly; returns its result object."""
-    return get_experiment(exp_id).run()
+    return get_experiment(exp_id).run(**kwargs)

@@ -1,10 +1,13 @@
-"""Plain-text table rendering and CSV output for experiment results."""
+"""Plain-text table rendering, CSV output, and the full-regeneration
+orchestrator for experiment results."""
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Optional, Sequence
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def format_table(
@@ -52,6 +55,62 @@ def write_csv(path: str, headers: Sequence[str],
               rows: Sequence[Sequence[object]]) -> None:
     with open(path, "w", encoding="utf-8", newline="") as handle:
         handle.write(to_csv(headers, rows))
+
+
+def run_all(
+    experiment_ids: Optional[Sequence[str]] = None,
+    store: Any = None,
+    server: Optional[str] = None,
+    num_requests: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Regenerate paper artifacts end to end, incrementally.
+
+    Runs each experiment's printer through the registry's uniform
+    contract — grid-backed experiments (fig9, fig10, headline) get the
+    ``store``/``server`` substrate, closed-form ones run as always —
+    and finishes with a summary table: wall time, whether the
+    experiment is store-capable, and how many simulation cells it
+    actually *computed* (store hits don't count).  A second pass
+    against a populated store therefore shows ``computed = 0`` on every
+    store-capable row; ``python -m repro.exp run-all
+    --expect-no-compute`` turns that into an exit code.
+
+    Failures don't abort the regeneration: the failing experiment is
+    reported in its summary row (status ``error``) and the rest still
+    run.  Returns the summary rows.
+    """
+    # Imported lazily: the registry imports the experiment modules,
+    # several of which import this module for table rendering.
+    from ..sim.engine import computed_cell_count
+    from .registry import EXPERIMENTS, get_experiment
+
+    ids = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
+    summary: List[Dict[str, object]] = []
+    for exp_id in ids:
+        experiment = get_experiment(exp_id)
+        print(f"=== {experiment.exp_id}: {experiment.description} ===")
+        started = time.perf_counter()
+        computed_before = computed_cell_count()
+        status = "ok"
+        try:
+            experiment.main(store=store, server=server,
+                            num_requests=num_requests)
+        except SystemExit as error:
+            status = f"error (exit {error.code})"
+        except Exception as error:    # summary must cover every artifact
+            status = "error"
+            print(f"{experiment.exp_id}: failed: {error}", file=sys.stderr)
+        summary.append({
+            "experiment": experiment.exp_id,
+            "status": status,
+            "store-capable": "yes" if experiment.store_capable else "-",
+            "computed cells": computed_cell_count() - computed_before,
+            "seconds": round(time.perf_counter() - started, 2),
+        })
+    headers = list(summary[0]) if summary else []
+    print_table(headers, [[row[h] for h in headers] for row in summary],
+                title="run-all summary")
+    return summary
 
 
 def ratio_line(label: str, ours: float, paper: float, unit: str = "x") -> str:

@@ -40,11 +40,11 @@ import tempfile
 
 from ..errors import SimulationError
 from .engine import _resolve_workers
-from .factory import ARCHITECTURE_NAMES
+from .factory import ARCHITECTURE_NAMES, known_architectures
 from .simulator import MainMemorySimulator, summarize
 from .stats import SimStats
 from .trace import TraceReader
-from .tracegen import SPEC_WORKLOADS, WORKLOAD_NAMES
+from .tracegen import ALL_WORKLOAD_NAMES, SPEC_WORKLOADS, WORKLOAD_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,13 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Trace-driven main-memory simulation (NVMain substitute)",
     )
     parser.add_argument("--arch", required=True,
-                        choices=ARCHITECTURE_NAMES + ("ALL",),
-                        help="architecture to simulate (ALL with --grid "
-                             "runs every architecture)")
+                        choices=known_architectures() + ("ALL",),
+                        help="architecture to simulate — a Fig. 9 label "
+                             "or ablation variant (ALL with --grid runs "
+                             "the Fig. 9 seven)")
     source = parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--workload", choices=WORKLOAD_NAMES,
+    source.add_argument("--workload", choices=ALL_WORKLOAD_NAMES,
                         help="synthetic workload (SPEC preset, mix_*, "
-                             "bursty, checkpoint)")
+                             "bursty, checkpoint, dota-* accelerator "
+                             "traffic)")
     source.add_argument("--trace", help="NVMain trace file")
     source.add_argument("--grid", action="store_true",
                         help="run the full evaluation grid through the "
@@ -225,9 +227,57 @@ def _run_grid(args: argparse.Namespace,
                 pass
 
 
+def gc_main(argv=None) -> int:
+    """``python -m repro.sim gc --store DIR`` — prune a result store.
+
+    Removes stale entries (old ``RESULTS_VERSION`` / fingerprint
+    mismatches), orphaned latency sidecars and abandoned staging temp
+    files; ``--compact`` additionally drops shard directories the pass
+    left empty.  Live cells are untouched.
+    """
+    from .store import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim gc",
+        description="Garbage-collect a result store: prune entries no "
+                    "current model addresses, orphaned sidecars and torn "
+                    "temp files.",
+    )
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="result-store directory to prune")
+    parser.add_argument("--compact", action="store_true",
+                        help="also remove shard directories left empty")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be removed, delete nothing")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every removed path")
+    args = parser.parse_args(argv)
+    try:
+        store = ResultStore(args.store)
+    except (OSError, SimulationError) as error:
+        print(f"error: result store {args.store!r} unusable: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = (store.compact(dry_run=args.dry_run) if args.compact
+                  else store.gc(dry_run=args.dry_run))
+    except OSError as error:
+        print(f"error: gc failed: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.store}: {report.describe()}")
+    if args.verbose:
+        for label, paths in (("stale", report.removed_stale),
+                             ("sidecar", report.removed_sidecars),
+                             ("temp", report.removed_temp_files),
+                             ("dir", report.removed_dirs)):
+            for path in paths:
+                print(f"  {label:8s} {path}")
+    return 0
+
+
 #: Subcommands dispatched before the legacy flag-style parser; the
 #: flag interface (``--arch ... --workload ...``) stays unchanged.
-SUBCOMMANDS = ("serve", "query")
+SUBCOMMANDS = ("serve", "query", "gc")
 
 
 def main(argv=None) -> int:
@@ -237,6 +287,8 @@ def main(argv=None) -> int:
         if argv[0] == "serve":
             from .server import serve_main
             return serve_main(argv[1:])
+        if argv[0] == "gc":
+            return gc_main(argv[1:])
         from .client import query_main
         return query_main(argv[1:])
     parser = build_parser()

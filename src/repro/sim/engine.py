@@ -32,7 +32,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
 
 from ..errors import ReproError, SimulationError, TraceError
 from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
-from .factory import ARCHITECTURE_NAMES, build_device
+from .factory import ARCHITECTURE_NAMES, build_device, known_architectures
 from .stats import SimStats
 from .tracegen import SPEC_WORKLOADS, cached_trace_arrays, get_workload
 
@@ -49,6 +49,25 @@ _CONTROLLER_CACHE: Dict[Tuple[str, Optional[int]], MemoryController] = {}
 #: ``on_result`` callback type: called with each (task, stats) pair as
 #: soon as the cell completes, in task order (incremental checkpointing).
 ResultCallback = Callable[["EvalTask", SimStats], None]
+
+#: Process-wide count of grid cells actually *computed* by the engine
+#: (store hits never increment it).  Counted in the parent as results
+#: arrive, so it is accurate under process fan-out too; this is what the
+#: zero-recompute pinning tests and ``run-all --expect-no-compute``
+#: read.
+_COMPUTED_CELLS = 0
+
+
+def computed_cell_count() -> int:
+    """Cells computed by this process's engine since import (or the last
+    :func:`reset_computed_cell_count`)."""
+    return _COMPUTED_CELLS
+
+
+def reset_computed_cell_count() -> None:
+    """Zero the computed-cell counter (tests, warm-pass assertions)."""
+    global _COMPUTED_CELLS
+    _COMPUTED_CELLS = 0
 
 
 @dataclass(frozen=True)
@@ -120,10 +139,10 @@ def task_from_dict(payload: Any) -> EvalTask:
     architecture = payload.get("architecture")
     if not isinstance(architecture, str):
         raise SimulationError("task field 'architecture' must be a string")
-    if architecture not in ARCHITECTURE_NAMES:
+    if architecture not in known_architectures():
         raise SimulationError(
             f"unknown architecture {architecture!r}; "
-            f"known: {ARCHITECTURE_NAMES}")
+            f"known: {known_architectures()}")
     workload = payload.get("workload")
     if not isinstance(workload, str):
         raise SimulationError("task field 'workload' must be a string")
@@ -268,10 +287,15 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
     already computed.  Worker failures re-raise as ``SimulationError``
     annotated with the failing cell.
     """
+    def count_computed() -> None:
+        global _COMPUTED_CELLS
+        _COMPUTED_CELLS += 1
+
     def serial() -> List[SimStats]:
         collected = []
         for task in tasks:
             stats = _evaluate_cell_checked(task)
+            count_computed()
             if on_result is not None:
                 on_result(task, stats)
             collected.append(stats)
@@ -296,6 +320,7 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
         for index, stats in pool.imap_unordered(
                 _evaluate_cell_indexed, list(enumerate(tasks)),
                 chunksize=chunksize):
+            count_computed()
             if on_result is not None:
                 on_result(tasks[index], stats)
             slots[index] = stats

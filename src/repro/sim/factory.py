@@ -12,15 +12,25 @@ evaluation would configure in NVMain for that architecture:
 * ``"EPCM-MM"`` — electrical PCM per :data:`repro.baselines.epcm.EPCM_MM`.
 * ``"2D_DDR3" / "2D_DDR4" / "3D_DDR3" / "3D_DDR4"`` — DRAM row-buffer
   models with refresh.
+
+Beyond the seven Fig. 9 labels, :data:`VARIANT_BUILDERS` names the
+single-knob *ablation variants* the benchmark suite studies (bit
+density, page policy, tuning mechanism, laser gating, COSMOS read
+flow).  Variants are first-class architecture names — ``build_device``,
+the evaluation engine, the result store and the evaluation server all
+accept them — but they are deliberately **not** part of
+:data:`ARCHITECTURE_NAMES`, so the default Fig. 9 grid stays the
+paper's seven architectures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.comet import CometArchitecture
 from ..baselines.cosmos import CosmosArchitecture
-from ..baselines.dram import DRAM_CONFIGS, DramConfig
+from ..baselines.dram import DRAM_CONFIGS, DramConfig, dram_config
 from ..baselines.epcm import EPCM_MM, EpcmConfig
 from ..config import MAIN_MEMORY_CHANNELS
 from ..errors import ConfigError, TraceError
@@ -180,8 +190,82 @@ def build_dram_device(config: DramConfig) -> MemoryDeviceModel:
     )
 
 
+# -- ablation variants ------------------------------------------------------
+
+
+def _variant_comet_bits(bits: int) -> MemoryDeviceModel:
+    """COMET at a non-default bit density (Fig. 7's b axis, end to end)."""
+    device = build_comet_device(CometArchitecture(bits_per_cell=bits))
+    return dataclasses.replace(device, name=f"COMET-b{bits}")
+
+
+def _variant_comet_thermal() -> MemoryDeviceModel:
+    """COMET with thermal instead of electro-optic microring tuning.
+
+    Thermal access control replaces the ns-scale EO step of every access
+    with the us-scale thermal settle (Section II.B's argument, made
+    simulable): both occupancies stretch by the tuning-latency gap.
+    """
+    from ..photonics.ring import RingTuningModel, TuningMechanism
+
+    eo = RingTuningModel.from_parameters(TuningMechanism.ELECTRO_OPTIC)
+    thermal = RingTuningModel.from_parameters(TuningMechanism.THERMAL)
+    extra_ns = (thermal.latency_s - eo.latency_s) * 1e9
+    base = build_comet_device()
+    return dataclasses.replace(
+        base,
+        name="COMET-thermal",
+        read_occupancy_ns=base.read_occupancy_ns + extra_ns,
+        write_occupancy_ns=base.write_occupancy_ns + extra_ns,
+    )
+
+
+def _variant_comet_ungated() -> MemoryDeviceModel:
+    """COMET with an always-on optical rail (no laser power gating)."""
+    base = build_comet_device()
+    return dataclasses.replace(
+        base, name="COMET-ungated",
+        energy=dataclasses.replace(base.energy, gate_active_power=False))
+
+
+def _variant_cosmos_direct() -> MemoryDeviceModel:
+    """Idealized COSMOS with a direct, non-destructive read flow."""
+    device = build_cosmos_device(CosmosArchitecture(subtractive_read=False))
+    return dataclasses.replace(device, name="COSMOS-direct")
+
+
+def _variant_ddr4_closed() -> MemoryDeviceModel:
+    """3D_DDR4 with a closed-page controller (fairness ablation)."""
+    device = build_dram_device(dataclasses.replace(
+        dram_config("3D_DDR4"), page_policy="closed"))
+    return dataclasses.replace(device, name="3D_DDR4-closed")
+
+
+#: Named ablation variants: single-knob departures from the Fig. 9
+#: devices, addressable everywhere an architecture name is (engine,
+#: store, sweeps, server) so ablation results are content-addressed and
+#: cached like any other grid cell.
+VARIANT_BUILDERS: Dict[str, Callable[[], MemoryDeviceModel]] = {
+    "COMET-b1": lambda: _variant_comet_bits(1),
+    "COMET-b2": lambda: _variant_comet_bits(2),
+    "COMET-thermal": _variant_comet_thermal,
+    "COMET-ungated": _variant_comet_ungated,
+    "COSMOS-direct": _variant_cosmos_direct,
+    "3D_DDR4-closed": _variant_ddr4_closed,
+}
+
+VARIANT_NAMES: Tuple[str, ...] = tuple(sorted(VARIANT_BUILDERS))
+
+
+def known_architectures() -> Tuple[str, ...]:
+    """Every name :func:`build_device` accepts: the Fig. 9 seven plus
+    the ablation variants."""
+    return ARCHITECTURE_NAMES + VARIANT_NAMES
+
+
 def build_device(name: str) -> MemoryDeviceModel:
-    """Build the device model for any Fig. 9 architecture label."""
+    """Build the device model for any Fig. 9 architecture label or
+    registered ablation variant."""
     if name == "COMET":
         return build_comet_device()
     if name == "COSMOS":
@@ -190,8 +274,10 @@ def build_device(name: str) -> MemoryDeviceModel:
         return build_epcm_device()
     if name in DRAM_CONFIGS:
         return build_dram_device(DRAM_CONFIGS[name])
+    if name in VARIANT_BUILDERS:
+        return VARIANT_BUILDERS[name]()
     raise ConfigError(
-        f"unknown architecture {name!r}; known: {ARCHITECTURE_NAMES}"
+        f"unknown architecture {name!r}; known: {known_architectures()}"
     )
 
 

@@ -23,13 +23,14 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import SimulationError
-from .engine import EvalTask, clear_device_caches, device_for
+from ..errors import ReproError, SimulationError
+from .engine import EvalTask, TASK_FIELDS, clear_device_caches, device_for
 from .stats import SimStats
 from .tracegen import get_workload
 
@@ -151,6 +152,32 @@ def task_digest(task: EvalTask) -> str:
         })
         _DIGEST_CACHE[task] = digest
     return digest
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultStore.gc` / :meth:`~ResultStore.compact`
+    pass kept and removed (paths listed for auditing / ``--dry-run``)."""
+
+    dry_run: bool = False
+    live: int = 0
+    removed_stale: List[Path] = field(default_factory=list)
+    removed_sidecars: List[Path] = field(default_factory=list)
+    removed_temp_files: List[Path] = field(default_factory=list)
+    removed_dirs: List[Path] = field(default_factory=list)
+
+    @property
+    def removed_total(self) -> int:
+        return (len(self.removed_stale) + len(self.removed_sidecars)
+                + len(self.removed_temp_files) + len(self.removed_dirs))
+
+    def describe(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (f"{self.live} live entries kept; {verb} "
+                f"{len(self.removed_stale)} stale entries, "
+                f"{len(self.removed_sidecars)} orphaned sidecars, "
+                f"{len(self.removed_temp_files)} temp files, "
+                f"{len(self.removed_dirs)} empty shard dirs")
 
 
 class ResultStore:
@@ -291,6 +318,134 @@ class ResultStore:
                 # Same rule as get(): entries torn or concurrently
                 # removed are skipped, not raised.
                 continue
+
+    # -- garbage collection -------------------------------------------------
+
+    def gc(self, dry_run: bool = False) -> "GcReport":
+        """Prune everything the store can no longer serve.
+
+        Stale results are invisible to ``get`` (the digest stops being
+        addressed) but were never *deleted*, so a long-lived store grows
+        without bound across model edits.  ``gc`` removes:
+
+        * entries whose digest no longer matches the current
+          :func:`task_digest` of their recorded task — a changed device
+          or workload fingerprint, a bumped :data:`RESULTS_VERSION`, or
+          a task naming a model that no longer exists;
+        * unreadable entries (torn JSON, missing or size-mismatched
+          latency sidecars — anything ``get`` would report as a miss);
+        * latency sidecars no live entry references (crashed archival
+          re-puts, removed entries);
+        * staging temp files left behind by writers that died before
+          their atomic rename.
+
+        Live entries are untouched and byte-identical afterwards.
+        ``dry_run`` reports what would be removed without deleting.
+        Like every store operation, concurrent readers are safe (a
+        vanished entry is a miss); run it without concurrent *writers*,
+        whose in-flight temp files would look abandoned.
+        """
+        report = GcReport(dry_run=dry_run)
+        # One parse per entry: liveness and whether it references its
+        # sidecar are decided together, so the orphan pass below never
+        # re-reads entry JSON.
+        wants_sidecar: Dict[Path, bool] = {}
+        removed_sidecars: set = set()
+        for path in sorted(self.cells_dir.glob("*/*.json")):
+            references = self._entry_is_live(path)
+            if references is not None:
+                wants_sidecar[path] = references
+                report.live += 1
+            else:
+                report.removed_stale.append(path)
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+                sidecar = self._sidecar_path(path)
+                if sidecar.exists():
+                    removed_sidecars.add(sidecar)
+                    if not dry_run:
+                        sidecar.unlink(missing_ok=True)
+        for sidecar in sorted(self.cells_dir.glob("*/*.lat")):
+            if sidecar in removed_sidecars:
+                continue
+            if not wants_sidecar.get(sidecar.with_suffix(".json"), False):
+                removed_sidecars.add(sidecar)
+                if not dry_run:
+                    sidecar.unlink(missing_ok=True)
+        report.removed_sidecars = sorted(removed_sidecars)
+        candidates = [p for p in self.root.glob(".*")] \
+            + [p for p in self.cells_dir.rglob(".*")]
+        for temp in sorted(set(candidates)):
+            # Only this store's own staging pattern
+            # (".<target-name>.<rand>", see _atomic_write_bytes) — never
+            # unrelated hidden files a user or NFS put beside the store
+            # (.gitignore, .nfsXXXX silly-renames of open handles).
+            if temp.is_file() and self._is_staging_temp(temp.name):
+                report.removed_temp_files.append(temp)
+                if not dry_run:
+                    temp.unlink(missing_ok=True)
+        return report
+
+    def compact(self, dry_run: bool = False) -> "GcReport":
+        """:meth:`gc`, then drop shard directories gc left empty."""
+        report = self.gc(dry_run=dry_run)
+        for shard in sorted(self.cells_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            doomed = {p for p in (report.removed_stale
+                                  + report.removed_sidecars
+                                  + report.removed_temp_files)
+                      if p.parent == shard}
+            try:
+                empty = not any(p for p in shard.iterdir()
+                                if p not in doomed)
+            except OSError:
+                continue
+            if empty:
+                report.removed_dirs.append(shard)
+                if not dry_run:
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        # Concurrently repopulated — leave it.
+                        report.removed_dirs.pop()
+        return report
+
+    def _entry_is_live(self, path: Path) -> Optional[bool]:
+        """Liveness of one entry, decided in a single parse.
+
+        ``None`` — dead: ``get`` could never serve it again (unreadable,
+        mis-shaped, stale digest, torn sidecar).  Otherwise live, and
+        the bool says whether the entry references a latency sidecar
+        (``False`` = archival entry, its ``.lat`` is an orphan).
+        """
+        try:
+            entry = json.loads(path.read_text())
+            task_payload = entry["task"]
+            if (not isinstance(task_payload, dict)
+                    or set(task_payload) - set(TASK_FIELDS)):
+                return None
+            task = EvalTask(**task_payload)
+            if task_digest(task) != path.stem:
+                return None
+            count = entry.get("latencies_count")
+            if count is not None:
+                sidecar = self._sidecar_path(path)
+                if sidecar.stat().st_size != 8 * count:
+                    return None
+            return count is not None
+        except (ReproError, OSError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError):
+            # Unreadable, mis-shaped, or addressing a model this build
+            # no longer knows: nothing can ever serve it again.
+            return None
+
+    @staticmethod
+    def _is_staging_temp(name: str) -> bool:
+        """Matches ``_atomic_write_bytes``'s ``.<target>.<rand>`` names,
+        where the target is an entry, sidecar or metadata file."""
+        return name.startswith(".") and (".json." in name
+                                         or ".lat." in name)
 
     # -- internals ----------------------------------------------------------
 

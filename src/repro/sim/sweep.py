@@ -27,7 +27,7 @@ from typing import IO, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError, TraceError
 from .engine import EvalTask, ResultCallback, evaluate_tasks
-from .factory import ARCHITECTURE_NAMES
+from .factory import ARCHITECTURE_NAMES, known_architectures
 from .stats import SimStats
 from .store import ResultStore
 from .tracegen import SPEC_WORKLOADS, get_workload
@@ -69,10 +69,10 @@ class SweepSpec:
                     f"sweep axis {axis!r} has duplicate values: {values}")
             object.__setattr__(self, axis, values)
         for arch in self.architectures:
-            if arch not in ARCHITECTURE_NAMES:
+            if arch not in known_architectures():
                 raise SimulationError(
                     f"unknown architecture {arch!r}; "
-                    f"known: {ARCHITECTURE_NAMES}")
+                    f"known: {known_architectures()}")
         for name in self.workloads:
             try:
                 get_workload(name)

@@ -448,15 +448,48 @@ WORKLOADS: Dict[str, Workload] = {
 
 WORKLOAD_NAMES: Tuple[str, ...] = tuple(sorted(WORKLOADS))
 
+#: Accelerator-traffic presets (the Fig. 10 DOTA workloads).  Resolved
+#: lazily through :mod:`repro.accel.dota` because the accel layer builds
+#: them *from* this module's workload classes — a module-level import
+#: here would be a cycle.  Listing the names statically keeps them
+#: addressable (CLI choices, error messages, the evaluation service's
+#: trust boundary) without importing the accel stack until a grid
+#: actually names one.
+ACCEL_WORKLOAD_NAMES: Tuple[str, ...] = ("dota-DeiT-B", "dota-DeiT-T")
+
+_ACCEL_WORKLOADS: Dict[str, Workload] = {}
+
+#: Every workload name any consumer can address (CLI, wire format).
+ALL_WORKLOAD_NAMES: Tuple[str, ...] = tuple(
+    sorted(WORKLOAD_NAMES + ACCEL_WORKLOAD_NAMES))
+
+
+def _accel_workloads() -> Dict[str, Workload]:
+    if not _ACCEL_WORKLOADS:
+        from ..accel.dota import dota_traffic_workloads
+
+        loaded = dota_traffic_workloads()
+        missing = set(ACCEL_WORKLOAD_NAMES) - set(loaded)
+        if missing:
+            raise TraceError(
+                f"accel workload registry is missing {sorted(missing)}; "
+                f"dota_traffic_workloads returned {sorted(loaded)}")
+        _ACCEL_WORKLOADS.update(loaded)
+    return _ACCEL_WORKLOADS
+
 
 def get_workload(workload_name: str) -> Workload:
-    """Look up any named workload preset."""
+    """Look up any named workload preset (SPEC, mixes, phased, accel)."""
     try:
         return WORKLOADS[workload_name]
     except KeyError:
-        raise TraceError(
-            f"unknown workload {workload_name!r}; known: {sorted(WORKLOADS)}"
-        ) from None
+        pass
+    if workload_name in ACCEL_WORKLOAD_NAMES:
+        return _accel_workloads()[workload_name]
+    raise TraceError(
+        f"unknown workload {workload_name!r}; known: "
+        f"{list(ALL_WORKLOAD_NAMES)}"
+    ) from None
 
 
 def generate_trace_arrays(

@@ -25,6 +25,27 @@ class TestRegistry:
         with pytest.raises(ConfigError):
             get_experiment("fig99")
 
+    def test_store_capable_experiments(self):
+        """The grid-backed artifacts advertise the store/server
+        substrate; closed-form ones don't."""
+        capable = {exp_id for exp_id, e in EXPERIMENTS.items()
+                   if e.store_capable}
+        assert capable == {"fig9", "fig10", "headline"}
+
+    def test_uniform_contract_ignores_unsupported_keywords(self):
+        """A closed-form experiment accepts (and drops) the uniform
+        store/server/num_requests keywords instead of raising."""
+        result = get_experiment("table1").run(
+            store="/nonexistent", server="http://127.0.0.1:1",
+            num_requests=123)
+        assert result.soa_interval_rows == 46
+
+    def test_uniform_contract_forwards_num_requests(self):
+        result = get_experiment("fig9").run(
+            num_requests=150, workloads=["gcc"])
+        any_stats = next(iter(result.results["COMET"].values()))
+        assert any_stats.num_requests == 150
+
     def test_fig9_unusable_store_is_a_clean_exit(self, tmp_path, capsys):
         """$REPRO_RESULT_STORE pointing at a file must fail with a
         message, not a raw mkdir traceback."""
@@ -34,6 +55,84 @@ class TestRegistry:
         with pytest.raises(SystemExit):
             fig9.main(num_requests=100, store=str(blocker))
         assert "unusable" in capsys.readouterr().err
+
+    def test_fig10_unusable_store_is_a_clean_exit(self, tmp_path, capsys):
+        from repro.exp import fig10
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(SystemExit):
+            fig10.main(num_requests=100, store=str(blocker))
+        assert "unusable" in capsys.readouterr().err
+
+
+class TestServerTransportErrors:
+    """An unreachable/refused $REPRO_EVAL_SERVER must be the clean
+    SystemExit(2) message on every transport, not a raw traceback."""
+
+    @pytest.mark.parametrize("address", [
+        "http://127.0.0.1:1",              # refused TCP connect
+        "unix:///nonexistent/eval.sock",   # dead unix socket
+    ])
+    @pytest.mark.parametrize("figure", ["fig9", "fig10"])
+    def test_unreachable_server_is_clean_exit(self, figure, address,
+                                              capsys):
+        from repro.exp import fig9, fig10
+        module = {"fig9": fig9, "fig10": fig10}[figure]
+        with pytest.raises(SystemExit) as exc:
+            module.main(num_requests=50, server=address)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "evaluation server" in err and "failed" in err
+
+    def test_fig9_raw_transport_error_is_clean_exit(self, monkeypatch,
+                                                    capsys):
+        """A ConnectionError escaping the client wrapper (daemon died
+        mid-request) must not surface as a traceback."""
+        from repro.exp import fig9
+
+        def dead(tasks, address):
+            raise ConnectionResetError("daemon died mid-request")
+
+        monkeypatch.setattr(fig9, "evaluate_tasks_remote", dead)
+        with pytest.raises(SystemExit) as exc:
+            fig9.main(num_requests=50, server="http://127.0.0.1:59999")
+        assert exc.value.code == 2
+        assert "daemon died" in capsys.readouterr().err
+
+    def test_fig10_raw_transport_error_is_clean_exit(self, monkeypatch,
+                                                     capsys):
+        import repro.sim.client as client
+        from repro.exp import fig10
+
+        def dead(tasks, address=None, latencies=True):
+            raise ConnectionRefusedError("connection refused")
+
+        monkeypatch.setattr(client, "evaluate_tasks_remote", dead)
+        with pytest.raises(SystemExit) as exc:
+            fig10.main(num_requests=50, server="http://127.0.0.1:59999")
+        assert exc.value.code == 2
+        assert "connection refused" in capsys.readouterr().err
+
+
+class TestFig10Ratio:
+    """Regression: unknown names raised a bare KeyError instead of the
+    repo's ConfigError-with-choices convention."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.exp import fig10
+        return fig10.run(num_requests=400)
+
+    def test_unknown_model_raises_config_error(self, result):
+        with pytest.raises(ConfigError, match="DeiT-T"):
+            result.ratio("DeiT-XL", "3D_DDR4")
+
+    def test_unknown_memory_raises_config_error(self, result):
+        with pytest.raises(ConfigError, match="COSMOS"):
+            result.ratio("DeiT-T", "HBM3")
+
+    def test_known_pair_still_works(self, result):
+        assert result.ratio("DeiT-T", "3D_DDR4") > 1.0
 
 
 class TestFig2Shape:

@@ -1,0 +1,121 @@
+"""End-to-end incremental artifact regeneration.
+
+The acceptance invariant of the store-backed registry: a second full
+regeneration against a populated store recomputes **zero** simulation
+cells and reproduces bit-identical results — for every store-capable
+experiment, not just fig9.
+"""
+
+import pytest
+
+from repro.exp import EXPERIMENTS
+from repro.exp.__main__ import main as exp_main
+from repro.sim import engine
+from repro.sim.store import ResultStore
+
+#: Small enough for tier-1, large enough that every architecture
+#: completes requests on every workload.
+NUM_REQUESTS = 150
+
+STORE_CAPABLE = sorted(exp_id for exp_id, e in EXPERIMENTS.items()
+                       if e.store_capable)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+class TestRegistryRoundTrip:
+    def test_warm_pass_recomputes_nothing_and_is_bit_identical(
+            self, store, monkeypatch):
+        """Run every store-capable experiment twice against one store:
+        the warm pass must perform zero evaluate_cell computations and
+        reproduce the cold results exactly."""
+        cold = {
+            exp_id: EXPERIMENTS[exp_id].run(store=store,
+                                            num_requests=NUM_REQUESTS)
+            for exp_id in STORE_CAPABLE
+        }
+        engine.reset_computed_cell_count()
+        assert engine.computed_cell_count() == 0
+
+        # Belt and braces on top of the counter: any attempt to compute
+        # a cell during the warm pass fails loudly.
+        def forbidden(task):
+            raise AssertionError(
+                f"warm pass recomputed {task.describe()}")
+
+        monkeypatch.setattr(engine, "evaluate_cell", forbidden)
+        warm = {
+            exp_id: EXPERIMENTS[exp_id].run(store=store,
+                                            num_requests=NUM_REQUESTS)
+            for exp_id in STORE_CAPABLE
+        }
+        assert engine.computed_cell_count() == 0
+
+        for exp_id in STORE_CAPABLE:
+            cold_result, warm_result = cold[exp_id], warm[exp_id]
+            if hasattr(cold_result, "results"):
+                assert warm_result.results == cold_result.results, exp_id
+            if hasattr(cold_result, "summary"):
+                assert warm_result.summary == cold_result.summary, exp_id
+            if hasattr(cold_result, "measured"):
+                assert warm_result.measured == cold_result.measured, exp_id
+
+    def test_headline_rides_on_fig9_cells(self, store):
+        """The headline experiment shares fig9's grid cells: after a
+        fig9 pass, headline computes nothing new."""
+        EXPERIMENTS["fig9"].run(store=store, num_requests=NUM_REQUESTS)
+        engine.reset_computed_cell_count()
+        EXPERIMENTS["headline"].run(store=store, num_requests=NUM_REQUESTS)
+        assert engine.computed_cell_count() == 0
+
+
+class TestRunAllCli:
+    def test_cold_then_warm_with_expect_no_compute(self, tmp_path,
+                                                   capsys):
+        args = ["run-all", "fig10", "--store", str(tmp_path / "s"),
+                "--num-requests", "150"]
+        assert exp_main(args) == 0
+        out = capsys.readouterr().out
+        assert "run-all summary" in out
+        assert exp_main(args + ["--expect-no-compute"]) == 0
+
+    def test_expect_no_compute_fails_cold(self, tmp_path, capsys):
+        assert exp_main(["run-all", "fig10", "--store",
+                         str(tmp_path / "s"), "--num-requests", "150",
+                         "--expect-no-compute"]) == 3
+        assert "computed" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_clean_error(self, capsys):
+        assert exp_main(["run-all", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unusable_store_is_clean_error(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        assert exp_main(["run-all", "fig10", "--store",
+                         str(blocker)]) == 2
+        assert "unusable" in capsys.readouterr().err
+
+    def test_failing_experiment_reported_not_fatal(self, tmp_path,
+                                                   monkeypatch, capsys):
+        """One broken experiment must not abort the regeneration: the
+        rest still run and the exit code reports the failure."""
+        import dataclasses
+
+        from repro.exp import registry
+
+        def explode(**kwargs):
+            raise ValueError("synthetic failure")
+
+        broken = dataclasses.replace(registry.EXPERIMENTS["table1"],
+                                     runner=explode, printer=explode)
+        monkeypatch.setitem(registry.EXPERIMENTS, "table1", broken)
+        assert exp_main(["run-all", "table1", "fig10", "--store",
+                         str(tmp_path / "s"), "--num-requests",
+                         "150"]) == 1
+        captured = capsys.readouterr()
+        assert "failed experiments: table1" in captured.err
+        assert "DOTA" in captured.out or "fig10" in captured.out

@@ -1,0 +1,107 @@
+"""Ablation-variant architectures: first-class, store-addressable names."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.engine import EvalTask, evaluate_cell, task_from_dict
+from repro.sim.factory import (
+    ARCHITECTURE_NAMES,
+    VARIANT_NAMES,
+    build_cosmos_device,
+    build_device,
+    known_architectures,
+)
+from repro.sim.store import task_digest
+from repro.sim.sweep import SweepSpec
+from repro.baselines.cosmos import CosmosArchitecture
+
+
+class TestRegistry:
+    def test_fig9_grid_unchanged(self):
+        """Variants must not leak into the paper's seven-architecture
+        grid (golden rankings, default sweeps)."""
+        assert len(ARCHITECTURE_NAMES) == 7
+        assert not set(VARIANT_NAMES) & set(ARCHITECTURE_NAMES)
+        assert set(known_architectures()) \
+            == set(ARCHITECTURE_NAMES) | set(VARIANT_NAMES)
+
+    @pytest.mark.parametrize("name", VARIANT_NAMES)
+    def test_variant_builds_under_its_own_name(self, name):
+        device = build_device(name)
+        assert device.name == name
+
+    def test_unknown_name_lists_variants(self):
+        with pytest.raises(ConfigError, match="COMET-b1"):
+            build_device("COMET-b9")
+
+    def test_variant_matches_inline_construction(self):
+        """The registered variant is the device the ablation bench used
+        to build by hand (modulo the distinguishing name)."""
+        inline = build_cosmos_device(CosmosArchitecture(
+            subtractive_read=False))
+        registered = build_device("COSMOS-direct")
+        assert dataclasses.replace(registered, name=inline.name) == inline
+
+
+class TestEvaluation:
+    def test_variant_cell_evaluates(self):
+        stats = evaluate_cell(EvalTask("COMET-ungated", "gcc", 300, 1))
+        assert stats.device_name == "COMET-ungated"
+        base = evaluate_cell(EvalTask("COMET", "gcc", 300, 1))
+        # Gating is an energy knob, not a timing one.
+        assert stats.bandwidth_gbps == base.bandwidth_gbps
+        assert stats.energy_per_bit_pj > base.energy_per_bit_pj
+
+    def test_variant_digest_differs_from_base(self):
+        base = task_digest(EvalTask("COMET", "gcc", 300, 1))
+        variant = task_digest(EvalTask("COMET-b1", "gcc", 300, 1))
+        assert base != variant
+
+    def test_wire_format_accepts_variants(self):
+        task = task_from_dict({"architecture": "3D_DDR4-closed",
+                               "workload": "mcf", "num_requests": 100})
+        assert task.architecture == "3D_DDR4-closed"
+
+    def test_sweep_spec_accepts_variants(self):
+        spec = SweepSpec(architectures=("COMET", "COMET-thermal"),
+                         workloads=("milc",), num_requests=(100,))
+        assert spec.num_cells == 2
+
+
+class TestAccelWorkloads:
+    def test_dota_workloads_resolve_by_name(self):
+        from repro.accel.dota import DotaSystem
+        from repro.accel.transformer import DEIT_BASE, DEIT_TINY
+        from repro.sim.tracegen import (ACCEL_WORKLOAD_NAMES,
+                                        ALL_WORKLOAD_NAMES, WORKLOAD_NAMES,
+                                        get_workload)
+
+        for model in (DEIT_TINY, DEIT_BASE):
+            expected = DotaSystem("COMET", model).traffic_workload()
+            assert get_workload(expected.name) == expected
+            assert expected.name in ACCEL_WORKLOAD_NAMES
+        # Lazily registered: addressable everywhere, but not part of the
+        # default workload set ('--workloads all', grid presets).
+        assert not set(ACCEL_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+        assert set(ALL_WORKLOAD_NAMES) \
+            == set(WORKLOAD_NAMES) | set(ACCEL_WORKLOAD_NAMES)
+
+    def test_wire_format_accepts_dota_workload(self):
+        task = task_from_dict({"architecture": "COMET",
+                               "workload": "dota-DeiT-T",
+                               "num_requests": 100, "seed": 7})
+        assert task.workload == "dota-DeiT-T"
+
+    def test_custom_dota_system_not_engine_addressable(self):
+        from repro.accel.dota import DotaSystem
+        from repro.accel.transformer import DEIT_TINY
+
+        default = DotaSystem("COMET", DEIT_TINY)
+        custom = DotaSystem("COMET", DEIT_TINY, inference_rate_per_s=1.0)
+        assert default.is_engine_addressable()
+        assert not custom.is_engine_addressable()
+        # The direct fallback still evaluates.
+        result = custom.evaluate(num_requests=200)
+        assert result.system_epb_pj > 0.0
