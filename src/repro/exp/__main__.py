@@ -14,7 +14,9 @@ simulation grids through a running evaluation daemon; otherwise
 ``--store`` (else ``$REPRO_RESULT_STORE``) serves cells from disk and
 checkpoints new ones.  ``--expect-no-compute`` exits 3 if any
 store-capable experiment computed a cell — the warm-regeneration
-invariant CI pins.
+invariant CI pins.  In ``--server`` mode the assertion reads the
+daemon's ``/stats`` ``computed``-counter delta (the cells are computed
+inside the daemon; the local engine counter never moves).
 """
 
 from __future__ import annotations
@@ -25,6 +27,18 @@ import sys
 
 from ..errors import ReproError, SimulationError
 from .registry import EXPERIMENTS, get_experiment
+
+
+def _server_computed_count(server: str) -> int:
+    """The daemon's lifetime ``computed`` cell counter (from ``/stats``).
+
+    In ``--server`` mode the cells are evaluated inside the daemon, so
+    ``--expect-no-compute`` must assert on the daemon's counter delta —
+    the local engine counter never moves.
+    """
+    from ..sim.client import EvalClient
+
+    return int(EvalClient(server).stats()["computed"])
 
 
 def run_all_main(argv) -> int:
@@ -69,6 +83,16 @@ def run_all_main(argv) -> int:
                 return 2
     for exp_id in args.experiments:
         get_experiment(exp_id)    # fail on typos before running anything
+    server_baseline = None
+    if args.expect_no_compute and server is not None:
+        # Server-side evaluation: the warm-pass invariant lives in the
+        # daemon's ``computed`` counter, so snapshot it before running.
+        try:
+            server_baseline = _server_computed_count(server)
+        except SimulationError as error:
+            print(f"run-all: cannot read server stats from {server!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
     summary = run_all(args.experiments or None, store=store, server=server,
                       num_requests=args.num_requests)
     failed = [row["experiment"] for row in summary
@@ -78,9 +102,19 @@ def run_all_main(argv) -> int:
               file=sys.stderr)
         return 1
     if args.expect_no_compute:
-        computed = sum(int(row["computed cells"]) for row in summary)
+        if server_baseline is not None:
+            try:
+                computed = _server_computed_count(server) - server_baseline
+            except SimulationError as error:
+                print(f"run-all: cannot read server stats from {server!r}: "
+                      f"{error}", file=sys.stderr)
+                return 2
+            source = "the daemon computed"
+        else:
+            computed = sum(int(row["computed cells"]) for row in summary)
+            source = "computed"
         if computed:
-            print(f"run-all: expected a warm store but computed "
+            print(f"run-all: expected a warm store but {source} "
                   f"{computed} cells", file=sys.stderr)
             return 3
     return 0

@@ -24,6 +24,11 @@ with a persistent result store (incremental + resumable) and export::
     python -m repro.sim --arch ALL --grid --store results/ --resume \
         --export csv --export-path fig9.csv
 
+with per-phase timing (trace fetch / simulate / store I/O, fast-path
+scheduler-kernel hit rate, trace-plane segments)::
+
+    python -m repro.sim --arch ALL --grid --profile
+
 or run / query the async evaluation daemon::
 
     python -m repro.sim serve --port 8787 --store results/ --workers 4
@@ -83,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --grid: export per-cell rows")
     parser.add_argument("--export-path", default="-", metavar="PATH",
                         help="export destination ('-' = stdout)")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --grid: print per-phase wall times "
+                             "(trace fetch, simulate, store I/O), the "
+                             "scheduler-kernel hit rate and trace-plane "
+                             "usage after the run (this process's "
+                             "phases; workers keep their own)")
     parser.add_argument("--requests", type=int, default=20_000,
                         help="request count for synthetic workloads")
     parser.add_argument("--seed", type=int, default=1)
@@ -114,8 +125,34 @@ def _print_stats(stats: SimStats) -> None:
         print(f"row hit rate : {stats.row_hit_rate:.1%}")
 
 
+def _print_profile(table, workers) -> None:
+    """The ``--profile`` report: per-phase seconds + kernel hit rate."""
+    from . import controller, engine
+    from .tracegen import trace_plane_stats
+
+    phases = engine.profile_snapshot()
+    kernel = controller.kernel_counters()
+    plane = trace_plane_stats()
+    scheduled = sum(kernel.values())
+    print("profile (this process):", file=table)
+    print(f"  trace fetch  : {phases['trace_s']:8.3f} s", file=table)
+    print(f"  simulate     : {phases['simulate_s']:8.3f} s", file=table)
+    print(f"  store I/O    : {phases['store_s']:8.3f} s", file=table)
+    print(f"  kernel       : {kernel['fast']}/{scheduled} cells on the "
+          f"fast path ({kernel['fallback_device']} device fallbacks, "
+          f"{kernel['fallback_admission']} admission fallbacks)",
+          file=table)
+    print(f"  trace plane  : {plane['owned_segments']} segments published "
+          f"({plane['owned_bytes'] / 1024:.0f} KiB), "
+          f"{plane['attached_segments']} attached", file=table)
+    if workers != 1:
+        print("  note: compute phases run inside pool workers; their "
+              "timings stay in the workers", file=table)
+
+
 def _run_grid(args: argparse.Namespace,
               parser: argparse.ArgumentParser) -> int:
+    from . import controller, engine
     from .store import ResultStore, _current_umask
     from .sweep import SweepSpec, run_sweep, write_csv, write_json
 
@@ -149,7 +186,9 @@ def _run_grid(args: argparse.Namespace,
         try:
             # Surface argument-shaped problems (bad worker count, bad
             # $REPRO_EVAL_WORKERS) as usage errors before any cell runs.
-            _resolve_workers(args.workers)
+            # The resolved count also drives --profile's fan-out note
+            # (with workers > 1 the compute phases run in the pool).
+            resolved_workers = _resolve_workers(args.workers)
             store = ResultStore(args.store) if args.store else None
             spec = SweepSpec(
                 architectures=tuple(architectures),
@@ -163,6 +202,9 @@ def _run_grid(args: argparse.Namespace,
             # Unusable --store path (file in the way, permissions, full
             # disk).
             parser.error(f"result store {args.store!r} unusable: {error}")
+        if args.profile:
+            engine.reset_profile()
+            controller.reset_kernel_counters()
         try:
             sweep = run_sweep(spec, store=store, workers=args.workers,
                               resume=args.resume)
@@ -195,6 +237,8 @@ def _run_grid(args: argparse.Namespace,
             print(f"{arch:10s} {row['bandwidth_gbps']:10.2f} "
                   f"{row['avg_latency_ns']:13.1f} {row['epb_pj']:11.1f} "
                   f"{row['bw_per_epb']:9.4f}", file=table)
+        if args.profile:
+            _print_profile(table, resolved_workers)
         if args.export:
             writer = write_csv if args.export == "csv" else write_json
             if export_stream is None:
@@ -313,6 +357,8 @@ def main(argv=None) -> int:
         parser.error("--arch ALL requires --grid")
     if args.workers is not None or args.workloads is not None:
         parser.error("--workers/--workloads only apply with --grid")
+    if args.profile:
+        parser.error("--profile only applies with --grid")
     if args.store is not None or args.export is not None:
         parser.error("--store/--resume/--export only apply with --grid")
     simulator = MainMemorySimulator(args.arch)

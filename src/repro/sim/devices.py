@@ -128,6 +128,16 @@ class MemoryDeviceModel:
     #: Photonic readout streams onto the (unshared) link while the array
     #: access completes, so the bank frees after the array time alone.
     burst_overlaps_array: bool = False
+    #: The controller's transaction queue decomposes per bank: each bank
+    #: admits against its own slice of the queue instead of one global
+    #: FIFO.  True for COMET, whose cross-layer design gives every bank
+    #: its own MDM mode and an independent per-bank scheduler (Section
+    #: III.C) — no shared resource couples admission across banks.
+    #: False keeps the global open-loop throttle, which is the right
+    #: model for devices whose controller centralizes transactions
+    #: (DRAM/EPCM shared buses, COSMOS's subtractive read-erase-read
+    #: orchestration).
+    per_bank_queues: bool = False
 
     def __post_init__(self) -> None:
         if self.banks < 1 or self.line_bytes < 1:
@@ -144,6 +154,15 @@ class MemoryDeviceModel:
             raise ConfigError(
                 "fixed-latency devices must define a write occupancy"
             )
+
+    # -- scheduling structure -----------------------------------------------
+
+    @property
+    def contention_free(self) -> bool:
+        """No shared bus and no refresh: every timing dependency is a
+        per-bank chain, the structure the fast-path scheduler kernel
+        exploits (all-photonic devices; DRAM fails on both counts)."""
+        return not self.shared_bus and self.refresh is None
 
     # -- address geometry ---------------------------------------------------
 

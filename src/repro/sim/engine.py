@@ -9,23 +9,38 @@ model.  The engine removes both:
   traces generated once per ``(workload, n, seed)`` (write-locked
   column arrays, shared read-only between cells).
 * **Process fan-out** — with ``workers > 1`` the grid is mapped over a
-  ``multiprocessing`` pool in *workload-major* chunks, so each chunk
-  reuses one cached trace across all architectures.  Results come back
-  in task order, so the output is deterministic and bit-identical to the
-  serial path regardless of worker count or scheduling.
+  *persistent* ``multiprocessing`` pool in *workload-major* chunks.
+  The pool survives across ``evaluate_tasks`` / ``run_evaluation`` /
+  sweep calls (and therefore across server requests riding them), so
+  repeated grid passes pay the fork cost once; it is torn down on
+  process exit, on :func:`shutdown_worker_pool`, and by
+  :func:`clear_device_caches` (workers hold the same memoized state the
+  parent is invalidating).  Results come back in task order, so the
+  output is deterministic and bit-identical to the serial path
+  regardless of worker count or scheduling.
+* **Zero-copy trace plane** — before fanning out, the parent publishes
+  each distinct ``(workload, n, seed)`` trace into shared memory and
+  ships workers a tiny :class:`~repro.sim.tracegen.TraceDescriptor`
+  per task instead of having every worker regenerate (or unpickle) the
+  column arrays; workers attach each segment once and share the
+  physical pages.  Where shared memory is unavailable the descriptor is
+  ``None`` and workers regenerate locally — identical results.
 * **Serial fallback** — ``workers=1`` (the default) runs the same cells
   in-process; if a pool cannot be created (restricted sandboxes), the
   engine degrades to serial rather than failing.
 
-``REPRO_EVAL_WORKERS`` sets the default worker count; the vectorized
-controller (:meth:`MemoryController.run_arrays`) is the per-cell hot
-path.
+``REPRO_EVAL_WORKERS`` sets the default worker count; the controller's
+fast-path scheduler kernel (:meth:`MemoryController.run_arrays`) is the
+per-cell hot path.  :func:`profile_snapshot` exposes per-phase wall
+times (trace fetch vs simulation vs store I/O) for ``--profile``.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
+import time
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
                     Optional, Sequence, Tuple)
@@ -34,7 +49,9 @@ from ..errors import ReproError, SimulationError, TraceError
 from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
 from .factory import ARCHITECTURE_NAMES, build_device, known_architectures
 from .stats import SimStats
-from .tracegen import SPEC_WORKLOADS, cached_trace_arrays, get_workload
+from .tracegen import (SPEC_WORKLOADS, TraceDescriptor, attach_trace_arrays,
+                       cached_trace_arrays, clear_trace_plane, get_workload,
+                       share_trace_arrays)
 
 if TYPE_CHECKING:   # avoid a runtime cycle: store imports EvalTask
     from .devices import MemoryDeviceModel
@@ -43,8 +60,31 @@ if TYPE_CHECKING:   # avoid a runtime cycle: store imports EvalTask
 #: Environment override for the default worker count.
 WORKERS_ENV_VAR = "REPRO_EVAL_WORKERS"
 
+#: Set to ``0`` to disable the shared-memory trace plane (workers then
+#: regenerate traces locally, the pre-plane behaviour).
+TRACE_PLANE_ENV_VAR = "REPRO_TRACE_PLANE"
+
 _DEVICE_CACHE: Dict[str, "MemoryDeviceModel"] = {}
 _CONTROLLER_CACHE: Dict[Tuple[str, Optional[int]], MemoryController] = {}
+
+#: The persistent worker pool: (pool, worker count).  Lazily built by
+#: the first fan-out, reused by every later one with the same size.
+_WORKER_POOL: Optional[Tuple[Any, int]] = None
+
+#: Per-phase wall-clock accumulators for ``--profile`` (this process
+#: only: under fan-out the compute phases run inside the workers).
+_PROFILE = {"trace_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
+
+
+def profile_snapshot() -> Dict[str, float]:
+    """Copy of the per-phase wall-time accumulators (seconds)."""
+    return dict(_PROFILE)
+
+
+def reset_profile() -> None:
+    """Zero the per-phase accumulators."""
+    for key in _PROFILE:
+        _PROFILE[key] = 0.0
 
 #: ``on_result`` callback type: called with each (task, stats) pair as
 #: soon as the cell completes, in task order (incremental checkpointing).
@@ -182,8 +222,15 @@ def device_for(architecture: str):
 
 
 def clear_device_caches() -> None:
-    """Drop memoized devices and controllers so the next use rebuilds
-    from the current model definitions.
+    """Drop every cache a model edit could leave stale.
+
+    Clears the memoized devices and controllers (so the next use
+    rebuilds from the current definitions), the per-process trace cache
+    *and* the shared-memory trace plane (detaching every mapped segment
+    and unlinking the ones this process published — a long-lived server
+    must not leak ``/dev/shm`` segments across model edits), and shuts
+    the persistent worker pool down (forked workers hold the same
+    memoized state being invalidated here).
 
     For in-process model edits with a result store in play, call
     :func:`repro.sim.store.clear_fingerprint_cache` instead — it clears
@@ -193,6 +240,50 @@ def clear_device_caches() -> None:
     """
     _DEVICE_CACHE.clear()
     _CONTROLLER_CACHE.clear()
+    cached_trace_arrays.cache_clear()
+    _ADOPTED_TRACES.clear()
+    clear_trace_plane()
+    shutdown_worker_pool()
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate the persistent worker pool (next fan-out rebuilds it)."""
+    global _WORKER_POOL
+    if _WORKER_POOL is not None:
+        pool, _size = _WORKER_POOL
+        _WORKER_POOL = None
+        try:
+            pool.terminate()
+            pool.join()
+        except (OSError, ValueError):
+            pass
+
+
+def _ensure_worker_pool(workers: int):
+    """The persistent pool, built on first use and reused while the
+    requested size matches; ``None`` where pools cannot be created."""
+    global _WORKER_POOL
+    if _WORKER_POOL is not None:
+        pool, size = _WORKER_POOL
+        if size == workers:
+            return pool
+        shutdown_worker_pool()
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        pool = context.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError):
+        # Restricted environments (no /dev/shm, no fork): the caller
+        # degrades to the serial path — identical results, no fan-out.
+        return None
+    _WORKER_POOL = (pool, workers)
+    return pool
+
+
+atexit.register(shutdown_worker_pool)
 
 
 def controller_for(architecture: str,
@@ -213,11 +304,55 @@ def controller_for(architecture: str,
     return controller
 
 
-def evaluate_cell(task: EvalTask) -> SimStats:
-    """Run one grid cell; the unit of work the pool distributes."""
-    trace = cached_trace_arrays(task.workload, task.num_requests, task.seed)
-    return controller_for(task.architecture, task.queue_depth).run_arrays(
+#: Traces this process adopted from the trace plane, by (workload, n,
+#: seed): :func:`evaluate_cell` consults this before generating, which
+#: is how pool workers reach the shared pages *without* the descriptor
+#: threading through ``evaluate_cell``'s call signature (monkeypatched
+#: and legacy single-argument implementations keep working).
+_ADOPTED_TRACES: Dict[Tuple[str, int, int], Any] = {}
+
+
+def adopt_trace_descriptor(descriptor: TraceDescriptor) -> None:
+    """Attach a published trace and serve it to later
+    :func:`evaluate_cell` calls for its (workload, n, seed).
+
+    Bounded like the plane itself: adopted references beyond the
+    publisher's segment cap are dropped FIFO so a persistent pool
+    worker serving many distinct traces doesn't pin stale mappings."""
+    if descriptor.key not in _ADOPTED_TRACES:
+        from .tracegen import MAX_OWNED_SEGMENTS
+
+        while len(_ADOPTED_TRACES) >= MAX_OWNED_SEGMENTS:
+            del _ADOPTED_TRACES[next(iter(_ADOPTED_TRACES))]
+        _ADOPTED_TRACES[descriptor.key] = attach_trace_arrays(descriptor)
+
+
+def evaluate_cell(task: EvalTask,
+                  descriptor: Optional[TraceDescriptor] = None) -> SimStats:
+    """Run one grid cell; the unit of work the pool distributes.
+
+    ``descriptor`` names a shared-memory publication of the cell's
+    trace: the columns are mapped zero-copy instead of generated.
+    Without one, traces previously adopted via
+    :func:`adopt_trace_descriptor` (the fan-out path) are used, then
+    the per-process generation cache.
+    """
+    t0 = time.perf_counter()
+    if descriptor is not None:
+        trace = attach_trace_arrays(descriptor)
+    else:
+        trace = _ADOPTED_TRACES.get(
+            (task.workload, task.num_requests, task.seed))
+        if trace is None:
+            trace = cached_trace_arrays(task.workload, task.num_requests,
+                                        task.seed)
+    t1 = time.perf_counter()
+    stats = controller_for(task.architecture, task.queue_depth).run_arrays(
         trace, workload_name=task.workload)
+    t2 = time.perf_counter()
+    _PROFILE["trace_s"] += t1 - t0
+    _PROFILE["simulate_s"] += t2 - t1
+    return stats
 
 
 def evaluate_cell_checked(task: EvalTask) -> SimStats:
@@ -231,7 +366,10 @@ def evaluate_cell_checked(task: EvalTask) -> SimStats:
     ``SimulationError``, so it pickles cleanly back through the pool.
 
     Module-level (hence picklable) on purpose: this is the unit of work
-    both the grid pool and the evaluation server's executors submit.
+    both the grid pool and the evaluation server's executors submit —
+    always with the single-argument call, so replacement
+    ``evaluate_cell`` implementations (tests, instrumentation) never
+    see the trace-plane plumbing.
     """
     try:
         return evaluate_cell(task)
@@ -246,12 +384,17 @@ def evaluate_cell_checked(task: EvalTask) -> SimStats:
 _evaluate_cell_checked = evaluate_cell_checked
 
 
-def _evaluate_cell_indexed(indexed: Tuple[int, EvalTask]) \
-        -> Tuple[int, SimStats]:
-    """Pool payload carrying the task's position, so the parent can
-    checkpoint completions the moment they arrive (out of order) while
-    still returning results in task order."""
-    index, task = indexed
+def _evaluate_cell_indexed(
+    payload: Tuple[int, EvalTask, Optional[TraceDescriptor]]
+) -> Tuple[int, SimStats]:
+    """Pool payload carrying the task's position (so the parent can
+    checkpoint completions the moment they arrive, out of order, while
+    still returning results in task order) and the task's trace-plane
+    descriptor (adopted before evaluation, not threaded through the
+    ``evaluate_cell`` signature)."""
+    index, task, descriptor = payload
+    if descriptor is not None:
+        adopt_trace_descriptor(descriptor)
     return index, _evaluate_cell_checked(task)
 
 
@@ -303,28 +446,41 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
 
     if workers <= 1 or len(tasks) <= 1:
         return serial()
-    try:
-        import multiprocessing
-
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods()
-            else None)
-        pool = context.Pool(processes=min(workers, len(tasks)))
-    except (ImportError, OSError, PermissionError):
+    pool = _ensure_worker_pool(workers)
+    if pool is None:
         # Restricted environments (no /dev/shm, no fork): degrade to the
         # serial path — identical results, just no fan-out.  Only pool
         # *creation* is guarded; cell failures propagate annotated.
         return serial()
-    with pool:
-        slots: List[Optional[SimStats]] = [None] * len(tasks)
+    # Publish each distinct trace once; workers get a descriptor and
+    # attach the shared pages instead of regenerating the columns.
+    descriptors: Dict[Tuple[str, int, int], Optional[TraceDescriptor]] = {}
+    if os.environ.get(TRACE_PLANE_ENV_VAR, "1") != "0":
+        for task in tasks:
+            key = (task.workload, task.num_requests, task.seed)
+            if key not in descriptors:
+                descriptors[key] = share_trace_arrays(*key)
+    payloads = [
+        (index, task,
+         descriptors.get((task.workload, task.num_requests, task.seed)))
+        for index, task in enumerate(tasks)
+    ]
+    slots: List[Optional[SimStats]] = [None] * len(tasks)
+    try:
         for index, stats in pool.imap_unordered(
-                _evaluate_cell_indexed, list(enumerate(tasks)),
-                chunksize=chunksize):
+                _evaluate_cell_indexed, payloads, chunksize=chunksize):
             count_computed()
             if on_result is not None:
                 on_result(tasks[index], stats)
             slots[index] = stats
-        return slots
+    except ReproError:
+        raise    # a cell failed; the pool itself is still healthy
+    except Exception:
+        # The pool transport broke (worker killed, pipe torn): discard
+        # it so the next fan-out starts from a fresh pool.
+        shutdown_worker_pool()
+        raise
+    return slots
 
 
 def grid_tasks(
@@ -402,6 +558,7 @@ def evaluate_tasks(
     resume: bool = True,
     chunksize: int = 1,
     on_result: Optional[ResultCallback] = None,
+    store_latencies: bool = True,
 ) -> Dict[EvalTask, SimStats]:
     """Evaluate an arbitrary task list with store read-through/write-back.
 
@@ -410,17 +567,24 @@ def evaluate_tasks(
     misses are fanned out over ``workers`` processes and written back to
     the store the moment each result arrives.  ``on_result`` fires for
     every *computed* cell (after the store write), letting callers log
-    progress or checkpoint additional state.
+    progress or checkpoint additional state.  ``store_latencies=False``
+    writes archival entries without the bulky per-request samples —
+    percentile queries still work through the store's fixed-bin latency
+    histograms.
     """
     cached: Dict[EvalTask, SimStats] = {}
     if store is not None and resume:
+        t0 = time.perf_counter()
         cached = {task: hit for task, hit in store.get_many(tasks).items()
                   if hit is not None}
+        _PROFILE["store_s"] += time.perf_counter() - t0
     missing = [task for task in tasks if task not in cached]
 
     def checkpoint(task: EvalTask, stats: SimStats) -> None:
         if store is not None:
-            store.put(task, stats)
+            t0 = time.perf_counter()
+            store.put(task, stats, latencies=store_latencies)
+            _PROFILE["store_s"] += time.perf_counter() - t0
         if on_result is not None:
             on_result(task, stats)
 

@@ -79,6 +79,10 @@ def build_comet_device(arch: Optional[CometArchitecture] = None) -> MemoryDevice
         write_occupancy_ns=timings.write_time_ns,
         shared_bus=False,  # each bank rides its own MDM mode
         burst_overlaps_array=True,
+        # Section III.C: line interleaving + one MDM mode per bank give
+        # every bank an independent scheduler, so transaction queueing
+        # decomposes per bank too (the fast-path kernel's precondition).
+        per_bank_queues=True,
         energy=EnergyModel(
             background_power_w=0.0,
             active_power_w=power.total_w * channels,

@@ -180,6 +180,12 @@ class EvalServer:
         self._servers: List[asyncio.AbstractServer] = []
         self._shutdown = asyncio.Event()
         self.executor_kind = "none"
+        # Baseline for the fast-path counters: /stats reports this
+        # server's delta, not process-lifetime totals (keeps scripted
+        # load replays deterministic).
+        from .controller import kernel_counters
+
+        self._kernel_baseline = kernel_counters()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -279,7 +285,16 @@ class EvalServer:
     # -- stats / LRU --------------------------------------------------------
 
     def stats_snapshot(self) -> Dict[str, Any]:
-        """The ``/stats`` payload: counters plus configuration."""
+        """The ``/stats`` payload: counters plus configuration.
+
+        ``kernel`` reports the controller's fast-path dispatch counters
+        since this server was constructed — meaningful for the thread
+        executor (cells run in-process); under a process pool the
+        workers keep their own counters and the parent's stay at zero.
+        """
+        from .controller import kernel_counters
+
+        counters = kernel_counters()
         return {
             **self._counters,
             "inflight": len(self._inflight),
@@ -288,6 +303,12 @@ class EvalServer:
             "workers": self.workers,
             "executor": self.executor_kind,
             "store": str(self.store.root) if self.store is not None else None,
+            # Clamped: a process-wide reset_kernel_counters() after this
+            # server's baseline snapshot must not surface as negative
+            # dispatch counts.
+            "kernel": {key: max(0, counters[key]
+                                - self._kernel_baseline[key])
+                       for key in counters},
         }
 
     def _lru_get(self, digest: str) -> Optional[SimStats]:

@@ -5,16 +5,85 @@ average (and tail) application latency, and energy-per-bit.  EPB follows
 the paper's accounting (Section IV.C): *all* energy spent while
 orchestrating the trace's reads and writes — background + gated active
 power + per-operation energy — divided by the bits transferred.
+
+When the raw per-request samples are unavailable (archival result-store
+entries written with ``latencies=False``, trimmed wire responses), a
+fixed-bin **latency summary** — exact count/mean/min/max plus a
+log-spaced histogram — stands in: the mean and extremes stay exact and
+percentiles interpolate within their bin, so percentile queries against
+archival stores return numbers instead of NaN.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..errors import SimulationError
+
+#: Fixed histogram bin edges (ns): 10 bins per decade from 1 ns to
+#: 10 ms, plus implicit underflow/overflow bins.  Fixed — not data
+#: dependent — so summaries from different cells, runs and hosts are
+#: directly comparable and mergeable.
+HIST_DECADES = (0, 7)
+HIST_BINS_PER_DECADE = 10
+HIST_EDGES_NS = np.logspace(
+    HIST_DECADES[0], HIST_DECADES[1],
+    (HIST_DECADES[1] - HIST_DECADES[0]) * HIST_BINS_PER_DECADE + 1)
+
+
+def summarize_latencies(latencies_ns: List[float]) -> Dict[str, Any]:
+    """Fixed-bin summary of one latency sample set.
+
+    ``counts`` has ``len(HIST_EDGES_NS) + 1`` entries: an underflow bin
+    below the first edge, the log-spaced bins, and an overflow bin at
+    the top — every sample lands somewhere, whatever the device.
+    """
+    samples = np.asarray(latencies_ns, dtype=np.float64)
+    if len(samples) == 0:
+        raise SimulationError("no latency samples to summarize")
+    counts = np.bincount(np.searchsorted(HIST_EDGES_NS, samples,
+                                         side="right"),
+                         minlength=len(HIST_EDGES_NS) + 1)
+    return {
+        "count": int(len(samples)),
+        "mean_ns": float(np.mean(samples)),
+        "min_ns": float(np.min(samples)),
+        "max_ns": float(np.max(samples)),
+        "counts": counts.tolist(),
+    }
+
+
+def summary_percentile(summary: Dict[str, Any], q: float) -> float:
+    """Estimate the ``q``-th percentile from a fixed-bin summary.
+
+    Linear interpolation inside the covering bin, clamped to the exact
+    ``[min_ns, max_ns]`` — a few percent of a bin's width off at worst,
+    against NaN without it.
+    """
+    counts = np.asarray(summary["counts"], dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise SimulationError("empty latency summary")
+    lo, hi = summary["min_ns"], summary["max_ns"]
+    # Bin b spans [edge[b-1], edge[b]); clamp the open-ended extremes
+    # to the exact observed min/max.
+    edges_lo = np.concatenate(([lo], HIST_EDGES_NS))
+    edges_hi = np.concatenate((HIST_EDGES_NS, [hi]))
+    target = total * q / 100.0
+    cumulative = np.cumsum(counts)
+    index = int(np.searchsorted(cumulative, target, side="left"))
+    index = min(index, len(counts) - 1)
+    below = cumulative[index] - counts[index]
+    inside = counts[index] or 1.0
+    fraction = min(max((target - below) / inside, 0.0), 1.0)
+    bin_lo = max(float(edges_lo[index]), lo)
+    bin_hi = min(float(edges_hi[index]), hi)
+    if bin_hi < bin_lo:    # degenerate bin entirely outside [lo, hi]
+        bin_lo = bin_hi = min(max(bin_lo, lo), hi)
+    return bin_lo + (bin_hi - bin_lo) * fraction
 
 
 @dataclass
@@ -38,6 +107,11 @@ class SimStats:
     active_power_w: float = 0.0
     row_hits: int = 0
     row_misses: int = 0
+    #: Fixed-bin latency summary (see :func:`summarize_latencies`), attached
+    #: when the raw samples are absent — archival store entries, trimmed
+    #: wire responses.  ``None`` whenever ``latencies_ns`` is populated.
+    latency_summary: Optional[Dict[str, Any]] = field(repr=False,
+                                                      default=None)
 
     def __post_init__(self) -> None:
         if self.sim_time_ns <= 0.0:
@@ -59,18 +133,26 @@ class SimStats:
     @property
     def avg_latency_ns(self) -> float:
         if not self.latencies_ns:
+            if self.latency_summary is not None:
+                return float(self.latency_summary["mean_ns"])   # exact
             raise SimulationError("no completed requests")
         return float(np.mean(self.latencies_ns))
 
     @property
     def p95_latency_ns(self) -> float:
         if not self.latencies_ns:
+            if self.latency_summary is not None:
+                # Histogram estimate (exact mean/extremes, interpolated
+                # percentile) — what archival stores serve.
+                return summary_percentile(self.latency_summary, 95.0)
             raise SimulationError("no completed requests")
         return float(np.percentile(self.latencies_ns, 95.0))
 
     @property
     def max_latency_ns(self) -> float:
         if not self.latencies_ns:
+            if self.latency_summary is not None:
+                return float(self.latency_summary["max_ns"])    # exact
             raise SimulationError("no completed requests")
         return float(np.max(self.latencies_ns))
 
@@ -114,14 +196,14 @@ class SimStats:
         return min(self.busy_time_ns / (self.sim_time_ns * 1.0), 1.0)
 
     def latency_row(self) -> Dict[str, float]:
-        """Latency metrics as a dict, NaN when no request completed.
+        """Latency metrics as a dict, NaN when nothing can serve them.
 
         Table/CSV paths use this instead of the raising properties so a
-        cell with an empty ``latencies_ns`` (e.g. deserialized without the
-        raw samples) degrades to NaN columns rather than crashing a
-        partially printed table.
+        cell with neither raw samples nor a latency summary degrades to
+        NaN columns rather than crashing a partially printed table.
+        Archival entries (summary, no samples) produce real numbers.
         """
-        if not self.latencies_ns:
+        if not self.latencies_ns and self.latency_summary is None:
             nan = float("nan")
             return {"avg_latency_ns": nan, "p95_latency_ns": nan,
                     "max_latency_ns": nan}
@@ -152,12 +234,17 @@ class SimStats:
         """JSON-serializable dict of every field.
 
         ``latencies=False`` drops the raw per-request samples (the bulky
-        part); the restored stats then report NaN latency columns via
-        :meth:`latency_row` / :meth:`as_row`.
+        part) and attaches the fixed-bin latency summary in their place,
+        so the restored stats still answer mean/percentile/max queries
+        (approximately, for percentiles) instead of reporting NaN.
         """
         payload = {f.name: getattr(self, f.name) for f in fields(self)}
         payload["latencies_ns"] = (
             [float(v) for v in self.latencies_ns] if latencies else [])
+        if not latencies and self.latencies_ns \
+                and self.latency_summary is None:
+            payload["latency_summary"] = summarize_latencies(
+                self.latencies_ns)
         return payload
 
     @classmethod

@@ -44,7 +44,9 @@ STORE_SCHEMA_VERSION = 1
 #: controller/engine scheduling or stats semantics change, so results
 #: computed by older simulator code stop being addressed.
 #: (``STORE_SCHEMA_VERSION`` guards the on-disk layout instead.)
-RESULTS_VERSION = 1
+#: v2: per-bank transaction queues + deadline-space chain arithmetic for
+#: contention-free devices (the fast-path scheduler kernel semantics).
+RESULTS_VERSION = 2
 
 
 def _canonical(payload: Any) -> bytes:
@@ -274,8 +276,11 @@ class ResultStore:
             latencies: bool = True) -> str:
         """Persist one cell atomically; returns its digest.
 
-        ``latencies=False`` stores only the aggregate stats (NaN latency
-        columns on reload) for space-constrained archival stores.
+        Every entry carries a fixed-bin latency summary (exact
+        count/mean/min/max plus a log-spaced histogram) in its JSON, so
+        ``latencies=False`` archival entries — which skip the bulky
+        per-request sidecar — still answer mean/percentile/max queries
+        on reload instead of degrading to NaN columns.
         """
         digest = task_digest(task)
         path = self._digest_path(digest)
@@ -460,7 +465,11 @@ class ResultStore:
             blob = self._sidecar_path(path).read_bytes()
             if len(blob) != 8 * count:
                 raise ValueError("torn latency sidecar")
-            payload = dict(payload, latencies_ns=_unpack_latencies(blob))
+            # With the raw samples restored the fixed-bin summary is
+            # redundant — drop it so a loaded entry compares equal to a
+            # freshly computed one (the warm/cold bit-identity pins).
+            payload = dict(payload, latencies_ns=_unpack_latencies(blob),
+                           latency_summary=None)
         return SimStats.from_dict(payload)
 
     @classmethod

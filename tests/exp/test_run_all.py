@@ -99,6 +99,56 @@ class TestRunAllCli:
                          str(blocker)]) == 2
         assert "unusable" in capsys.readouterr().err
 
+    def test_expect_no_compute_reads_the_daemon_counter(self, tmp_path,
+                                                        capsys):
+        """In --server mode the cells are computed inside the daemon, so
+        --expect-no-compute must assert on the daemon's /stats computed
+        delta: a cold pass exits 3 even though the *local* engine
+        counter never moves, and a warm pass exits 0."""
+        import asyncio
+        import threading
+
+        from repro.sim.client import EvalClient
+        from repro.sim.server import EvalServer
+
+        started = threading.Event()
+        box = {}
+
+        def serve():
+            async def main():
+                server = EvalServer(store=tmp_path / "s", workers=1, port=0)
+                await server.start()
+                box["address"] = server.http_address
+                started.set()
+                await server._shutdown.wait()
+                await server.stop()
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(10), "daemon did not start"
+        address = box["address"]
+        try:
+            engine.reset_computed_cell_count()
+            args = ["run-all", "fig9", "--server", address,
+                    "--num-requests", "150", "--expect-no-compute"]
+            assert exp_main(args) == 3
+            err = capsys.readouterr().err
+            assert "the daemon computed" in err
+            # The delta really came from /stats, not the local counter.
+            assert engine.computed_cell_count() == 0
+            # Warm pass: the daemon serves every cell from its store.
+            assert exp_main(args) == 0
+        finally:
+            EvalClient(address).shutdown()
+            thread.join(10)
+
+    def test_expect_no_compute_with_unreachable_server(self, capsys):
+        assert exp_main(["run-all", "fig9", "--server",
+                         "http://127.0.0.1:1", "--num-requests", "150",
+                         "--expect-no-compute"]) == 2
+        assert "cannot read server stats" in capsys.readouterr().err
+
     def test_failing_experiment_reported_not_fatal(self, tmp_path,
                                                    monkeypatch, capsys):
         """One broken experiment must not abort the regeneration: the

@@ -24,13 +24,16 @@ from repro.sim.tracegen import MIXED_WORKLOADS, PHASED_WORKLOADS
 #: +/-20 %: re-runs of unchanged code reproduce these exactly (the
 #: engine is deterministic), so the band only absorbs deliberate benign
 #: changes (e.g. float re-association in a refactor).
+#: Re-centered for the per-bank transaction-queue model (PR 5): COMET's
+#: admission no longer couples banks through one global FIFO, lifting
+#: its bandwidth ~8 % uniformly — every prior golden stayed in band.
 GOLDEN_BW_SPEEDUPS = {
-    "2D_DDR3": 5.52,
-    "3D_DDR3": 4.36,
-    "2D_DDR4": 4.44,
-    "3D_DDR4": 3.26,
-    "EPCM-MM": 11.76,
-    "COSMOS": 7.40,
+    "2D_DDR3": 5.97,
+    "3D_DDR3": 4.71,
+    "2D_DDR4": 4.80,
+    "3D_DDR4": 3.53,
+    "EPCM-MM": 12.73,
+    "COSMOS": 8.00,
 }
 BAND = 0.20
 

@@ -114,6 +114,10 @@ class TestFailureAnnotation:
 
     @pytest.fixture
     def broken_cell(self, monkeypatch):
+        # The persistent worker pool snapshots the parent at fork time:
+        # recycle it so freshly forked workers see the monkeypatch, and
+        # again afterwards so no later test inherits workers carrying it.
+        engine.shutdown_worker_pool()
         real = engine.evaluate_cell
 
         def explode(task):
@@ -122,6 +126,8 @@ class TestFailureAnnotation:
             return real(task)
 
         monkeypatch.setattr(engine, "evaluate_cell", explode)
+        yield
+        engine.shutdown_worker_pool()
 
     def test_serial_failure_names_the_cell(self, broken_cell):
         with pytest.raises(SimulationError, match=

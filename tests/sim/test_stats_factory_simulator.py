@@ -86,10 +86,22 @@ class TestStatsSerialization:
         assert SimStats.from_dict(payload) == make_stats()
 
     def test_to_dict_without_latencies(self):
-        payload = make_stats().to_dict(latencies=False)
+        stats = make_stats()
+        payload = stats.to_dict(latencies=False)
         assert payload["latencies_ns"] == []
         restored = SimStats.from_dict(payload)
         assert restored.num_requests == 10
+        # The trimmed payload carries a fixed-bin latency summary, so
+        # mean/max reload exactly and percentiles interpolate instead
+        # of degrading to NaN.
+        assert restored.avg_latency_ns == stats.avg_latency_ns
+        assert restored.max_latency_ns == stats.max_latency_ns
+        assert restored.p95_latency_ns <= restored.max_latency_ns
+
+    def test_no_samples_and_no_summary_is_nan(self):
+        payload = make_stats().to_dict(latencies=False)
+        payload.pop("latency_summary")      # pre-summary producer
+        restored = SimStats.from_dict(payload)
         assert math.isnan(restored.as_row()["avg_latency_ns"])
 
     def test_geometric_mean(self):

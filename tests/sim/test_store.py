@@ -121,14 +121,22 @@ class TestResultStore:
         with pytest.raises(SimulationError):
             ResultStore(root)
 
-    def test_put_without_latencies_reloads_with_nan_row(self, store):
+    def test_put_without_latencies_reloads_with_summary(self, store):
+        """Archival entries answer latency queries from the fixed-bin
+        summary written at put time: mean/max exactly, percentiles by
+        in-bin interpolation — no NaN columns."""
         stats = evaluate_cell(TASK)
         store.put(TASK, stats, latencies=False)
         lean = store.get(TASK)
         assert lean.latencies_ns == []
         assert lean.bandwidth_gbps == stats.bandwidth_gbps
+        assert lean.avg_latency_ns == stats.avg_latency_ns
+        assert lean.max_latency_ns == stats.max_latency_ns
+        exact_p95 = stats.p95_latency_ns
+        # Within one log-spaced bin (~26 % width) of the exact value.
+        assert 0.7 * exact_p95 <= lean.p95_latency_ns <= 1.3 * exact_p95
         row = lean.as_row()
-        assert row["avg_latency_ns"] != row["avg_latency_ns"]   # NaN
+        assert row["avg_latency_ns"] == stats.avg_latency_ns
 
     def test_archival_reput_reclaims_the_sidecar(self, store):
         """Re-putting latencies=False over a full entry must delete the
