@@ -128,20 +128,25 @@ def _print_stats(stats: SimStats) -> None:
 def _print_profile(table, workers) -> None:
     """The ``--profile`` report: per-phase seconds + kernel hit rate."""
     from . import controller, engine
+    from .stats import kernel_dispatch_summary
     from .tracegen import trace_plane_stats
 
     phases = engine.profile_snapshot()
-    kernel = controller.kernel_counters()
+    kernel = kernel_dispatch_summary(controller.kernel_counters())
     plane = trace_plane_stats()
-    scheduled = sum(kernel.values())
+    classes = "/".join(
+        f"{name} {kernel['per_class'].get(name, 0)}"
+        for name in controller.KERNEL_CLASSES)
+    fallbacks = kernel["fallbacks"]
     print("profile (this process):", file=table)
     print(f"  trace fetch  : {phases['trace_s']:8.3f} s", file=table)
     print(f"  simulate     : {phases['simulate_s']:8.3f} s", file=table)
     print(f"  store I/O    : {phases['store_s']:8.3f} s", file=table)
-    print(f"  kernel       : {kernel['fast']}/{scheduled} cells on the "
-          f"fast path ({kernel['fallback_device']} device fallbacks, "
-          f"{kernel['fallback_admission']} admission fallbacks)",
-          file=table)
+    print(f"  kernel       : {kernel['fast']}/{kernel['scheduled']} cells "
+          f"on the fast path ({classes}; fallbacks: "
+          f"{fallbacks['device']} device, {fallbacks['toolchain']} "
+          f"toolchain, {fallbacks['admission_reverts']} admission "
+          f"reverts)", file=table)
     print(f"  trace plane  : {plane['owned_segments']} segments published "
           f"({plane['owned_bytes'] / 1024:.0f} KiB), "
           f"{plane['attached_segments']} attached", file=table)

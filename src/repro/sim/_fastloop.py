@@ -1,0 +1,240 @@
+"""Compiled exact-twin scheduler loop for bus/queue-coupled devices.
+
+The shared-bus and global-FIFO recurrences are *irreducibly sequential*:
+the bus serializes every burst through ``finish[i-1]`` while bank
+conflicts couple requests a few indices apart, and which term binds
+alternates every ~2 requests on DRAM traffic.  No prefix-fold
+decomposition (``np.cumsum`` / ``np.maximum.accumulate``) covers that
+without re-associating float additions — which would move results by an
+ulp and break the bit-identity contract the goldens pin.  (The
+contention-free per-bank recurrence *does* decompose, which is why the
+PR 5 kernel vectorizes it; this module is the fast path for everything
+a shared resource couples.)
+
+So the fast path here is an **exact twin**, not a decomposition: the
+same IEEE-754 double operations in the same order as the scalar Python
+loop, compiled from a few lines of C at first use (``cc`` + ``ctypes``).
+CPython float arithmetic *is* C double arithmetic on the host — ``+``,
+comparisons, and ``%`` on positive floats (plain ``fmod``) map one to
+one — so the compiled loop is bit-identical by construction, with no
+re-association anywhere.  Compilation is guarded: contraction is
+disabled (``-ffp-contract=off``) so no FMA fuses an add into a rounding
+change, and fast-math stays off.
+
+The library is cached on disk keyed by the SHA-256 of the source, so a
+process pays the compile once ever (pool workers dlopen the cached
+artifact).  Where no C toolchain exists the module reports itself
+unavailable and the controller's dispatch falls back to the scalar
+recurrence — same results, scalar speed — counted under
+``fallback_toolchain``.  ``REPRO_FASTLOOP=0`` forces that fallback
+deterministically (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Environment switch: ``0`` disables the compiled loop (the controller
+#: then counts a toolchain fallback and runs the scalar recurrence).
+FASTLOOP_ENV_VAR = "REPRO_FASTLOOP"
+
+#: Override for the shared-library cache directory (useful when the
+#: package tree is read-only).
+CACHE_ENV_VAR = "REPRO_FASTLOOP_CACHE"
+
+# One routine covers every global-FIFO device class: the shared-bus
+# loops (DRAM with refresh, electrical PCM), the unshared loop (COSMOS,
+# per-bank admission fallbacks) and the generic flag combination, all
+# selected by runtime flags.  The body is a line-for-line transcription
+# of MemoryController._recurrence_refresh_bus with the same branch
+# structure the other loops specialize away; identical operation order
+# is what makes it bit-identical, so edits here must track controller.py.
+_C_SOURCE = r"""
+#include <math.h>
+
+void repro_schedule_loop(
+    long long n, const long long *bank, const double *array_ns,
+    const double *arrivals, const double *turn,
+    long long queue_depth, long long banks,
+    double burst, int shared_bus, int overlap,
+    int has_refresh, double interval, double duration,
+    double *admitted, double *start_out, double *finish,
+    double *bank_free, double *bank_busy, double *busy_total)
+{
+    double bus_free = 0.0;
+    for (long long i = 0; i < n; i++) {
+        double adm = arrivals[i];
+        if (i >= queue_depth) {
+            double blocked = finish[i - queue_depth];
+            if (blocked > adm) adm = blocked;
+        }
+        long long b = bank[i];
+        double start = bank_free[b];
+        if (adm > start) start = adm;
+        if (has_refresh) {
+            double pos = fmod(start, interval);
+            if (pos < duration) start = (start - pos) + duration;
+        }
+        double array_time = array_ns[i];
+        double burst_start = start + array_time;
+        if (shared_bus) {
+            double bus_ready = bus_free + turn[i];
+            if (bus_ready > burst_start) burst_start = bus_ready;
+            if (has_refresh) {
+                double pos = fmod(burst_start, interval);
+                if (pos < duration)
+                    burst_start = (burst_start - pos) + duration;
+            }
+        }
+        double fin = burst_start + burst;
+        if (shared_bus) bus_free = fin;
+        double release = fin;
+        if (overlap) {
+            double array_done = start + array_time;
+            release = array_done > burst_start ? array_done : burst_start;
+        }
+        bank_busy[b] += release - start;
+        bank_free[b] = release;
+        admitted[i] = adm;
+        start_out[i] = start;
+        finish[i] = fin;
+    }
+    double total = 0.0;
+    for (long long b = 0; b < banks; b++) total += bank_busy[b];
+    *busy_total = total;
+}
+"""
+
+#: ``None`` = not probed yet; ``False`` = unavailable this process.
+_LIB: Optional[object] = None
+_PROBED = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "_fastloop_cache"
+
+
+def _compile(source: str, target: Path) -> bool:
+    """Compile the twin into ``target`` (atomic rename); False on any
+    toolchain failure."""
+    compiler = os.environ.get("CC", "cc")
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=str(target.parent)) as build:
+            src = Path(build) / "fastloop.c"
+            obj = Path(build) / "fastloop.so"
+            src.write_text(source)
+            result = subprocess.run(
+                [compiler, "-O2", "-fPIC", "-shared",
+                 # No contraction, no fast-math: every double op must
+                 # round exactly where the Python loop rounds.
+                 "-ffp-contract=off", "-fno-fast-math",
+                 "-o", str(obj), str(src), "-lm"],
+                capture_output=True, timeout=120)
+            if result.returncode != 0 or not obj.exists():
+                return False
+            os.replace(obj, target)    # atomic: racing processes agree
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def _load():
+    """dlopen the cached twin, compiling it first if needed."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    target = _cache_dir() / f"fastloop-{digest}.so"
+    if not target.exists() and not _compile(_C_SOURCE, target):
+        return None
+    try:
+        lib = ctypes.CDLL(str(target))
+    except OSError:
+        return None
+    fn = lib.repro_schedule_loop
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.c_longlong, ctypes.POINTER(ctypes.c_longlong),
+        ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.c_longlong, ctypes.c_longlong,
+        ctypes.c_double, ctypes.c_int, ctypes.c_int,
+        ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+    ]
+    return fn
+
+
+def available() -> bool:
+    """True when the compiled twin can serve schedules in this process."""
+    global _LIB, _PROBED
+    if os.environ.get(FASTLOOP_ENV_VAR, "1") == "0":
+        return False
+    if not _PROBED:
+        _LIB = _load()
+        _PROBED = True
+    return _LIB is not None
+
+
+def reset_probe() -> None:
+    """Forget the availability probe (tests that flip the environment)."""
+    global _LIB, _PROBED
+    _LIB = None
+    _PROBED = False
+
+
+def _as_double_ptr(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def schedule_loop(
+    bank_idx: np.ndarray, array_ns: np.ndarray, arrivals: np.ndarray,
+    turn: np.ndarray, queue_depth: int, banks: int, burst: float,
+    shared_bus: bool, overlap: bool, has_refresh: bool,
+    interval: float, duration: float,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, float]]:
+    """Run the compiled twin; ``None`` when unavailable.
+
+    Returns ``(admitted, start, finish, busy)`` bit-identical to the
+    matching ``MemoryController._recurrence_*`` scalar loop.
+    """
+    if not available():
+        return None
+    n = len(arrivals)
+    bank_c = np.ascontiguousarray(bank_idx, dtype=np.int64)
+    array_c = np.ascontiguousarray(array_ns, dtype=np.float64)
+    arrivals_c = np.ascontiguousarray(arrivals, dtype=np.float64)
+    turn_c = np.ascontiguousarray(turn, dtype=np.float64)
+    admitted = np.empty(n)
+    start = np.empty(n)
+    finish = np.empty(n)
+    bank_free = np.zeros(banks)
+    bank_busy = np.zeros(banks)
+    busy_total = ctypes.c_double(0.0)
+    _LIB(
+        ctypes.c_longlong(n),
+        bank_c.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong)),
+        _as_double_ptr(array_c), _as_double_ptr(arrivals_c),
+        _as_double_ptr(turn_c),
+        ctypes.c_longlong(queue_depth), ctypes.c_longlong(banks),
+        ctypes.c_double(burst),
+        ctypes.c_int(1 if shared_bus else 0),
+        ctypes.c_int(1 if overlap else 0),
+        ctypes.c_int(1 if has_refresh else 0),
+        ctypes.c_double(interval), ctypes.c_double(duration),
+        _as_double_ptr(admitted), _as_double_ptr(start),
+        _as_double_ptr(finish), _as_double_ptr(bank_free),
+        _as_double_ptr(bank_busy), ctypes.byref(busy_total),
+    )
+    return admitted, start, finish, busy_total.value

@@ -24,13 +24,25 @@ Three execution tiers share one set of semantics:
   pass; the sequential recurrence (queue admission, bank free times,
   bus ordering, refresh windows) runs as a slim scalar loop specialized
   per device class (refresh+bus, bus-only, contention-free).
-* ``run_fast`` — the fast-path scheduler *kernel*: for contention-free
-  devices with per-bank transaction queues (COMET-class photonic parts;
-  see below) the whole schedule is a set of independent per-bank chains,
-  computed with grouped ``np.cumsum`` / ``np.maximum.accumulate`` prefix
-  passes instead of any per-request Python loop.  Cells that violate the
-  preconditions fall back to the scalar recurrence automatically;
-  engaged or not, the results are bit-identical to ``run``.
+* ``run_fast`` — the fast-path scheduler *kernels*: three dispatch
+  classes replace the per-request Python loop.  Contention-free devices
+  with per-bank transaction queues (COMET-class photonic parts) compute
+  the whole schedule as independent per-bank chains via grouped
+  ``np.cumsum`` / ``np.maximum.accumulate`` prefix passes — the
+  recurrence genuinely decomposes, so numpy folds cover it.  Shared-bus
+  devices (DRAM, electrical PCM) and global-FIFO contention-free
+  devices (COSMOS) do *not* decompose: the bus serializes every burst
+  through its predecessor while bank conflicts couple requests a few
+  indices apart, and which term binds alternates every couple of
+  requests — an irreducibly sequential chain no exact prefix fold
+  covers (re-associating the float additions would move results off the
+  goldens).  Their kernel is the *compiled exact twin*
+  (:mod:`._fastloop`): the same IEEE-754 operations in the same order
+  as the scalar loop, compiled from C at first use and dispatched via
+  ``ctypes``.  Cells whose device class no kernel covers, or running
+  where no C toolchain exists, fall back to the scalar recurrence
+  automatically; engaged or not, the results are bit-identical to
+  ``run``.
 * ``run_reference`` — the straightforward per-request object loop, kept
   as the semantics oracle for equivalence tests and benchmarks.
 
@@ -69,6 +81,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from . import _fastloop
 from .devices import MemoryDeviceModel
 from .request import MemRequest
 from .stats import SimStats
@@ -79,14 +92,38 @@ from .tracegen import TraceArrays
 #: per-bank-queue devices, the per-bank slice of that sum).
 QUEUE_DEPTH_PER_CHANNEL = 8
 
-#: Process-wide fast-path dispatch counters: how many schedules the
-#: kernel served (``fast``) vs fell back because the device is not
-#: contention-free / lacks per-bank queues (``fallback_device``) or
-#: because a per-bank admission stamp would bind service
-#: (``fallback_admission``).  Read via :func:`kernel_counters`; the
-#: ``--profile`` CLI and the kernel bench report the hit rate.  Counters
-#: are per process — under engine fan-out each worker keeps its own.
-_KERNEL_COUNTERS = {"fast": 0, "fallback_device": 0, "fallback_admission": 0}
+#: The fast-path kernel dispatch classes, in dispatch-priority order.
+KERNEL_CLASSES: Tuple[str, ...] = ("per_bank", "shared_bus", "global_queue")
+
+#: Process-wide fast-path dispatch counters.  Every auto-dispatched
+#: schedule ends in exactly one *terminal* outcome: a kernel class hit
+#: (``fast_per_bank`` / ``fast_shared_bus`` / ``fast_global_queue``;
+#: ``fast`` is their running total, the pre-PR-6 aggregate) or a scalar
+#: fallback attributed to its reason — ``fallback_device`` (no enabled
+#: kernel class covers the device) or ``fallback_toolchain`` (the cell's
+#: kernel is the compiled exact twin but no C toolchain is available,
+#: so the scalar recurrence served it).
+#: ``fallback_admission`` is an *event* marker, not a terminal outcome:
+#: a per-bank admission stamp bound service, so the cell reverted to the
+#: global-queue model — whose own terminal counter then fires.  Read via
+#: :func:`kernel_counters`; the ``--profile`` CLI, ``/stats.kernel`` and
+#: the kernel bench report the hit rate.  Counters are per process —
+#: under engine fan-out each worker keeps its own.
+_KERNEL_COUNTERS = {
+    "fast": 0,
+    "fast_per_bank": 0,
+    "fast_shared_bus": 0,
+    "fast_global_queue": 0,
+    "fallback_device": 0,
+    "fallback_admission": 0,
+    "fallback_toolchain": 0,
+}
+
+#: Kernel classes the dispatcher must not engage (process-wide): the
+#: kernel bench reconstructs the PR 5 baseline by disabling the
+#: shared-bus/global-queue classes, and the forced-fallback equivalence
+#: tests pin that a disabled class is bit-identical to the scalar tier.
+_DISABLED_FAST_CLASSES: frozenset = frozenset()
 
 
 def kernel_counters() -> Dict[str, int]:
@@ -98,6 +135,34 @@ def reset_kernel_counters() -> None:
     """Zero the fast-path dispatch counters (tests, benchmarks)."""
     for key in _KERNEL_COUNTERS:
         _KERNEL_COUNTERS[key] = 0
+
+
+def set_disabled_fast_classes(classes) -> frozenset:
+    """Disable fast-path kernel classes process-wide; returns the
+    previous set so callers can restore it (``try/finally``).
+
+    Disabled classes take the ``fallback_device`` dispatch path —
+    results are bit-identical, only the execution tier changes."""
+    global _DISABLED_FAST_CLASSES
+    requested = frozenset(classes)
+    unknown = requested - set(KERNEL_CLASSES)
+    if unknown:
+        raise SimulationError(
+            f"unknown kernel classes {sorted(unknown)}; "
+            f"known: {list(KERNEL_CLASSES)}")
+    previous = _DISABLED_FAST_CLASSES
+    _DISABLED_FAST_CLASSES = requested
+    return previous
+
+
+def disabled_fast_classes() -> frozenset:
+    """The kernel classes currently forced onto the scalar tier."""
+    return _DISABLED_FAST_CLASSES
+
+
+def _count_fast(kernel_class: str) -> None:
+    _KERNEL_COUNTERS["fast"] += 1
+    _KERNEL_COUNTERS["fast_" + kernel_class] += 1
 
 
 @dataclass
@@ -232,24 +297,65 @@ class MemoryController:
                        arrivals: np.ndarray) -> _Schedule:
         """Kernel when eligible, scalar recurrence otherwise."""
         device = self.device
-        if not (device.contention_free and device.per_bank_queues):
+        kernel_class = device.fast_path_class
+        if kernel_class is None or kernel_class in _DISABLED_FAST_CLASSES:
             _KERNEL_COUNTERS["fallback_device"] += 1
             return self._schedule(addresses, is_read, arrivals)
         self._check_sorted(arrivals)
         bank_idx, array_ns, row_hits, row_misses = \
             self._precompute(addresses, is_read)
-        schedule = self._kernel(bank_idx, array_ns, arrivals,
-                                row_hits, row_misses)
-        if schedule is None:
+        if kernel_class == "per_bank":
+            schedule = self._kernel(bank_idx, array_ns, arrivals,
+                                    row_hits, row_misses)
+            if schedule is not None:
+                _count_fast("per_bank")
+                return schedule
             # A per-bank admission stamp would land after its chain
-            # start: the cell reverts to the global-queue model (the
-            # same loop the scalar dispatch takes for such cells).
+            # start: the cell reverts to the global-queue model — served
+            # by the global-queue kernel when that class is enabled, by
+            # the scalar loop otherwise.
             _KERNEL_COUNTERS["fallback_admission"] += 1
-            return self._finalize(*self._recurrence_unshared(
-                bank_idx, array_ns, arrivals),
-                row_hits=row_hits, row_misses=row_misses)
-        _KERNEL_COUNTERS["fast"] += 1
-        return schedule
+            return self._run_global_queue(bank_idx, array_ns, arrivals,
+                                          row_hits, row_misses)
+        if kernel_class == "shared_bus":
+            result = self._kernel_shared_bus(bank_idx, array_ns, arrivals,
+                                             is_read)
+            if result is not None:
+                _count_fast("shared_bus")
+                return self._finalize(*result, row_hits=row_hits,
+                                      row_misses=row_misses)
+            _KERNEL_COUNTERS["fallback_toolchain"] += 1
+            if device.refresh is not None:
+                result = self._recurrence_refresh_bus(
+                    bank_idx, array_ns, arrivals, is_read)
+            else:
+                result = self._recurrence_bus(
+                    bank_idx, array_ns, arrivals, is_read)
+            return self._finalize(*result, row_hits=row_hits,
+                                  row_misses=row_misses)
+        return self._run_global_queue(bank_idx, array_ns, arrivals,
+                                      row_hits, row_misses)
+
+    def _run_global_queue(self, bank_idx: np.ndarray, array_ns: np.ndarray,
+                          arrivals: np.ndarray, row_hits: int,
+                          row_misses: int) -> _Schedule:
+        """Global-FIFO contention-free schedule, kernel-first.
+
+        Shared by the ``global_queue`` dispatch class (COSMOS-style
+        devices) and the per-bank admission fallback, which reverts the
+        cell to exactly this model."""
+        if "global_queue" not in _DISABLED_FAST_CLASSES:
+            result = self._kernel_global_queue(bank_idx, array_ns, arrivals)
+            if result is not None:
+                _count_fast("global_queue")
+                return self._finalize(*result, row_hits=row_hits,
+                                      row_misses=row_misses)
+            _KERNEL_COUNTERS["fallback_toolchain"] += 1
+        else:
+            _KERNEL_COUNTERS["fallback_device"] += 1
+        return self._finalize(*self._recurrence_unshared(
+            bank_idx, array_ns, arrivals),
+            row_hits=row_hits, row_misses=row_misses)
 
     def _schedule(self, addresses: np.ndarray, is_read: np.ndarray,
                   arrivals: np.ndarray) -> _Schedule:
@@ -384,6 +490,59 @@ class MemoryController:
             busy_ns=sum(busy_banks),
             row_hits=row_hits,
             row_misses=row_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # the compiled exact-twin kernels (shared bus / global queue)
+    #
+    # The bus- and queue-coupled recurrences have no per-bank
+    # decomposition: finish[i] depends on finish[i-1] through the bus
+    # (or on release[lastbank(i)] a few indices back), and which term
+    # binds alternates every couple of requests, so the critical path is
+    # a sequential chain as long as the trace.  Exact prefix folds
+    # cannot cover that without re-associating float additions, which
+    # would move results off the goldens by an ulp.  The kernels below
+    # therefore run the *same* scalar recurrence — identical IEEE-754
+    # operations in identical order — compiled to native code
+    # (:mod:`._fastloop`); bit-identity holds by construction, and when
+    # no C toolchain is available they return ``None`` and the Python
+    # scalar loop serves the cell instead.
+
+    def _kernel_shared_bus(self, bank_idx: np.ndarray, array_ns: np.ndarray,
+                           arrivals: np.ndarray, is_read: np.ndarray):
+        """Shared-bus schedule (DRAM, electrical PCM) via the compiled
+        exact twin; returns ``(admitted, start, finish, busy)`` or
+        ``None`` when the toolchain is unavailable."""
+        device = self.device
+        n = len(arrivals)
+        turn = np.zeros(n)
+        if n > 1:
+            np.multiply(is_read[1:] != is_read[:-1],
+                        device.bus_turnaround_ns, out=turn[1:])
+        refresh = device.refresh
+        has_ref = refresh is not None
+        return _fastloop.schedule_loop(
+            bank_idx, array_ns, arrivals, turn,
+            queue_depth=self.queue_depth, banks=device.banks,
+            burst=device.data_burst_ns, shared_bus=True,
+            overlap=device.burst_overlaps_array, has_refresh=has_ref,
+            interval=refresh.interval_ns if has_ref else 1.0,
+            duration=refresh.duration_ns if has_ref else 0.0,
+        )
+
+    def _kernel_global_queue(self, bank_idx: np.ndarray,
+                             array_ns: np.ndarray, arrivals: np.ndarray):
+        """Global-FIFO contention-free schedule (COSMOS-class devices,
+        per-bank admission fallbacks) via the compiled exact twin;
+        returns ``(admitted, start, finish, busy)`` or ``None`` when the
+        toolchain is unavailable."""
+        device = self.device
+        return _fastloop.schedule_loop(
+            bank_idx, array_ns, arrivals, np.zeros(len(arrivals)),
+            queue_depth=self.queue_depth, banks=device.banks,
+            burst=device.data_burst_ns, shared_bus=False,
+            overlap=device.burst_overlaps_array, has_refresh=False,
+            interval=1.0, duration=0.0,
         )
 
     # ------------------------------------------------------------------

@@ -138,6 +138,11 @@ class MemoryDeviceModel:
     #: (DRAM/EPCM shared buses, COSMOS's subtractive read-erase-read
     #: orchestration).
     per_bank_queues: bool = False
+    #: Master eligibility switch for the fast-path scheduler kernels.
+    #: True lets :attr:`fast_path_class` pick a kernel from the timing
+    #: structure; False pins the device to the scalar recurrence in
+    #: every tier (forced-fallback test cells, exotic device models).
+    allow_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.banks < 1 or self.line_bytes < 1:
@@ -163,6 +168,32 @@ class MemoryDeviceModel:
         per-bank chain, the structure the fast-path scheduler kernel
         exploits (all-photonic devices; DRAM fails on both counts)."""
         return not self.shared_bus and self.refresh is None
+
+    @property
+    def fast_path_class(self) -> Optional[str]:
+        """Which fast-path scheduler kernel covers this device's timing
+        structure (``None`` = scalar recurrence only).
+
+        * ``"per_bank"`` — contention-free with per-bank queues (COMET):
+          the schedule decomposes into independent per-bank chains the
+          vectorized prefix-fold kernel computes.
+        * ``"shared_bus"`` — a shared data bus orders every burst (DRAM
+          with refresh, electrical PCM): the compiled exact-twin kernel
+          runs the bus recurrence natively.
+        * ``"global_queue"`` — contention-free behind one global FIFO
+          (COSMOS): the compiled exact twin of the unshared recurrence.
+        * ``None`` — refresh without a shared bus (no Fig. 9 device):
+          only the generic scalar loop models it.
+        """
+        if not self.allow_fast_path:
+            return None
+        if self.contention_free and self.per_bank_queues:
+            return "per_bank"
+        if self.shared_bus:
+            return "shared_bus"
+        if self.refresh is None:
+            return "global_queue"
+        return None
 
     # -- address geometry ---------------------------------------------------
 

@@ -83,6 +83,8 @@ def build_comet_device(arch: Optional[CometArchitecture] = None) -> MemoryDevice
         # every bank an independent scheduler, so transaction queueing
         # decomposes per bank too (the fast-path kernel's precondition).
         per_bank_queues=True,
+        # fast_path_class == "per_bank": the prefix-fold kernel.
+        allow_fast_path=True,
         energy=EnergyModel(
             background_power_w=0.0,
             active_power_w=power.total_w * channels,
@@ -132,6 +134,10 @@ def build_cosmos_device(arch: Optional[CosmosArchitecture] = None) -> MemoryDevi
         write_occupancy_ns=timings.write_time_ns,
         shared_bus=False,  # generous lossless MDM-16 links (Section IV.B)
         burst_overlaps_array=True,
+        # fast_path_class == "global_queue" (also for COSMOS-direct,
+        # which shares this builder): the compiled exact-twin kernel of
+        # the unshared global-FIFO recurrence.
+        allow_fast_path=True,
         energy=EnergyModel(
             background_power_w=0.0,
             active_power_w=power.total_w * channels,
@@ -155,6 +161,9 @@ def build_epcm_device(config: EpcmConfig = EPCM_MM) -> MemoryDeviceModel:
         write_occupancy_ns=config.write_latency_ns,
         shared_bus=True,
         bus_turnaround_ns=6.0,
+        # fast_path_class == "shared_bus": the compiled exact-twin
+        # kernel of the bus-ordered recurrence (no refresh on PCM).
+        allow_fast_path=True,
         energy=EnergyModel(
             background_power_w=config.background_power_w,
             read_energy_j=config.read_energy_per_line_j,
@@ -186,6 +195,10 @@ def build_dram_device(config: DramConfig) -> MemoryDeviceModel:
         ),
         shared_bus=config.shared_bus,
         bus_turnaround_ns=6.0,
+        # fast_path_class == "shared_bus" (all DRAM configs keep the
+        # bus): the compiled exact-twin kernel runs the refresh+bus
+        # recurrence natively.
+        allow_fast_path=True,
         energy=EnergyModel(
             background_power_w=config.background_power_w,
             read_energy_j=config.dynamic_energy_per_line_j,

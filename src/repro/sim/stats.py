@@ -266,3 +266,34 @@ def geometric_mean(values: List[float]) -> float:
     if np.any(arr <= 0.0):
         raise SimulationError("geometric mean needs positive values")
     return float(np.exp(np.mean(np.log(arr))))
+
+
+def kernel_dispatch_summary(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Summarize fast-path dispatch counters into per-class rates.
+
+    ``counters`` is :func:`repro.sim.controller.kernel_counters` (or a
+    delta between two snapshots, as the evaluation server reports).
+    Terminal outcomes are the ``fast_*`` class hits plus the
+    ``fallback_device`` / ``fallback_toolchain`` scalar fallbacks;
+    ``fallback_admission`` marks a revert to the global-queue model
+    whose cell also lands in a terminal counter, so it stays out of the
+    scheduled total.  Schema-driven (classes come from the ``fast_*``
+    keys) so it works on any snapshot without importing the controller.
+    """
+    per_class = {key[len("fast_"):]: value
+                 for key, value in counters.items()
+                 if key.startswith("fast_")}
+    fast = counters.get("fast", sum(per_class.values()))
+    scheduled = fast + counters.get("fallback_device", 0) \
+        + counters.get("fallback_toolchain", 0)
+    return {
+        "scheduled": scheduled,
+        "fast": fast,
+        "hit_rate": (fast / scheduled) if scheduled else 0.0,
+        "per_class": per_class,
+        "fallbacks": {
+            "device": counters.get("fallback_device", 0),
+            "toolchain": counters.get("fallback_toolchain", 0),
+            "admission_reverts": counters.get("fallback_admission", 0),
+        },
+    }

@@ -127,3 +127,60 @@ class TestGoldenFullSize:
             speedup = (summary["COMET"]["bandwidth_gbps"]
                        / summary[other]["bandwidth_gbps"])
             assert golden * (1 - BAND) <= speedup <= golden * (1 + BAND)
+
+
+@pytest.mark.slow
+class TestSeedEnsemble:
+    """The Fig. 9 story is not a one-seed artifact: the golden bands
+    and every ordering claim hold at three extra trace seeds.
+
+    The goldens are *measured* at seed=1; other seeds draw different
+    traces, so the speedup point moves — the same +/-20 % band that
+    absorbs benign numeric drift must absorb seed-to-seed trace noise,
+    or the headline numbers are too fragile to quote.  Run with
+    ``pytest --runslow``.
+    """
+
+    EXTRA_SEEDS = (2, 3, 5)
+
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        return {seed: summarize(run_evaluation(num_requests=2500, seed=seed))
+                for seed in self.EXTRA_SEEDS}
+
+    def test_speedup_bands_hold_at_every_seed(self, ensemble):
+        for seed, summary in ensemble.items():
+            for other, golden in GOLDEN_BW_SPEEDUPS.items():
+                speedup = (summary["COMET"]["bandwidth_gbps"]
+                           / summary[other]["bandwidth_gbps"])
+                assert golden * (1 - BAND) <= speedup <= golden * (1 + BAND), (
+                    f"seed={seed}: COMET-vs-{other} speedup {speedup:.2f}x "
+                    f"left the golden band {golden:.2f}x +/- 20%")
+
+    def test_architecture_ordering_is_seed_stable(self, ensemble):
+        """The full bandwidth ranking — not just COMET-on-top — is the
+        same total order at every seed."""
+        orderings = {
+            seed: tuple(sorted(
+                ARCHITECTURE_NAMES,
+                key=lambda a: summary[a]["bandwidth_gbps"], reverse=True))
+            for seed, summary in ensemble.items()
+        }
+        baseline = summarize(run_evaluation(num_requests=2500, seed=1))
+        expected = tuple(sorted(
+            ARCHITECTURE_NAMES,
+            key=lambda a: baseline[a]["bandwidth_gbps"], reverse=True))
+        assert expected[0] == "COMET"
+        for seed, ordering in orderings.items():
+            assert ordering == expected, (
+                f"seed={seed} reshuffled the architecture ranking: "
+                f"{ordering} != {expected}")
+
+    def test_epb_ratios_hold_at_every_seed(self, ensemble):
+        for seed, summary in ensemble.items():
+            for other, golden in GOLDEN_EPB_RATIOS.items():
+                ratio = (summary[other]["epb_pj"]
+                         / summary["COMET"]["epb_pj"])
+                assert golden * (1 - BAND) <= ratio <= golden * (1 + BAND), (
+                    f"seed={seed}: {other} EPB ratio {ratio:.3f} left the "
+                    f"band around {golden:.3f}")

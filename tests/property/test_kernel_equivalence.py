@@ -1,90 +1,111 @@
 """Hypothesis equivalence: ``run_fast`` ↔ ``run`` ↔ ``run_reference``.
 
-The fast-path scheduler kernel must be indistinguishable from the
+Every fast-path scheduler kernel must be indistinguishable from the
 scalar tiers on *every* cell the evaluation substrate can name — all
 registered architectures (Fig. 9 seven + ablation variants), the full
 workload set, arbitrary request counts, seeds and queue-depth
-overrides, including the cells that must take a fallback (non-eligible
-devices, binding per-bank admission stamps).
+overrides, including the cells that must take a fallback (disabled
+kernel classes, ``allow_fast_path=False`` devices, a missing
+toolchain, binding per-bank admission stamps).
 
-``run_fast`` vs ``run`` is pinned as **complete SimStats equality**
-(bit-for-bit, every field).  ``run_reference`` re-associates its
-per-request energy sum, so the oracle comparison pins every
-schedule-derived field bit-for-bit and the energy to 1e-12 relative —
-the same contract PR 1 established between ``run`` and the oracle.
+The agreement contract — complete SimStats equality between the fast
+and scalar tiers plus the bit-for-bit oracle comparison — lives in
+:mod:`equivalence` and is shared with the micro-trace suites.
 """
 
-import pytest
+import os
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.sim import _fastloop
 from repro.sim import controller as controller_mod
-from repro.sim.controller import MemoryController
-from repro.sim.devices import EnergyModel, MemoryDeviceModel
-from repro.sim.engine import controller_for
-from repro.sim.factory import known_architectures
-from repro.sim.tracegen import WORKLOAD_NAMES, cached_trace_arrays
 
-#: Every registered architecture: the Fig. 9 seven plus the variants —
-#: kernel-eligible (COMET family), contention-free-but-global-queue
-#: (COSMOS family) and refresh/bus devices (DRAM, EPCM) all appear.
-ARCHES = st.sampled_from(known_architectures())
-WORKLOADS = st.sampled_from(WORKLOAD_NAMES)
+from equivalence import (architectures, assert_tiers_identical,
+                         disabled_classes, make_cell, make_device_cell,
+                         queue_depths, request_counts, seeds,
+                         shared_bus_devices, workloads, ARCHES_BY_CLASS,
+                         SHARED_BUS_ARCHES)
+
+RELAXED = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
 
 
-def _assert_equivalent(controller, trace, workload):
-    fast = controller.run_arrays(trace, workload_name=workload, fast=True)
-    scalar = controller.run_arrays(trace, workload_name=workload, fast=False)
-    assert fast.to_dict() == scalar.to_dict()
-    reference = controller.run_reference(trace.to_requests(), workload)
-    assert fast.latencies_ns == reference.latencies_ns
-    assert fast.sim_time_ns == reference.sim_time_ns
-    assert fast.busy_time_ns == reference.busy_time_ns
-    assert fast.active_time_ns == reference.active_time_ns
-    assert fast.refresh_count == reference.refresh_count
-    assert fast.row_hits == reference.row_hits
-    assert fast.row_misses == reference.row_misses
-    assert fast.op_energy_j == pytest.approx(reference.op_energy_j,
-                                             rel=1e-12)
-    return fast
+def test_registry_covers_every_kernel_class():
+    """The registry exercises all three kernels (and the suite below
+    therefore does too): per-bank, shared-bus and global-queue devices
+    all ship as named architectures."""
+    assert set(ARCHES_BY_CLASS) >= {"per_bank", "shared_bus",
+                                    "global_queue"}
+    assert len(SHARED_BUS_ARCHES) >= 5  # DRAM x4 + EPCM at minimum
 
 
 class TestKernelEquivalence:
-    @given(arch=ARCHES, workload=WORKLOADS,
-           # Mixed workloads need one request per component program.
-           num_requests=st.integers(min_value=2, max_value=400),
-           seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
-    @settings(max_examples=40, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @given(arch=architectures(), workload=workloads(),
+           num_requests=request_counts(), seed=seeds())
+    @RELAXED
     def test_three_tiers_agree_across_the_registry(
             self, arch, workload, num_requests, seed):
-        trace = cached_trace_arrays(workload, num_requests, seed)
-        _assert_equivalent(controller_for(arch), trace, workload)
+        assert_tiers_identical(make_cell(arch, workload, num_requests, seed))
 
-    @given(workload=WORKLOADS,
-           num_requests=st.integers(min_value=2, max_value=400),
-           queue_depth=st.integers(min_value=1, max_value=512))
-    @settings(max_examples=40, deadline=None,
+    @given(arch=architectures("shared_bus"), workload=workloads(),
+           num_requests=st.integers(min_value=200, max_value=2000),
+           seed=seeds())
+    @settings(max_examples=25, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
+    def test_shared_bus_archs_straddle_refresh_windows(
+            self, arch, workload, num_requests, seed):
+        """Long traces on the refresh+bus devices: arbitrary workload
+        shapes against the bus recurrence, refresh included."""
+        assert_tiers_identical(make_cell(arch, workload, num_requests, seed))
+
+    def test_refresh_windows_are_actually_straddled(self):
+        """The straddling claim, pinned deterministically: a long mcf
+        trace on every DDR architecture crosses refresh windows, so the
+        kernel's stall insertion (including the post-bus-wait re-check)
+        ran for real — not just traces too short to meet a boundary."""
+        for arch in SHARED_BUS_ARCHES:
+            if "DDR" not in arch:
+                continue
+            stats = assert_tiers_identical(make_cell(arch, "mcf", 2000, 1))
+            assert stats.refresh_count > 0
+
+    @given(workload=workloads(), num_requests=request_counts(),
+           queue_depth=queue_depths())
+    @RELAXED
     def test_queue_depth_overrides_agree_on_comet(
             self, workload, num_requests, queue_depth):
         """Small overrides force the admission fallback, large ones the
         kernel — both must match the scalar tiers exactly."""
-        trace = cached_trace_arrays(workload, num_requests, 1)
-        controller = controller_for("COMET", queue_depth=queue_depth)
-        _assert_equivalent(controller, trace, workload)
+        assert_tiers_identical(
+            make_cell("COMET", workload, num_requests, 1,
+                      queue_depth=queue_depth))
+
+    @given(device=shared_bus_devices(),
+           queue_depth=st.integers(min_value=1, max_value=64),
+           num_requests=st.integers(min_value=1, max_value=300),
+           seed=st.integers(min_value=0, max_value=1000))
+    @RELAXED
+    def test_synthetic_shared_bus_devices(self, device, queue_depth,
+                                          num_requests, seed):
+        """Bus devices beyond the presets: random turnaround penalties,
+        refresh intervals short enough that every trace straddles
+        windows, burst/array overlap on a bus, single-bank buses."""
+        assert_tiers_identical(
+            make_device_cell(device, "mcf", num_requests, seed % 7 + 1,
+                             queue_depth=queue_depth))
 
     @given(banks=st.integers(min_value=1, max_value=9),
            queue_depth=st.integers(min_value=1, max_value=64),
            overlap=st.booleans(),
            num_requests=st.integers(min_value=1, max_value=300),
            seed=st.integers(min_value=0, max_value=1000))
-    @settings(max_examples=40, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @RELAXED
     def test_synthetic_per_bank_devices(self, banks, queue_depth, overlap,
                                         num_requests, seed):
         """Per-bank-queue devices beyond the COMET presets: odd bank
         counts, tiny queues (admission fallback), both overlap modes."""
+        from repro.sim.devices import EnergyModel, MemoryDeviceModel
         device = MemoryDeviceModel(
             name="synthetic",
             line_bytes=128,
@@ -98,13 +119,68 @@ class TestKernelEquivalence:
             per_bank_queues=True,
             energy=EnergyModel(read_energy_j=1e-9, write_energy_j=2e-9),
         )
-        controller = MemoryController(device, queue_depth=queue_depth)
-        trace = cached_trace_arrays("mcf", num_requests, seed % 7 + 1)
-        _assert_equivalent(controller, trace, "mcf")
+        assert_tiers_identical(
+            make_device_cell(device, "mcf", num_requests, seed % 7 + 1,
+                             queue_depth=queue_depth))
 
-    def test_fallback_cells_were_exercised(self):
-        """Sanity on the suite itself: the dispatch counters show both
-        the kernel and its fallbacks ran during this module."""
+
+class TestForcedFallbacks:
+    @given(arch=architectures(), workload=workloads(),
+           num_requests=request_counts(max_value=200), seed=seeds(1000))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_disabled_kernel_classes_stay_identical(
+            self, arch, workload, num_requests, seed):
+        """With every kernel class disabled, run_fast is forced onto the
+        scalar recurrences — and still agrees with all tiers."""
+        with disabled_classes(*controller_mod.KERNEL_CLASSES):
+            before = controller_mod.kernel_counters()["fallback_device"]
+            assert_tiers_identical(
+                make_cell(arch, workload, num_requests, seed))
+            assert (controller_mod.kernel_counters()["fallback_device"]
+                    > before)
+
+    @given(device=shared_bus_devices(),
+           num_requests=st.integers(min_value=1, max_value=200),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fast_path_ineligible_devices(self, device, num_requests, seed):
+        """``allow_fast_path=False`` pins the scalar recurrence in every
+        tier and counts a device fallback."""
+        from dataclasses import replace
+        pinned = replace(device, allow_fast_path=False)
+        assert pinned.fast_path_class is None
+        before = controller_mod.kernel_counters()["fallback_device"]
+        assert_tiers_identical(
+            make_device_cell(pinned, "gcc", num_requests, seed % 5 + 1))
+        assert controller_mod.kernel_counters()["fallback_device"] > before
+
+    def test_missing_toolchain_stays_identical(self):
+        """REPRO_FASTLOOP=0 disables the compiled twin: shared-bus and
+        global-queue cells take the toolchain fallback, bit-identical."""
+        os.environ[_fastloop.FASTLOOP_ENV_VAR] = "0"
+        try:
+            assert not _fastloop.available()
+            before = controller_mod.kernel_counters()["fallback_toolchain"]
+            for arch in ("2D_DDR3", "EPCM-MM", "COSMOS"):
+                assert_tiers_identical(make_cell(arch, "libquantum", 120, 3))
+            assert (controller_mod.kernel_counters()["fallback_toolchain"]
+                    >= before + 3)
+        finally:
+            del os.environ[_fastloop.FASTLOOP_ENV_VAR]
+        assert _fastloop.available()
+
+    def test_fast_cells_were_exercised(self):
+        """Sanity on the suite itself: the dispatch counters show every
+        kernel class and every fallback reason ran during this module."""
+        # One deterministic cell per kernel class, so the assertion
+        # never depends on what hypothesis happened to sample above.
+        for arch in ("COMET", "2D_DDR3", "COSMOS"):
+            assert_tiers_identical(make_cell(arch, "mcf", 64, 2))
         counters = controller_mod.kernel_counters()
-        assert counters["fast"] > 0
+        assert counters["fast_per_bank"] > 0
+        assert counters["fast_shared_bus"] > 0
+        assert counters["fast_global_queue"] > 0
         assert counters["fallback_device"] > 0
+        assert counters["fallback_toolchain"] > 0

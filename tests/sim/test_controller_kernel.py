@@ -4,7 +4,9 @@ The kernel computes contention-free per-bank-queue schedules with
 grouped prefix passes; these tests pin
 
 * that it engages exactly on the device class it claims (contention
-  free **and** per-bank queues) and falls back everywhere else,
+  free **and** per-bank queues) while the other classes route to their
+  compiled exact-twin kernels (or to the scalar recurrences when a
+  class is disabled),
 * that engaged or fallback, ``run_fast`` / ``run_arrays(fast=True)``
   are bit-identical to the scalar ``run`` path and schedule-identical
   to ``run_reference``,
@@ -68,11 +70,33 @@ class TestDispatch:
         controller_for("COMET").run_arrays(trace)
         assert controller_mod.kernel_counters()["fast"] == 1
 
-    @pytest.mark.parametrize("arch", ["COSMOS", "3D_DDR4", "EPCM-MM"])
-    def test_other_devices_fall_back(self, arch):
+    @pytest.mark.parametrize("arch,kernel_class", [
+        ("COSMOS", "global_queue"),
+        ("3D_DDR4", "shared_bus"),
+        ("EPCM-MM", "shared_bus"),
+    ])
+    def test_other_devices_take_their_own_kernels(self, arch, kernel_class):
+        """DRAM/EPCM/COSMOS cells no longer fall back: each dispatches
+        to the compiled exact twin for its timing structure."""
         trace = cached_trace_arrays("gcc", 800, 1)
         controller_for(arch).run_arrays(trace)
         counters = controller_mod.kernel_counters()
+        assert counters["fast"] == 1
+        assert counters[f"fast_{kernel_class}"] == 1
+        assert counters["fallback_device"] == 0
+
+    @pytest.mark.parametrize("arch", ["COSMOS", "3D_DDR4", "EPCM-MM"])
+    def test_disabled_classes_fall_back_per_device(self, arch):
+        """With every kernel class disabled the old fallback behaviour
+        returns: scalar recurrences, one device fallback per cell."""
+        previous = controller_mod.set_disabled_fast_classes(
+            controller_mod.KERNEL_CLASSES)
+        try:
+            trace = cached_trace_arrays("gcc", 800, 1)
+            controller_for(arch).run_arrays(trace)
+            counters = controller_mod.kernel_counters()
+        finally:
+            controller_mod.set_disabled_fast_classes(previous)
         assert counters["fast"] == 0
         assert counters["fallback_device"] == 1
 
@@ -185,9 +209,15 @@ class TestCounters:
         trace = cached_trace_arrays("gcc", 500, 1)
         controller_for("COMET").run_arrays(trace)
         controller_for("COSMOS").run_arrays(trace)
+        controller_for("2D_DDR3").run_arrays(trace)
         counters = controller_mod.kernel_counters()
-        assert counters == {"fast": 1, "fallback_device": 1,
-                            "fallback_admission": 0}
+        assert counters == {"fast": 3,
+                            "fast_per_bank": 1,
+                            "fast_shared_bus": 1,
+                            "fast_global_queue": 1,
+                            "fallback_device": 0,
+                            "fallback_admission": 0,
+                            "fallback_toolchain": 0}
         controller_mod.reset_kernel_counters()
-        assert controller_mod.kernel_counters() == {
-            "fast": 0, "fallback_device": 0, "fallback_admission": 0}
+        assert all(v == 0
+                   for v in controller_mod.kernel_counters().values())

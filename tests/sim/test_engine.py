@@ -6,6 +6,8 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim import MainMemorySimulator
+from repro.sim import _fastloop
+from repro.sim import controller as controller_mod
 from repro.sim import engine
 from repro.sim.engine import (
     EvalTask,
@@ -14,6 +16,7 @@ from repro.sim.engine import (
     evaluate_cell,
     run_evaluation,
 )
+from repro.sim.stats import kernel_dispatch_summary
 from repro.sim.tracegen import cached_trace_arrays, generate_trace
 
 ARCHS = ("COSMOS", "EPCM-MM", "2D_DDR3")
@@ -209,6 +212,81 @@ class TestCaches:
         before = trace.arrivals_ns.copy()
         controller_for("2D_DDR3").run_arrays(trace)
         assert (trace.arrivals_ns == before).all()
+
+
+class TestKernelDispatchCounters:
+    """Per-reason fast-path accounting, pinned exactly across serial
+    engine runs (workers=1 keeps the counters in this process)."""
+
+    def test_grid_runs_entirely_on_kernels(self):
+        """Every cell of this grid dispatches to a kernel: COSMOS to
+        the global-queue twin, EPCM/DDR3 to the shared-bus twin —
+        zero fallbacks of any reason."""
+        controller_mod.reset_kernel_counters()
+        run_evaluation(architectures=ARCHS, workloads=WORKLOADS,
+                       num_requests=400, seed=7, workers=1)
+        assert controller_mod.kernel_counters() == {
+            "fast": 9,
+            "fast_per_bank": 0,
+            "fast_shared_bus": 6,
+            "fast_global_queue": 3,
+            "fallback_device": 0,
+            "fallback_admission": 0,
+            "fallback_toolchain": 0,
+        }
+
+    def test_disabled_classes_count_device_fallbacks(self):
+        previous = controller_mod.set_disabled_fast_classes(
+            controller_mod.KERNEL_CLASSES)
+        try:
+            controller_mod.reset_kernel_counters()
+            run_evaluation(architectures=ARCHS, workloads=WORKLOADS[:1],
+                           num_requests=200, seed=1, workers=1)
+            counters = controller_mod.kernel_counters()
+        finally:
+            controller_mod.set_disabled_fast_classes(previous)
+        assert counters["fallback_device"] == 3
+        assert counters["fast"] == 0
+        assert counters["fallback_toolchain"] == 0
+
+    def test_missing_toolchain_counted_per_cell(self, monkeypatch):
+        """REPRO_FASTLOOP=0: one toolchain fallback per compiled-twin
+        cell, while the pure-numpy per-bank kernel keeps dispatching."""
+        monkeypatch.setenv(_fastloop.FASTLOOP_ENV_VAR, "0")
+        controller_mod.reset_kernel_counters()
+        run_evaluation(architectures=ARCHS + ("COMET",),
+                       workloads=WORKLOADS[:1],
+                       num_requests=200, seed=1, workers=1)
+        counters = controller_mod.kernel_counters()
+        assert counters["fallback_toolchain"] == 3
+        assert counters["fast_per_bank"] == 1
+        assert counters["fast"] == 1
+        assert counters["fallback_device"] == 0
+
+    def test_admission_revert_is_a_marker_not_a_terminal(self):
+        """A binding per-bank stamp reverts the cell to the global-queue
+        model, which the compiled twin then serves: the revert marker
+        and the terminal kernel dispatch are counted side by side."""
+        controller_mod.reset_kernel_counters()
+        evaluate_cell(EvalTask("COMET", "lbm", 1500, 1, queue_depth=8))
+        counters = controller_mod.kernel_counters()
+        assert counters["fallback_admission"] == 1
+        assert counters["fast_global_queue"] == 1
+        assert counters["fast"] == 1
+        assert counters["fast_per_bank"] == 0
+
+    def test_dispatch_summary_reconciles(self):
+        controller_mod.reset_kernel_counters()
+        run_evaluation(architectures=ARCHS, workloads=WORKLOADS,
+                       num_requests=300, seed=2, workers=1)
+        summary = kernel_dispatch_summary(controller_mod.kernel_counters())
+        assert summary["scheduled"] == 9
+        assert summary["fast"] == 9
+        assert summary["hit_rate"] == 1.0
+        assert summary["per_class"] == {
+            "per_bank": 0, "shared_bus": 6, "global_queue": 3}
+        assert summary["fallbacks"] == {
+            "device": 0, "toolchain": 0, "admission_reverts": 0}
 
 
 class TestWorkloadLookup:
