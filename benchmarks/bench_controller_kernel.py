@@ -20,6 +20,11 @@ Three acceptance gates ride this file:
   come out >= 1.5x faster; the whole grid keeps its >= 1.05x floor
   from PR 5 (now comfortably exceeded — the exact-twin kernels lifted
   the DRAM/EPCM cells too).
+* **Pool gate** — the warm full grid (every registered architecture x
+  SPEC workload) through the engine's thread pool must be bit-identical
+  to serial, at least match fork-pool throughput, and run at a 100%
+  compiled-kernel hit rate (per-bank cells dispatch to the compiled
+  exact twin, counted by ``twin_per_bank``).
 
 ``main()`` (or the ``BENCH_KERNEL_JSON`` env var under pytest) writes
 ``BENCH_kernel.json`` — cold-grid wall times, per-class fast-path hit
@@ -43,7 +48,7 @@ import numpy as np
 
 from repro.sim import controller as controller_mod
 from repro.sim.engine import controller_for, run_evaluation
-from repro.sim.factory import ARCHITECTURE_NAMES
+from repro.sim.factory import ARCHITECTURE_NAMES, known_architectures
 from repro.sim.stats import kernel_dispatch_summary
 from repro.sim.tracegen import SPEC_WORKLOADS, cached_trace_arrays
 
@@ -229,6 +234,61 @@ def measure_shared_bus_grid(n: int = GRID_N,
     }
 
 
+def measure_pool_grid(n: int = GRID_N, repeats: int = 3,
+                      workers: int = 2) -> Dict[str, object]:
+    """Warm full grid (every registered architecture x SPEC workload)
+    through the engine's pool abstraction: threads vs fork.
+
+    Warm means device builds, trace generation and twin compilation are
+    paid before the timers start, so the ratio isolates the execution
+    plane itself — in-process thread submits against fork's pickling,
+    IPC and trace-plane publication.  Bit-identity of the full stats
+    against a serial pass is asserted for both pools on every cell,
+    and the compiled-dispatch counters (``twin_per_bank`` for per-bank
+    cells, the exact-twin classes for the rest) must cover the grid.
+    """
+    archs = known_architectures()
+    names = sorted(SPEC_WORKLOADS)
+    kwargs = dict(architectures=archs, workloads=names,
+                  num_requests=n, seed=1)
+    for arch in archs:
+        controller_for(arch)          # device builds are one-time work
+    for name in names:
+        cached_trace_arrays(name, n, 1)
+    serial = run_evaluation(workers=1, pool="serial", **kwargs)
+
+    times: Dict[str, float] = {}
+    for pool in ("threads", "fork"):
+        # Warm pass builds the pool (fork additionally publishes the
+        # trace plane) and checks bit-identity against serial.
+        warm = run_evaluation(workers=workers, pool=pool, **kwargs)
+        for arch in archs:
+            for name in names:
+                assert warm[arch][name].to_dict() \
+                    == serial[arch][name].to_dict(), (pool, arch, name)
+        times[pool] = _timeit(
+            lambda: run_evaluation(workers=workers, pool=pool, **kwargs),
+            repeats)
+
+    controller_mod.reset_kernel_counters()
+    run_evaluation(workers=workers, pool="threads", **kwargs)
+    counters = controller_mod.kernel_counters()
+    compiled = (counters["twin_per_bank"] + counters["fast_shared_bus"]
+                + counters["fast_global_queue"])
+    cells = len(archs) * len(names)
+    return {
+        "n": n,
+        "cells": cells,
+        "workers": workers,
+        "threads_s": times["threads"],
+        "fork_s": times["fork"],
+        "threads_over_fork": times["fork"] / times["threads"],
+        "compiled_dispatches": compiled,
+        "compiled_hit_rate": compiled / cells,
+        "twin_per_bank": counters["twin_per_bank"],
+    }
+
+
 def _emit_json(payload: Dict[str, object], path: str) -> None:
     # Merge into an existing report: pytest runs each gate as its own
     # item, and every gate contributes its own top-level key.
@@ -338,6 +398,34 @@ def bench_cold_grid_speedup():
         f"scalar recurrence")
 
 
+def bench_pool_throughput():
+    """Acceptance gate: thread pool >= fork pool on the warm full grid
+    (bit-identity is asserted inside the measurement), 100% compiled."""
+    best = None
+    for _attempt in range(GATE_ATTEMPTS):
+        grid = measure_pool_grid()
+        if best is None or grid["threads_over_fork"] \
+                > best["threads_over_fork"]:
+            best = grid
+        if best["threads_over_fork"] >= 1.0:
+            break
+    print(f"\n  warm full grid (n={best['n']}, {best['cells']} cells, "
+          f"{best['workers']} workers)")
+    print(f"  fork pool    : {best['fork_s']:.2f} s")
+    print(f"  thread pool  : {best['threads_s']:.2f} s "
+          f"-> {best['threads_over_fork']:.2f}x")
+    print(f"  compiled     : {best['compiled_dispatches']}/{best['cells']} "
+          f"cells ({best['compiled_hit_rate']:.0%}, "
+          f"{best['twin_per_bank']} per-bank twin)")
+    _maybe_emit({"pool_grid": best})
+    assert best["threads_over_fork"] >= 1.0, (
+        f"thread pool only {best['threads_over_fork']:.2f}x of fork-pool "
+        f"throughput on the warm grid")
+    assert best["compiled_hit_rate"] == 1.0, (
+        f"compiled-kernel hit rate {best['compiled_hit_rate']:.2f} < 1.0 "
+        f"on the warm full grid")
+
+
 def main() -> None:
     json_path = None
     argv = sys.argv[1:]
@@ -347,6 +435,7 @@ def main() -> None:
     kernel_small = measure_kernel(KERNEL_N_SMALL, repeats=2)
     shared = measure_shared_bus_grid()
     grid = measure_cold_grid()
+    pool = measure_pool_grid()
     print(f"fast-path scheduler kernel (COMET SPEC cells):")
     print(f"  n={kernel['n']}: {kernel['speedup']:.1f}x over the scalar "
           f"recurrence ({kernel['scalar_s']*1e3:.0f} ms -> "
@@ -363,9 +452,15 @@ def main() -> None:
           f"half {grid['photonic_speedup']:.2f}x)")
     print(f"  fast-path hit rate {grid['fast_path_hit_rate']:.0%}, "
           f"engine wall time {grid['engine_cold_grid_s']:.2f} s")
+    print(f"warm full grid, thread vs fork pool (n={pool['n']}, "
+          f"{pool['cells']} cells):")
+    print(f"  fork {pool['fork_s']:.2f} s -> threads {pool['threads_s']:.2f} "
+          f"s ({pool['threads_over_fork']:.2f}x; compiled hit rate "
+          f"{pool['compiled_hit_rate']:.0%})")
     if json_path:
         _emit_json({"kernel": kernel, "kernel_small": kernel_small,
-                    "shared_bus_grid": shared, "cold_grid": grid},
+                    "shared_bus_grid": shared, "cold_grid": grid,
+                    "pool_grid": pool},
                    json_path)
         print(f"wrote {json_path}")
 

@@ -16,6 +16,7 @@ an NVMain trace file::
 or the full evaluation grid through the parallel engine::
 
     python -m repro.sim --arch ALL --grid --workers 4
+    python -m repro.sim --arch ALL --grid --workers 4 --pool threads
     python -m repro.sim --arch ALL --grid --workloads mcf,bursty,checkpoint
 
 with a persistent result store (incremental + resumable) and export::
@@ -44,7 +45,7 @@ import sys
 import tempfile
 
 from ..errors import SimulationError
-from .engine import _resolve_workers
+from .engine import POOL_MODES, _resolve_workers
 from .factory import ARCHITECTURE_NAMES, known_architectures
 from .simulator import MainMemorySimulator, summarize
 from .stats import SimStats
@@ -75,9 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="grid workload set: 'spec' (default), 'all', "
                              "or a comma-separated list of workload names")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes for --grid (default: "
+                        help="pool workers for --grid (default: "
                              "serial, or $REPRO_EVAL_WORKERS; 0 = one "
                              "per CPU)")
+    parser.add_argument("--pool", choices=("auto",) + POOL_MODES,
+                        default=None,
+                        help="execution pool for --grid: 'threads' "
+                             "(in-process, GIL released by the compiled "
+                             "kernel twin), 'fork' (process pool + "
+                             "shared-memory trace plane), 'serial', or "
+                             "'auto' (threads when the twin compiles; "
+                             "default, or $REPRO_POOL)")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="persistent result store for --grid: every "
                              "cell is checkpointed as it completes")
@@ -90,10 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export destination ('-' = stdout)")
     parser.add_argument("--profile", action="store_true",
                         help="with --grid: print per-phase wall times "
-                             "(trace fetch, simulate, store I/O), the "
-                             "scheduler-kernel hit rate and trace-plane "
-                             "usage after the run (this process's "
-                             "phases; workers keep their own)")
+                             "(trace fetch, simulate, store I/O), "
+                             "per-pool run timings, the scheduler-kernel "
+                             "hit rate and trace-plane usage after the "
+                             "run")
     parser.add_argument("--requests", type=int, default=20_000,
                         help="request count for synthetic workloads")
     parser.add_argument("--seed", type=int, default=1)
@@ -132,16 +141,20 @@ def _print_profile(table, workers) -> None:
     from .tracegen import trace_plane_stats
 
     phases = engine.profile_snapshot()
+    pools = engine.pool_profile_snapshot()
     kernel = kernel_dispatch_summary(controller.kernel_counters())
     plane = trace_plane_stats()
     classes = "/".join(
         f"{name} {kernel['per_class'].get(name, 0)}"
         for name in controller.KERNEL_CLASSES)
     fallbacks = kernel["fallbacks"]
-    print("profile (this process):", file=table)
+    print("profile:", file=table)
     print(f"  trace fetch  : {phases['trace_s']:8.3f} s", file=table)
     print(f"  simulate     : {phases['simulate_s']:8.3f} s", file=table)
     print(f"  store I/O    : {phases['store_s']:8.3f} s", file=table)
+    for mode, usage in sorted(pools.items()):
+        print(f"  pool {mode:8s}: {usage['wall_s']:8.3f} s "
+              f"({usage['runs']} runs, {usage['cells']} cells)", file=table)
     print(f"  kernel       : {kernel['fast']}/{kernel['scheduled']} cells "
           f"on the fast path ({classes}; fallbacks: "
           f"{fallbacks['device']} device, {fallbacks['toolchain']} "
@@ -151,8 +164,9 @@ def _print_profile(table, workers) -> None:
           f"({plane['owned_bytes'] / 1024:.0f} KiB), "
           f"{plane['attached_segments']} attached", file=table)
     if workers != 1:
-        print("  note: compute phases run inside pool workers; their "
-              "timings stay in the workers", file=table)
+        print("  note: fork workers time their own compute phases; "
+              "per-cell simulate/store deltas are merged back above",
+              file=table)
 
 
 def _run_grid(args: argparse.Namespace,
@@ -212,7 +226,7 @@ def _run_grid(args: argparse.Namespace,
             controller.reset_kernel_counters()
         try:
             sweep = run_sweep(spec, store=store, workers=args.workers,
-                              resume=args.resume)
+                              resume=args.resume, pool=args.pool)
         except (SimulationError, OSError) as error:
             # A runtime failure (cell error, disk full mid-checkpoint),
             # not a bad argument: report it plainly and point at the
@@ -360,8 +374,9 @@ def main(argv=None) -> int:
             return 130
     if args.arch == "ALL":
         parser.error("--arch ALL requires --grid")
-    if args.workers is not None or args.workloads is not None:
-        parser.error("--workers/--workloads only apply with --grid")
+    if args.workers is not None or args.workloads is not None \
+            or args.pool is not None:
+        parser.error("--workers/--workloads/--pool only apply with --grid")
     if args.profile:
         parser.error("--profile only applies with --grid")
     if args.store is not None or args.export is not None:

@@ -37,8 +37,9 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -50,25 +51,76 @@ FASTLOOP_ENV_VAR = "REPRO_FASTLOOP"
 #: package tree is read-only).
 CACHE_ENV_VAR = "REPRO_FASTLOOP_CACHE"
 
-# One routine covers every global-FIFO device class: the shared-bus
-# loops (DRAM with refresh, electrical PCM), the unshared loop (COSMOS,
-# per-bank admission fallbacks) and the generic flag combination, all
-# selected by runtime flags.  The body is a line-for-line transcription
-# of MemoryController._recurrence_refresh_bus with the same branch
-# structure the other loops specialize away; identical operation order
-# is what makes it bit-identical, so edits here must track controller.py.
+# One routine covers every device class.  ``per_bank`` selects the
+# contention-free per-bank-queue recurrence (COMET-class photonic
+# parts): a line-for-line transcription of
+# MemoryController._recurrence_per_bank in deadline space, with the
+# per-bank finish history kept in a flat circular buffer (only the
+# entry ``served - bank_queue_depth`` is ever read, so one slot per
+# queue position suffices).  It returns 1 when an admission stamp
+# would bind service — the same admissibility rule as every other
+# tier — and the caller reverts the cell to the global-queue model.
+# Otherwise the global-FIFO branch covers the shared-bus loops (DRAM
+# with refresh, electrical PCM), the unshared loop (COSMOS, per-bank
+# admission fallbacks) and the generic flag combination, transcribed
+# from MemoryController._recurrence_refresh_bus with the same branch
+# structure the other loops specialize away.  Identical operation
+# order is what makes every branch bit-identical, so edits here must
+# track controller.py.
 _C_SOURCE = r"""
 #include <math.h>
 
-void repro_schedule_loop(
+int repro_schedule_loop(
     long long n, const long long *bank, const double *array_ns,
     const double *arrivals, const double *turn,
     long long queue_depth, long long banks,
     double burst, int shared_bus, int overlap,
     int has_refresh, double interval, double duration,
+    int per_bank, long long bank_queue_depth,
     double *admitted, double *start_out, double *finish,
-    double *bank_free, double *bank_busy, double *busy_total)
+    double *bank_free, double *bank_busy, double *busy_total,
+    double *bank_cum, double *bank_peak, long long *bank_served,
+    double *history)
 {
+    if (per_bank) {
+        for (long long i = 0; i < n; i++) {
+            long long b = bank[i];
+            double arrival = arrivals[i];
+            double occupancy = overlap ? array_ns[i]
+                                       : array_ns[i] + burst;
+            double cum_prev = bank_cum[b];
+            double deadline = arrival - cum_prev;
+            double peak = bank_peak[b];
+            if (deadline > peak) {
+                peak = deadline;
+                bank_peak[b] = deadline;
+            }
+            double start = peak + cum_prev;
+            double cum_next = cum_prev + occupancy;
+            double release = peak + cum_next;
+            double fin = overlap ? release + burst : release;
+            long long served = bank_served[b];
+            long long slot = b * bank_queue_depth
+                             + served % bank_queue_depth;
+            double adm = arrival;
+            if (served >= bank_queue_depth) {
+                double stamp = history[slot];
+                if (stamp > adm) adm = stamp;
+                if (adm > start) return 1;  /* queue binds: revert */
+            }
+            history[slot] = fin;
+            bank_served[b] = served + 1;
+            bank_cum[b] = cum_next;
+            bank_busy[b] += release - start;
+            admitted[i] = adm;
+            start_out[i] = start;
+            finish[i] = fin;
+        }
+        double total = 0.0;
+        for (long long b = 0; b < banks; b++) total += bank_busy[b];
+        *busy_total = total;
+        return 0;
+    }
     double bus_free = 0.0;
     for (long long i = 0; i < n; i++) {
         double adm = arrivals[i];
@@ -110,8 +162,16 @@ void repro_schedule_loop(
     double total = 0.0;
     for (long long b = 0; b < banks; b++) total += bank_busy[b];
     *busy_total = total;
+    return 0;
 }
 """
+
+#: Returned by :func:`schedule_loop` (``per_bank=True``) when an
+#: admission stamp would bind service: the cell must revert to the
+#: global-queue model, exactly as the numpy kernel's ``None`` and the
+#: scalar twin signal.  Distinct from ``None``, which still means "no
+#: compiled twin in this process" (missing toolchain / disabled).
+ADMISSION_BINDS = object()
 
 #: ``None`` = not probed yet; ``False`` = unavailable this process.
 _LIB: Optional[object] = None
@@ -161,7 +221,7 @@ def _load():
     except OSError:
         return None
     fn = lib.repro_schedule_loop
-    fn.restype = None
+    fn.restype = ctypes.c_int
     fn.argtypes = [
         ctypes.c_longlong, ctypes.POINTER(ctypes.c_longlong),
         ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
@@ -169,11 +229,25 @@ def _load():
         ctypes.c_longlong, ctypes.c_longlong,
         ctypes.c_double, ctypes.c_int, ctypes.c_int,
         ctypes.c_int, ctypes.c_double, ctypes.c_double,
+        ctypes.c_int, ctypes.c_longlong,
         ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
         ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
         ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_longlong), ctypes.POINTER(ctypes.c_double),
     ]
     return fn
+
+
+#: Serializes the first-use probe: under the thread pool many workers
+#: can race into :func:`available` before anyone has compiled/dlopened
+#: the twin; the double-checked lock makes exactly one thread probe.
+_PROBE_LOCK = threading.Lock()
+
+# Forked children must not inherit a lock a pool thread held mid-probe.
+os.register_at_fork(
+    after_in_child=lambda: globals().update(
+        _PROBE_LOCK=threading.Lock()))
 
 
 def available() -> bool:
@@ -182,8 +256,10 @@ def available() -> bool:
     if os.environ.get(FASTLOOP_ENV_VAR, "1") == "0":
         return False
     if not _PROBED:
-        _LIB = _load()
-        _PROBED = True
+        with _PROBE_LOCK:
+            if not _PROBED:
+                _LIB = _load()
+                _PROBED = True
     return _LIB is not None
 
 
@@ -203,11 +279,17 @@ def schedule_loop(
     turn: np.ndarray, queue_depth: int, banks: int, burst: float,
     shared_bus: bool, overlap: bool, has_refresh: bool,
     interval: float, duration: float,
-) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, float]]:
+    per_bank: bool = False, bank_queue_depth: int = 1,
+):
     """Run the compiled twin; ``None`` when unavailable.
 
     Returns ``(admitted, start, finish, busy)`` bit-identical to the
-    matching ``MemoryController._recurrence_*`` scalar loop.
+    matching ``MemoryController._recurrence_*`` scalar loop.  With
+    ``per_bank=True`` the per-bank-queue recurrence runs instead
+    (``bank_queue_depth`` is the per-bank admission slice); a binding
+    admission stamp returns the :data:`ADMISSION_BINDS` sentinel so the
+    caller can revert the cell to the global-queue model, while ``None``
+    still means the twin itself is unavailable.
     """
     if not available():
         return None
@@ -222,7 +304,12 @@ def schedule_loop(
     bank_free = np.zeros(banks)
     bank_busy = np.zeros(banks)
     busy_total = ctypes.c_double(0.0)
-    _LIB(
+    qd_b = max(1, int(bank_queue_depth)) if per_bank else 1
+    bank_cum = np.zeros(banks if per_bank else 1)
+    bank_peak = np.full(banks if per_bank else 1, -np.inf)
+    bank_served = np.zeros(banks if per_bank else 1, dtype=np.int64)
+    history = np.empty((banks * qd_b) if per_bank else 1)
+    rc = _LIB(
         ctypes.c_longlong(n),
         bank_c.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong)),
         _as_double_ptr(array_c), _as_double_ptr(arrivals_c),
@@ -233,8 +320,15 @@ def schedule_loop(
         ctypes.c_int(1 if overlap else 0),
         ctypes.c_int(1 if has_refresh else 0),
         ctypes.c_double(interval), ctypes.c_double(duration),
+        ctypes.c_int(1 if per_bank else 0),
+        ctypes.c_longlong(qd_b),
         _as_double_ptr(admitted), _as_double_ptr(start),
         _as_double_ptr(finish), _as_double_ptr(bank_free),
         _as_double_ptr(bank_busy), ctypes.byref(busy_total),
+        _as_double_ptr(bank_cum), _as_double_ptr(bank_peak),
+        bank_served.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong)),
+        _as_double_ptr(history),
     )
+    if rc != 0:
+        return ADMISSION_BINDS
     return admitted, start, finish, busy_total.value

@@ -75,6 +75,8 @@ to the scalar paths rather than merely close.
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -107,17 +109,36 @@ KERNEL_CLASSES: Tuple[str, ...] = ("per_bank", "shared_bus", "global_queue")
 #: a per-bank admission stamp bound service, so the cell reverted to the
 #: global-queue model — whose own terminal counter then fires.  Read via
 #: :func:`kernel_counters`; the ``--profile`` CLI, ``/stats.kernel`` and
-#: the kernel bench report the hit rate.  Counters are per process —
-#: under engine fan-out each worker keeps its own.
+#: the kernel bench report the hit rate.
+#: ``twin_per_bank`` is an *attribution* sub-counter, not a terminal
+#: outcome: of the ``fast_per_bank`` hits, how many the compiled exact
+#: twin served (the numpy prefix-fold kernel serves the rest when no C
+#: toolchain exists).  It is deliberately not ``fast_``-prefixed so the
+#: schema-driven per-class summary keeps counting each cell once.
+#: Counters are process-wide and thread-safe (every mutation holds
+#: ``_COUNTER_LOCK``); under fork fan-out each worker keeps its own and
+#: the engine merges the deltas back via :func:`merge_kernel_counters`.
 _KERNEL_COUNTERS = {
     "fast": 0,
     "fast_per_bank": 0,
     "fast_shared_bus": 0,
     "fast_global_queue": 0,
+    "twin_per_bank": 0,
     "fallback_device": 0,
     "fallback_admission": 0,
     "fallback_toolchain": 0,
 }
+
+#: Guards every read-modify-write of ``_KERNEL_COUNTERS``: the thread
+#: pool dispatches schedules concurrently, and ``+=`` on a dict entry
+#: is not atomic under free-threaded execution.
+_COUNTER_LOCK = threading.Lock()
+
+# A fork while a pool thread holds the counter lock would leave the
+# child's inherited copy locked forever; give the child a fresh one.
+os.register_at_fork(
+    after_in_child=lambda: globals().update(
+        _COUNTER_LOCK=threading.Lock()))
 
 #: Kernel classes the dispatcher must not engage (process-wide): the
 #: kernel bench reconstructs the PR 5 baseline by disabling the
@@ -128,13 +149,35 @@ _DISABLED_FAST_CLASSES: frozenset = frozenset()
 
 def kernel_counters() -> Dict[str, int]:
     """Snapshot of the fast-path dispatch counters (this process)."""
-    return dict(_KERNEL_COUNTERS)
+    with _COUNTER_LOCK:
+        return dict(_KERNEL_COUNTERS)
 
 
 def reset_kernel_counters() -> None:
     """Zero the fast-path dispatch counters (tests, benchmarks)."""
-    for key in _KERNEL_COUNTERS:
-        _KERNEL_COUNTERS[key] = 0
+    with _COUNTER_LOCK:
+        for key in _KERNEL_COUNTERS:
+            _KERNEL_COUNTERS[key] = 0
+
+
+def merge_kernel_counters(delta: Dict[str, int]) -> None:
+    """Fold a per-worker counter delta into this process's counters.
+
+    The fork pool's workers dispatch schedules in their own processes;
+    each task returns ``kernel_counters()`` deltas alongside its result
+    and the parent merges them here, so ``--profile`` and the server's
+    ``/stats.kernel`` report the whole grid instead of only the cells
+    the parent scheduled itself.  Unknown keys are accepted (a newer
+    worker may report counters an older parent doesn't know)."""
+    with _COUNTER_LOCK:
+        for key, value in delta.items():
+            if value:
+                _KERNEL_COUNTERS[key] = _KERNEL_COUNTERS.get(key, 0) + value
+
+
+def _count(key: str) -> None:
+    with _COUNTER_LOCK:
+        _KERNEL_COUNTERS[key] += 1
 
 
 def set_disabled_fast_classes(classes) -> frozenset:
@@ -160,9 +203,12 @@ def disabled_fast_classes() -> frozenset:
     return _DISABLED_FAST_CLASSES
 
 
-def _count_fast(kernel_class: str) -> None:
-    _KERNEL_COUNTERS["fast"] += 1
-    _KERNEL_COUNTERS["fast_" + kernel_class] += 1
+def _count_fast(kernel_class: str, compiled: bool = False) -> None:
+    with _COUNTER_LOCK:
+        _KERNEL_COUNTERS["fast"] += 1
+        _KERNEL_COUNTERS["fast_" + kernel_class] += 1
+        if compiled and kernel_class == "per_bank":
+            _KERNEL_COUNTERS["twin_per_bank"] += 1
 
 
 @dataclass
@@ -299,22 +345,33 @@ class MemoryController:
         device = self.device
         kernel_class = device.fast_path_class
         if kernel_class is None or kernel_class in _DISABLED_FAST_CLASSES:
-            _KERNEL_COUNTERS["fallback_device"] += 1
+            _count("fallback_device")
             return self._schedule(addresses, is_read, arrivals)
         self._check_sorted(arrivals)
         bank_idx, array_ns, row_hits, row_misses = \
             self._precompute(addresses, is_read)
         if kernel_class == "per_bank":
-            schedule = self._kernel(bank_idx, array_ns, arrivals,
-                                    row_hits, row_misses)
-            if schedule is not None:
-                _count_fast("per_bank")
-                return schedule
+            # Compiled twin first (GIL-releasing; what the thread pool
+            # scales on), numpy prefix-fold kernel when no C toolchain
+            # exists — either way the cell is a per-bank fast hit.
+            result = self._kernel_per_bank_twin(bank_idx, array_ns,
+                                                arrivals)
+            if result is not None \
+                    and result is not _fastloop.ADMISSION_BINDS:
+                _count_fast("per_bank", compiled=True)
+                return self._finalize(*result, row_hits=row_hits,
+                                      row_misses=row_misses)
+            if result is None:
+                schedule = self._kernel(bank_idx, array_ns, arrivals,
+                                        row_hits, row_misses)
+                if schedule is not None:
+                    _count_fast("per_bank")
+                    return schedule
             # A per-bank admission stamp would land after its chain
             # start: the cell reverts to the global-queue model — served
             # by the global-queue kernel when that class is enabled, by
             # the scalar loop otherwise.
-            _KERNEL_COUNTERS["fallback_admission"] += 1
+            _count("fallback_admission")
             return self._run_global_queue(bank_idx, array_ns, arrivals,
                                           row_hits, row_misses)
         if kernel_class == "shared_bus":
@@ -324,7 +381,7 @@ class MemoryController:
                 _count_fast("shared_bus")
                 return self._finalize(*result, row_hits=row_hits,
                                       row_misses=row_misses)
-            _KERNEL_COUNTERS["fallback_toolchain"] += 1
+            _count("fallback_toolchain")
             if device.refresh is not None:
                 result = self._recurrence_refresh_bus(
                     bank_idx, array_ns, arrivals, is_read)
@@ -350,9 +407,9 @@ class MemoryController:
                 _count_fast("global_queue")
                 return self._finalize(*result, row_hits=row_hits,
                                       row_misses=row_misses)
-            _KERNEL_COUNTERS["fallback_toolchain"] += 1
+            _count("fallback_toolchain")
         else:
-            _KERNEL_COUNTERS["fallback_device"] += 1
+            _count("fallback_device")
         return self._finalize(*self._recurrence_unshared(
             bank_idx, array_ns, arrivals),
             row_hits=row_hits, row_misses=row_misses)
@@ -507,6 +564,26 @@ class MemoryController:
     # (:mod:`._fastloop`); bit-identity holds by construction, and when
     # no C toolchain is available they return ``None`` and the Python
     # scalar loop serves the cell instead.
+
+    def _kernel_per_bank_twin(self, bank_idx: np.ndarray,
+                              array_ns: np.ndarray, arrivals: np.ndarray):
+        """Per-bank-queue schedule (COMET-class photonic parts) via the
+        compiled exact twin of ``_recurrence_per_bank``.
+
+        Returns ``(admitted, start, finish, busy)``,
+        :data:`._fastloop.ADMISSION_BINDS` when an admission stamp
+        binds service (the caller reverts to the global-queue model),
+        or ``None`` when the toolchain is unavailable (the numpy
+        prefix-fold kernel then serves the cell)."""
+        device = self.device
+        return _fastloop.schedule_loop(
+            bank_idx, array_ns, arrivals, np.zeros(len(arrivals)),
+            queue_depth=self.queue_depth, banks=device.banks,
+            burst=device.data_burst_ns, shared_bus=False,
+            overlap=device.burst_overlaps_array, has_refresh=False,
+            interval=1.0, duration=0.0,
+            per_bank=True, bank_queue_depth=self.bank_queue_depth,
+        )
 
     def _kernel_shared_bus(self, bank_idx: np.ndarray, array_ns: np.ndarray,
                            arrivals: np.ndarray, is_read: np.ndarray):

@@ -8,23 +8,33 @@ model.  The engine removes both:
 * **Per-process caches** — devices are built once per architecture and
   traces generated once per ``(workload, n, seed)`` (write-locked
   column arrays, shared read-only between cells).
-* **Process fan-out** — with ``workers > 1`` the grid is mapped over a
-  *persistent* ``multiprocessing`` pool in *workload-major* chunks.
-  The pool survives across ``evaluate_tasks`` / ``run_evaluation`` /
-  sweep calls (and therefore across server requests riding them), so
-  repeated grid passes pay the fork cost once; it is torn down on
-  process exit, on :func:`shutdown_worker_pool`, and by
-  :func:`clear_device_caches` (workers hold the same memoized state the
-  parent is invalidating).  Results come back in task order, so the
-  output is deterministic and bit-identical to the serial path
-  regardless of worker count or scheduling.
-* **Zero-copy trace plane** — before fanning out, the parent publishes
-  each distinct ``(workload, n, seed)`` trace into shared memory and
-  ships workers a tiny :class:`~repro.sim.tracegen.TraceDescriptor`
-  per task instead of having every worker regenerate (or unpickle) the
-  column arrays; workers attach each segment once and share the
-  physical pages.  Where shared memory is unavailable the descriptor is
-  ``None`` and workers regenerate locally — identical results.
+* **Pool fan-out** — with ``workers > 1`` the grid is mapped over a
+  persistent worker pool chosen by the ``pool`` argument (or the
+  ``REPRO_POOL`` environment variable): ``"threads"``, ``"fork"`` or
+  ``"serial"``.  The default resolves to **threads** whenever the
+  compiled scheduler twin is available — every kernel class now runs
+  in :mod:`._fastloop`, which releases the GIL for the whole
+  recurrence, so threads share the device/controller/trace caches
+  directly, pay no fork latency, ship results without pickling, and
+  need no shared-memory trace plane at all.  Where the twin is
+  unavailable (``REPRO_FASTLOOP=0``, no C toolchain) the default
+  falls back to the fork pool, whose workers run the scalar/numpy
+  tiers outside the parent's GIL.  Either pool survives across
+  ``evaluate_tasks`` / ``run_evaluation`` / sweep calls (and server
+  requests riding them); both are torn down on process exit, on
+  :func:`shutdown_worker_pool`, and by :func:`clear_device_caches`.
+  Results come back in task order, so the output is deterministic and
+  bit-identical to the serial path regardless of pool kind, worker
+  count or scheduling.
+* **Zero-copy trace plane (fork pool only)** — before fanning out,
+  the parent publishes each distinct ``(workload, n, seed)`` trace
+  into shared memory and ships workers a tiny
+  :class:`~repro.sim.tracegen.TraceDescriptor` per task instead of
+  having every worker regenerate (or unpickle) the column arrays;
+  workers attach each segment once and share the physical pages.
+  Where shared memory is unavailable the descriptor is ``None`` and
+  workers regenerate locally — identical results.  The thread pool
+  bypasses the plane entirely: threads read the parent's trace cache.
 * **Serial fallback** — ``workers=1`` (the default) runs the same cells
   in-process; if a pool cannot be created (restricted sandboxes), the
   engine degrades to serial rather than failing.
@@ -32,7 +42,12 @@ model.  The engine removes both:
 ``REPRO_EVAL_WORKERS`` sets the default worker count; the controller's
 fast-path scheduler kernel (:meth:`MemoryController.run_arrays`) is the
 per-cell hot path.  :func:`profile_snapshot` exposes per-phase wall
-times (trace fetch vs simulation vs store I/O) for ``--profile``.
+times (trace fetch vs simulation vs store I/O) and
+:func:`pool_profile_snapshot` per-pool fan-out timings for
+``--profile``.  Fork workers return their dispatch-counter and
+profile deltas with each result and the parent merges them, so the
+kernel hit rate and phase times report the whole grid under every
+pool kind.
 """
 
 from __future__ import annotations
@@ -40,13 +55,16 @@ from __future__ import annotations
 import atexit
 import dataclasses
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
                     Optional, Sequence, Tuple)
 
 from ..errors import ReproError, SimulationError, TraceError
-from .controller import QUEUE_DEPTH_PER_CHANNEL, MemoryController
+from . import _fastloop
+from .controller import (QUEUE_DEPTH_PER_CHANNEL, MemoryController,
+                         kernel_counters, merge_kernel_counters)
 from .factory import ARCHITECTURE_NAMES, build_device, known_architectures
 from .stats import SimStats
 from .tracegen import (SPEC_WORKLOADS, TraceDescriptor, attach_trace_arrays,
@@ -60,31 +78,83 @@ if TYPE_CHECKING:   # avoid a runtime cycle: store imports EvalTask
 #: Environment override for the default worker count.
 WORKERS_ENV_VAR = "REPRO_EVAL_WORKERS"
 
-#: Set to ``0`` to disable the shared-memory trace plane (workers then
-#: regenerate traces locally, the pre-plane behaviour).
+#: Environment override for the executor kind: ``threads``, ``fork``
+#: or ``serial`` (anything unset/empty resolves automatically — see
+#: :func:`resolve_pool`).
+POOL_ENV_VAR = "REPRO_POOL"
+
+#: The executor kinds :func:`resolve_pool` accepts.
+POOL_MODES: Tuple[str, ...] = ("threads", "fork", "serial")
+
+#: Set to ``0`` to disable the shared-memory trace plane (fork workers
+#: then regenerate traces locally, the pre-plane behaviour).  The
+#: thread pool never uses the plane.
 TRACE_PLANE_ENV_VAR = "REPRO_TRACE_PLANE"
 
 _DEVICE_CACHE: Dict[str, "MemoryDeviceModel"] = {}
 _CONTROLLER_CACHE: Dict[Tuple[str, Optional[int]], MemoryController] = {}
 
-#: The persistent worker pool: (pool, worker count).  Lazily built by
-#: the first fan-out, reused by every later one with the same size.
+#: Guards the device/controller cache build: under the thread pool many
+#: cells race to memoize the same architecture; double-checked locking
+#: makes exactly one thread build (models are immutable once built, so
+#: lock-free reads stay safe).
+_CACHE_LOCK = threading.Lock()
+
+#: The persistent fork worker pool: (pool, worker count).  Lazily built
+#: by the first fork fan-out, reused by every later one with the same
+#: size.
 _WORKER_POOL: Optional[Tuple[Any, int]] = None
 
-#: Per-phase wall-clock accumulators for ``--profile`` (this process
-#: only: under fan-out the compute phases run inside the workers).
+#: The persistent thread pool: (ThreadPoolExecutor, worker count).
+_THREAD_POOL: Optional[Tuple[Any, int]] = None
+
+#: Per-phase wall-clock accumulators for ``--profile``.  Thread-safe
+#: (pool threads accumulate concurrently); fork workers accumulate in
+#: their own process and return per-cell deltas the parent merges, so
+#: the totals cover the whole grid under every pool kind (summed across
+#: workers, they can exceed wall-clock).
 _PROFILE = {"trace_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
+_PROFILE_LOCK = threading.Lock()
+
+#: Per-pool fan-out accounting for ``--profile``: cells mapped and
+#: wall-clock spent inside :func:`_map_tasks`, keyed by resolved pool
+#: mode — one run with ``REPRO_POOL=fork`` and one with ``threads``
+#: print side by side.
+_POOL_PROFILE: Dict[str, Dict[str, float]] = {}
 
 
 def profile_snapshot() -> Dict[str, float]:
     """Copy of the per-phase wall-time accumulators (seconds)."""
-    return dict(_PROFILE)
+    with _PROFILE_LOCK:
+        return dict(_PROFILE)
+
+
+def pool_profile_snapshot() -> Dict[str, Dict[str, float]]:
+    """Per-pool fan-out accounting: ``{mode: {runs, cells, wall_s}}``."""
+    with _PROFILE_LOCK:
+        return {mode: dict(entry) for mode, entry in _POOL_PROFILE.items()}
 
 
 def reset_profile() -> None:
-    """Zero the per-phase accumulators."""
-    for key in _PROFILE:
-        _PROFILE[key] = 0.0
+    """Zero the per-phase and per-pool accumulators."""
+    with _PROFILE_LOCK:
+        for key in _PROFILE:
+            _PROFILE[key] = 0.0
+        _POOL_PROFILE.clear()
+
+
+def _profile_add(key: str, seconds: float) -> None:
+    with _PROFILE_LOCK:
+        _PROFILE[key] = _PROFILE.get(key, 0.0) + seconds
+
+
+def _note_pool_run(mode: str, cells: int, wall_s: float) -> None:
+    with _PROFILE_LOCK:
+        entry = _POOL_PROFILE.setdefault(
+            mode, {"runs": 0, "cells": 0, "wall_s": 0.0})
+        entry["runs"] += 1
+        entry["cells"] += cells
+        entry["wall_s"] += wall_s
 
 #: ``on_result`` callback type: called with each (task, stats) pair as
 #: soon as the cell completes, in task order (incremental checkpointing).
@@ -96,18 +166,21 @@ ResultCallback = Callable[["EvalTask", SimStats], None]
 #: zero-recompute pinning tests and ``run-all --expect-no-compute``
 #: read.
 _COMPUTED_CELLS = 0
+_COMPUTED_LOCK = threading.Lock()
 
 
 def computed_cell_count() -> int:
     """Cells computed by this process's engine since import (or the last
     :func:`reset_computed_cell_count`)."""
-    return _COMPUTED_CELLS
+    with _COMPUTED_LOCK:
+        return _COMPUTED_CELLS
 
 
 def reset_computed_cell_count() -> None:
     """Zero the computed-cell counter (tests, warm-pass assertions)."""
     global _COMPUTED_CELLS
-    _COMPUTED_CELLS = 0
+    with _COMPUTED_LOCK:
+        _COMPUTED_CELLS = 0
 
 
 @dataclass(frozen=True)
@@ -216,8 +289,11 @@ def device_for(architecture: str):
     is the costly part — COMET's involves the mode-solver stack."""
     device = _DEVICE_CACHE.get(architecture)
     if device is None:
-        device = build_device(architecture)
-        _DEVICE_CACHE[architecture] = device
+        with _CACHE_LOCK:
+            device = _DEVICE_CACHE.get(architecture)
+            if device is None:
+                device = build_device(architecture)
+                _DEVICE_CACHE[architecture] = device
     return device
 
 
@@ -247,8 +323,9 @@ def clear_device_caches() -> None:
 
 
 def shutdown_worker_pool() -> None:
-    """Terminate the persistent worker pool (next fan-out rebuilds it)."""
-    global _WORKER_POOL
+    """Terminate the persistent pools — fork and thread alike (the next
+    fan-out rebuilds whichever it needs)."""
+    global _WORKER_POOL, _THREAD_POOL
     if _WORKER_POOL is not None:
         pool, _size = _WORKER_POOL
         _WORKER_POOL = None
@@ -257,10 +334,22 @@ def shutdown_worker_pool() -> None:
             pool.join()
         except (OSError, ValueError):
             pass
+    if _THREAD_POOL is not None:
+        executor, _size = _THREAD_POOL
+        _THREAD_POOL = None
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except (OSError, RuntimeError, TypeError):
+            # ``cancel_futures`` needs 3.9+; older interpreters retry
+            # the plain shutdown.
+            try:
+                executor.shutdown(wait=True)
+            except (OSError, RuntimeError):
+                pass
 
 
 def _ensure_worker_pool(workers: int):
-    """The persistent pool, built on first use and reused while the
+    """The persistent fork pool, built on first use and reused while the
     requested size matches; ``None`` where pools cannot be created."""
     global _WORKER_POOL
     if _WORKER_POOL is not None:
@@ -283,7 +372,53 @@ def _ensure_worker_pool(workers: int):
     return pool
 
 
+def _ensure_thread_pool(workers: int):
+    """The persistent thread pool, mirroring :func:`_ensure_worker_pool`
+    (rebuilt only when the requested size changes)."""
+    global _THREAD_POOL
+    if _THREAD_POOL is not None:
+        executor, size = _THREAD_POOL
+        if size == workers:
+            return executor
+        shutdown_worker_pool()
+    from concurrent.futures import ThreadPoolExecutor
+
+    executor = ThreadPoolExecutor(max_workers=workers,
+                                  thread_name_prefix="repro-eval")
+    _THREAD_POOL = (executor, workers)
+    return executor
+
+
+def resolve_pool(pool: Optional[str] = None) -> str:
+    """Normalize the executor kind: argument > ``REPRO_POOL`` > auto.
+
+    Auto resolves to ``threads`` when the compiled scheduler twin is
+    available in this process — every kernel class then runs outside
+    the GIL, so threads scale with none of fork's costs — and to
+    ``fork`` otherwise (the scalar/numpy tiers hold the GIL, so only
+    processes parallelize them).
+    """
+    if pool is None:
+        pool = os.environ.get(POOL_ENV_VAR) or None
+    if pool is None or pool == "auto":
+        return "threads" if _fastloop.available() else "fork"
+    if pool not in POOL_MODES:
+        raise SimulationError(
+            f"unknown pool mode {pool!r}; known: {list(POOL_MODES)} "
+            f"(or 'auto')")
+    return pool
+
+
 atexit.register(shutdown_worker_pool)
+
+# A fork while another thread holds one of the engine locks would leave
+# the child's copy locked forever (only the forking thread survives).
+# The fork pool is created from the main thread, so hand the child
+# fresh locks instead of inheriting snapshotted ones.
+os.register_at_fork(
+    after_in_child=lambda: globals().update(
+        _CACHE_LOCK=threading.Lock(), _PROFILE_LOCK=threading.Lock(),
+        _COMPUTED_LOCK=threading.Lock()))
 
 
 def controller_for(architecture: str,
@@ -295,12 +430,16 @@ def controller_for(architecture: str,
     controller = _CONTROLLER_CACHE.get(key)
     if controller is None:
         device = device_for(architecture)
-        controller = MemoryController(
-            device,
-            queue_depth=(queue_depth if queue_depth is not None
-                         else QUEUE_DEPTH_PER_CHANNEL * device.channels),
-        )
-        _CONTROLLER_CACHE[key] = controller
+        with _CACHE_LOCK:
+            controller = _CONTROLLER_CACHE.get(key)
+            if controller is None:
+                controller = MemoryController(
+                    device,
+                    queue_depth=(queue_depth if queue_depth is not None
+                                 else QUEUE_DEPTH_PER_CHANNEL
+                                 * device.channels),
+                )
+                _CONTROLLER_CACHE[key] = controller
     return controller
 
 
@@ -350,8 +489,8 @@ def evaluate_cell(task: EvalTask,
     stats = controller_for(task.architecture, task.queue_depth).run_arrays(
         trace, workload_name=task.workload)
     t2 = time.perf_counter()
-    _PROFILE["trace_s"] += t1 - t0
-    _PROFILE["simulate_s"] += t2 - t1
+    _profile_add("trace_s", t1 - t0)
+    _profile_add("simulate_s", t2 - t1)
     return stats
 
 
@@ -384,18 +523,58 @@ def evaluate_cell_checked(task: EvalTask) -> SimStats:
 _evaluate_cell_checked = evaluate_cell_checked
 
 
+def evaluate_cell_with_counters(
+        task: EvalTask) -> Tuple[SimStats, Dict[str, int]]:
+    """``evaluate_cell_checked`` plus this cell's dispatch-counter delta.
+
+    The unit of work process-pool executors submit (the evaluation
+    server's): the worker's counters never reach the parent on their
+    own, so the delta rides back with the result for the parent to
+    :func:`~repro.sim.controller.merge_kernel_counters` — that is what
+    keeps ``/stats.kernel`` accurate for ``workers > 1``.  Exact even
+    with several cells in flight per worker, because pool workers are
+    single-threaded."""
+    before = kernel_counters()
+    stats = evaluate_cell_checked(task)
+    delta = {
+        key: value - before.get(key, 0)
+        for key, value in kernel_counters().items()
+        if value != before.get(key, 0)
+    }
+    return stats, delta
+
+
 def _evaluate_cell_indexed(
     payload: Tuple[int, EvalTask, Optional[TraceDescriptor]]
-) -> Tuple[int, SimStats]:
-    """Pool payload carrying the task's position (so the parent can
+) -> Tuple[int, SimStats, Dict[str, int], Dict[str, float]]:
+    """Fork-pool payload carrying the task's position (so the parent can
     checkpoint completions the moment they arrive, out of order, while
     still returning results in task order) and the task's trace-plane
     descriptor (adopted before evaluation, not threaded through the
-    ``evaluate_cell`` signature)."""
+    ``evaluate_cell`` signature).
+
+    Alongside the stats, the worker returns this cell's dispatch-counter
+    and profile *deltas* (before/after snapshots — exact, since pool
+    workers are single-threaded): counters otherwise accumulate only in
+    the worker process and the parent's ``kernel_dispatch_summary`` and
+    ``--profile`` phases would under-report every fanned-out cell."""
     index, task, descriptor = payload
     if descriptor is not None:
         adopt_trace_descriptor(descriptor)
-    return index, _evaluate_cell_checked(task)
+    counters_before = kernel_counters()
+    profile_before = profile_snapshot()
+    stats = _evaluate_cell_checked(task)
+    counter_delta = {
+        key: value - counters_before.get(key, 0)
+        for key, value in kernel_counters().items()
+        if value != counters_before.get(key, 0)
+    }
+    profile_delta = {
+        key: value - profile_before.get(key, 0.0)
+        for key, value in profile_snapshot().items()
+        if value != profile_before.get(key, 0.0)
+    }
+    return index, stats, counter_delta, profile_delta
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -420,19 +599,23 @@ def _resolve_workers(workers: Optional[int]) -> int:
 
 
 def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
-               on_result: Optional[ResultCallback] = None) -> List[SimStats]:
-    """Map cells over a worker pool, falling back to serial execution.
+               on_result: Optional[ResultCallback] = None,
+               pool: Optional[str] = None) -> List[SimStats]:
+    """Map cells over the resolved worker pool (threads, fork or
+    serial), falling back to serial execution where no pool can exist.
 
     The returned list is in task order; ``on_result`` fires for each
     cell as soon as its stats arrive — in *completion* order under a
     pool, so callers (the result store, the sweep runner) checkpoint
     every finished cell immediately and an interruption loses nothing
-    already computed.  Worker failures re-raise as ``SimulationError``
-    annotated with the failing cell.
+    already computed.  ``on_result`` always runs in the calling thread,
+    whatever the pool kind.  Worker failures re-raise as
+    ``SimulationError`` annotated with the failing cell.
     """
     def count_computed() -> None:
         global _COMPUTED_CELLS
-        _COMPUTED_CELLS += 1
+        with _COMPUTED_LOCK:
+            _COMPUTED_CELLS += 1
 
     def serial() -> List[SimStats]:
         collected = []
@@ -444,14 +627,73 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
             collected.append(stats)
         return collected
 
-    if workers <= 1 or len(tasks) <= 1:
-        return serial()
+    mode = resolve_pool(pool)
+    t_fanout = time.perf_counter()
+    try:
+        if workers <= 1 or len(tasks) <= 1 or mode == "serial":
+            mode = "serial"
+            return serial()
+        if mode == "threads":
+            return _map_tasks_threads(tasks, workers, on_result,
+                                      count_computed)
+        result = _map_tasks_fork(tasks, workers, chunksize, on_result,
+                                 count_computed)
+        if result is None:
+            # Restricted environments (no /dev/shm, no fork): degrade
+            # to the serial path — identical results, just no fan-out.
+            # Only pool *creation* is guarded; cell failures propagate
+            # annotated.
+            mode = "serial"
+            return serial()
+        return result
+    finally:
+        _note_pool_run(mode, len(tasks), time.perf_counter() - t_fanout)
+
+
+def _map_tasks_threads(tasks: Sequence[EvalTask], workers: int,
+                       on_result: Optional[ResultCallback],
+                       count_computed: Callable[[], None]
+                       ) -> List[SimStats]:
+    """Thread fan-out: the compiled twin releases the GIL for the whole
+    recurrence, so threads scale with zero fork latency, no result
+    pickling, shared device/controller caches — and no shared-memory
+    trace plane: each distinct trace is generated (or found cached)
+    once in this thread, then every worker reads the same arrays."""
+    for key in dict.fromkeys((task.workload, task.num_requests, task.seed)
+                             for task in tasks):
+        cached_trace_arrays(*key)
+    executor = _ensure_thread_pool(workers)
+    from concurrent.futures import as_completed
+
+    slots: List[Optional[SimStats]] = [None] * len(tasks)
+    futures = {executor.submit(_evaluate_cell_checked, task): index
+               for index, task in enumerate(tasks)}
+    try:
+        for future in as_completed(futures):
+            index = futures[future]
+            stats = future.result()
+            count_computed()
+            if on_result is not None:
+                on_result(tasks[index], stats)
+            slots[index] = stats
+    except BaseException:
+        # One cell failed (annotated) or the caller interrupted: stop
+        # feeding the pool, let in-flight cells finish, keep the pool.
+        for future in futures:
+            future.cancel()
+        raise
+    return slots
+
+
+def _map_tasks_fork(tasks: Sequence[EvalTask], workers: int,
+                    chunksize: int, on_result: Optional[ResultCallback],
+                    count_computed: Callable[[], None]
+                    ) -> Optional[List[SimStats]]:
+    """Fork fan-out over the persistent process pool; ``None`` when no
+    pool can be created (the caller degrades to serial)."""
     pool = _ensure_worker_pool(workers)
     if pool is None:
-        # Restricted environments (no /dev/shm, no fork): degrade to the
-        # serial path — identical results, just no fan-out.  Only pool
-        # *creation* is guarded; cell failures propagate annotated.
-        return serial()
+        return None
     # Publish each distinct trace once; workers get a descriptor and
     # attach the shared pages instead of regenerating the columns.
     descriptors: Dict[Tuple[str, int, int], Optional[TraceDescriptor]] = {}
@@ -467,8 +709,16 @@ def _map_tasks(tasks: Sequence[EvalTask], workers: int, chunksize: int,
     ]
     slots: List[Optional[SimStats]] = [None] * len(tasks)
     try:
-        for index, stats in pool.imap_unordered(
-                _evaluate_cell_indexed, payloads, chunksize=chunksize):
+        for index, stats, counter_delta, profile_delta \
+                in pool.imap_unordered(
+                    _evaluate_cell_indexed, payloads, chunksize=chunksize):
+            # Workers count dispatches and phase times in their own
+            # process; merging the per-cell deltas keeps --profile and
+            # /stats.kernel accurate for workers > 1.
+            if counter_delta:
+                merge_kernel_counters(counter_delta)
+            for key, value in profile_delta.items():
+                _profile_add(key, value)
             count_computed()
             if on_result is not None:
                 on_result(tasks[index], stats)
@@ -524,12 +774,15 @@ def run_evaluation(
     workers: Optional[int] = None,
     store: Optional["ResultStore"] = None,
     resume: bool = True,
+    pool: Optional[str] = None,
 ) -> Dict[str, Dict[str, SimStats]]:
     """The full Fig. 9 grid: every architecture on every workload.
 
     Returns ``results[arch][workload] -> SimStats``.  ``workers`` > 1
-    fans the grid out over that many processes (``0`` = one per CPU);
-    the result is identical to the serial run for the same arguments.
+    fans the grid out over that many pool workers (``0`` = one per
+    CPU); ``pool`` picks the executor kind (:func:`resolve_pool` —
+    threads by default when the compiled twin is available); the
+    result is identical to the serial run for the same arguments.
 
     With a :class:`repro.sim.store.ResultStore`, every computed cell is
     checkpointed to disk as soon as it completes; when ``resume`` is
@@ -541,7 +794,8 @@ def run_evaluation(
     tasks = grid_tasks(architectures, workloads, num_requests, seed)
     lookup = evaluate_tasks(tasks, workers=workers, store=store,
                             resume=resume,
-                            chunksize=max(len(architectures), 1))
+                            chunksize=max(len(architectures), 1),
+                            pool=pool)
 
     results: Dict[str, Dict[str, SimStats]] = {
         arch: {} for arch in architectures
@@ -559,14 +813,16 @@ def evaluate_tasks(
     chunksize: int = 1,
     on_result: Optional[ResultCallback] = None,
     store_latencies: bool = True,
+    pool: Optional[str] = None,
 ) -> Dict[EvalTask, SimStats]:
     """Evaluate an arbitrary task list with store read-through/write-back.
 
     The shared core of :func:`run_evaluation` and the sweep runner:
     store hits (when ``resume``) skip :func:`evaluate_cell` entirely,
-    misses are fanned out over ``workers`` processes and written back to
-    the store the moment each result arrives.  ``on_result`` fires for
-    every *computed* cell (after the store write), letting callers log
+    misses are fanned out over ``workers`` pool workers (executor kind
+    per ``pool`` / :func:`resolve_pool`) and written back to the store
+    the moment each result arrives.  ``on_result`` fires for every
+    *computed* cell (after the store write), letting callers log
     progress or checkpoint additional state.  ``store_latencies=False``
     writes archival entries without the bulky per-request samples —
     percentile queries still work through the store's fixed-bin latency
@@ -577,20 +833,20 @@ def evaluate_tasks(
         t0 = time.perf_counter()
         cached = {task: hit for task, hit in store.get_many(tasks).items()
                   if hit is not None}
-        _PROFILE["store_s"] += time.perf_counter() - t0
+        _profile_add("store_s", time.perf_counter() - t0)
     missing = [task for task in tasks if task not in cached]
 
     def checkpoint(task: EvalTask, stats: SimStats) -> None:
         if store is not None:
             t0 = time.perf_counter()
             store.put(task, stats, latencies=store_latencies)
-            _PROFILE["store_s"] += time.perf_counter() - t0
+            _profile_add("store_s", time.perf_counter() - t0)
         if on_result is not None:
             on_result(task, stats)
 
     computed = _map_tasks(missing, _resolve_workers(workers),
                           chunksize=max(chunksize, 1),
-                          on_result=checkpoint)
+                          on_result=checkpoint, pool=pool)
     results = dict(cached)
     results.update(zip(missing, computed))
     return results

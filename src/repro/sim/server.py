@@ -18,12 +18,19 @@ the online layer over them — an asyncio daemon that answers evaluation
   digest, later arrivals await it (counted in ``/stats`` as
   ``coalesced``).  The shared task is shielded, so one cancelled client
   never aborts a computation other clients are waiting on.
-* **Bounded compute.**  Misses are scheduled onto a bounded executor —
-  a ``ProcessPoolExecutor`` for ``workers > 1`` (with a probe-and-fall-
-  back to threads in sandboxes that cannot fork), a single worker
-  thread for ``workers <= 1`` (the deterministic test configuration).
-  Store I/O runs on its own small thread pool so disk reads never stall
-  the event loop.
+* **Bounded compute.**  Misses are scheduled onto a bounded executor
+  picked by the engine's pool abstraction
+  (:func:`~repro.sim.engine.resolve_pool` — the ``pool`` argument,
+  then ``REPRO_POOL``, then auto): a multi-worker thread pool wherever
+  the compiled scheduler twin is available (cells run outside the GIL
+  in-process — shared caches, no pickling), a probed
+  ``ProcessPoolExecutor`` when only the GIL-bound tiers exist (with a
+  fall-back to threads in sandboxes that cannot fork), and always a
+  single worker thread for ``workers <= 1`` (the deterministic test
+  configuration).  Process-pool workers return their dispatch-counter
+  deltas with each result, so ``/stats.kernel`` stays accurate for
+  ``workers > 1`` under every executor kind.  Store I/O runs on its
+  own small thread pool so disk reads never stall the event loop.
 * **Structured errors.**  Malformed JSON, unknown architectures/
   workloads and bad field types are 4xx-style JSON errors; a cell that
   dies mid-compute comes back as a 5xx JSON error annotated with the
@@ -47,7 +54,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError, SimulationError
+from .controller import merge_kernel_counters
 from .engine import (EvalTask, _resolve_workers, evaluate_cell_checked,
+                     evaluate_cell_with_counters, resolve_pool,
                      task_from_dict, task_to_dict)
 from .stats import SimStats
 from .store import ResultStore, task_digest
@@ -162,11 +171,13 @@ class EvalServer:
         port: int = 0,
         line_port: Optional[int] = None,
         unix_path: Optional[Union[str, Path]] = None,
+        pool: Optional[str] = None,
     ) -> None:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.workers = _resolve_workers(workers)
+        self.pool = pool
         self.host = host
         self.port = port
         self.line_port = line_port
@@ -246,18 +257,27 @@ class EvalServer:
         self._shutdown.set()
 
     def _build_compute_pool(self) -> Executor:
-        """The bounded compute executor.
+        """The bounded compute executor, chosen via the engine's pool
+        abstraction (constructor ``pool`` > ``REPRO_POOL`` > auto).
 
-        ``workers <= 1`` pins everything to one worker thread — fully
-        deterministic scheduling, the configuration the load-test
-        harness replays.  More workers try a ``ProcessPoolExecutor``
-        (probed with a no-op so a sandbox that cannot fork fails *here*,
-        not on the first query) and degrade to a thread pool — same
-        results, GIL-bound throughput.
+        ``workers <= 1`` (and ``pool="serial"``) pins everything to one
+        worker thread — fully deterministic scheduling, the
+        configuration the load-test harness replays.  ``threads`` (the
+        auto pick whenever the compiled scheduler twin is available)
+        runs cells on a multi-worker thread pool, outside the GIL and
+        in-process.  ``fork`` tries a ``ProcessPoolExecutor`` (probed
+        with a no-op so a sandbox that cannot fork fails *here*, not on
+        the first query) and degrades to a thread pool — same results,
+        GIL-bound throughput.
         """
-        if self.workers <= 1:
+        mode = resolve_pool(self.pool)
+        if self.workers <= 1 or mode == "serial":
             self.executor_kind = "thread"
             return ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="eval-compute")
+        if mode == "threads":
+            self.executor_kind = "thread"
+            return ThreadPoolExecutor(max_workers=self.workers,
                                       thread_name_prefix="eval-compute")
         try:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -288,9 +308,10 @@ class EvalServer:
         """The ``/stats`` payload: counters plus configuration.
 
         ``kernel`` reports the controller's fast-path dispatch counters
-        since this server was constructed — meaningful for the thread
-        executor (cells run in-process); under a process pool the
-        workers keep their own counters and the parent's stay at zero.
+        since this server was constructed.  Thread executors mutate
+        them in-process; process-pool workers return per-cell deltas
+        that :meth:`_resolve_miss` merges, so the numbers are truthful
+        for every executor kind.
         """
         from .controller import kernel_counters
 
@@ -376,8 +397,19 @@ class EvalServer:
                     self._lru_put(digest, stats)
                     return stats, "store"
             pool = self._compute    # re-read: may have been rebuilt
-            stats = await loop.run_in_executor(
-                pool, evaluate_cell_checked, task)
+            if self.executor_kind == "process":
+                # Workers dispatch in their own process: bring the
+                # per-cell kernel-counter delta home so /stats.kernel
+                # stays truthful under fork.
+                stats, delta = await loop.run_in_executor(
+                    pool, evaluate_cell_with_counters, task)
+                merge_kernel_counters(delta)
+            else:
+                # Thread executors mutate the parent's counters
+                # directly — submitting the counting wrapper here would
+                # double-count every dispatch.
+                stats = await loop.run_in_executor(
+                    pool, evaluate_cell_checked, task)
             self._counters["computed"] += 1
             if self.store is not None:
                 await loop.run_in_executor(
@@ -652,9 +684,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                         help="result store directory for read-through and "
                              "write-back")
     parser.add_argument("--workers", type=int, default=1,
-                        help="compute workers (1 = in-process worker "
-                             "thread, N > 1 = process pool, 0 = one per "
-                             "CPU)")
+                        help="compute workers (1 = single in-process "
+                             "worker thread, N > 1 = pool per --pool, "
+                             "0 = one per CPU)")
+    parser.add_argument("--pool", default=None,
+                        choices=("auto", "threads", "fork", "serial"),
+                        help="compute executor kind for --workers > 1 "
+                             "(default: auto / $REPRO_POOL — threads "
+                             "when the compiled scheduler twin loads, "
+                             "a probed process pool otherwise)")
     parser.add_argument("--lru", type=int, default=DEFAULT_LRU_SIZE,
                         help="in-process LRU entries over deserialized "
                              "stats (0 disables)")
@@ -665,7 +703,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         server = EvalServer(store=args.store, workers=args.workers,
                             lru_size=args.lru, host=args.host,
                             port=args.port, line_port=args.line_port,
-                            unix_path=args.unix)
+                            unix_path=args.unix, pool=args.pool)
     except (SimulationError, OSError) as error:
         parser.error(str(error))
     try:

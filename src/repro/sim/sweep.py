@@ -204,12 +204,15 @@ def run_sweep(
     resume: bool = True,
     on_result: Optional[ResultCallback] = None,
     store_latencies: bool = True,
+    pool: Optional[str] = None,
 ) -> SweepResult:
     """Execute a sweep with store read-through and incremental writes.
 
     Cells already in ``store`` (by content digest) are served from disk
-    when ``resume`` is true; the rest are sharded over ``workers``
-    processes (``0`` = one per CPU) and checkpointed as they complete.
+    when ``resume`` is true; the rest are sharded over ``workers`` pool
+    workers (``0`` = one per CPU; executor kind per ``pool`` /
+    :func:`repro.sim.engine.resolve_pool`) and checkpointed as they
+    complete.
     Interrupt it anywhere — a rerun with the same spec and store picks
     up the surviving cells and produces bit-identical final results.
 
@@ -230,7 +233,7 @@ def run_sweep(
     results = evaluate_tasks(
         tasks, workers=workers, store=store, resume=resume,
         chunksize=len(spec.architectures), on_result=count,
-        store_latencies=store_latencies)
+        store_latencies=store_latencies, pool=pool)
     return SweepResult(spec=spec, results=results,
                        store_hits=len(tasks) - computed_cells,
                        computed=computed_cells)

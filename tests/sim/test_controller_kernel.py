@@ -213,6 +213,10 @@ class TestCounters:
         counters = controller_mod.kernel_counters()
         assert counters == {"fast": 3,
                             "fast_per_bank": 1,
+                            # With a toolchain the per-bank cell rides
+                            # the compiled twin (attribution, not an
+                            # extra dispatch).
+                            "twin_per_bank": 1,
                             "fast_shared_bus": 1,
                             "fast_global_queue": 1,
                             "fallback_device": 0,

@@ -42,6 +42,20 @@ class TestParallelSerialEquivalence:
                                   num_requests=1200, seed=3, workers=4)
         assert parallel == serial_results
 
+    def test_thread_pool_identical_to_serial_all_architectures(self):
+        """The thread-native plane over every registered architecture —
+        per-bank, shared-bus and global-queue cells alike — is
+        bit-identical to a serial run of the same grid."""
+        from repro.sim.factory import known_architectures
+
+        kwargs = dict(architectures=known_architectures(),
+                      workloads=("gcc", "mcf"), num_requests=600, seed=3)
+        serial = run_evaluation(workers=1, pool="serial", **kwargs)
+        threaded = run_evaluation(workers=4, pool="threads", **kwargs)
+        for arch, per_workload in serial.items():
+            for workload, stats in per_workload.items():
+                assert threaded[arch][workload].to_dict() == stats.to_dict()
+
     def test_engine_matches_object_api(self, serial_results):
         """The array fast path equals MainMemorySimulator.run on the
         materialized trace of the same (workload, n, seed)."""
@@ -230,6 +244,7 @@ class TestKernelDispatchCounters:
             "fast_per_bank": 0,
             "fast_shared_bus": 6,
             "fast_global_queue": 3,
+            "twin_per_bank": 0,
             "fallback_device": 0,
             "fallback_admission": 0,
             "fallback_toolchain": 0,

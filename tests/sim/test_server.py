@@ -560,6 +560,26 @@ class TestHttpMisc:
                     "workers", "executor"):
             assert key in stats["stats"]
 
+    def test_stats_kernel_counts_process_pool_dispatches(self):
+        """Satellite of the pool abstraction: a process-pool server
+        merges the workers' per-cell kernel-counter deltas, so
+        /stats.kernel no longer reads zero for fanned-out computes."""
+        from repro.sim import controller as controller_mod
+
+        async def scenario(server):
+            if server.executor_kind != "process":
+                return None
+            await AsyncEvalClient(server.http_address).eval_cell(TASK)
+            return server.stats_snapshot()
+
+        controller_mod.reset_kernel_counters()
+        stats = run_scenario(scenario, workers=2, pool="fork")
+        if stats is None:
+            pytest.skip("process pools unavailable in this sandbox")
+        assert stats["executor"] == "process"
+        assert stats["kernel"]["fast"] == 1
+        assert stats["kernel"]["fast_shared_bus"] == 1
+
     def test_http_shutdown_endpoint(self):
         async def scenario():
             server = EvalServer(port=0)

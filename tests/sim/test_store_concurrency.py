@@ -1,14 +1,17 @@
-"""ResultStore under concurrent multi-process writers and readers.
+"""ResultStore under concurrent writers and readers.
 
 The store's concurrency contract (see the class docstring): atomic
 renames mean a reader observes either no entry or a complete one, and
 concurrent ``put`` of the same digest is benign because both writers
-rename identical bytes.  These tests drive real separate processes at
-the same store directory — the scenario a sharded sweep or several
-evaluation daemons sharing one store produce.
+rename identical bytes.  The process classes drive real separate
+processes at the same store directory — the scenario a sharded fork
+sweep or several evaluation daemons sharing one store produce; the
+thread class stampedes from inside one process, the thread-pool
+engine's shape.
 """
 
 import multiprocessing
+import threading
 
 import pytest
 
@@ -17,7 +20,7 @@ from repro.sim.store import ResultStore
 
 TASK = EvalTask("EPCM-MM", "gcc", 300, 7)
 
-pytestmark = pytest.mark.skipif(
+needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="needs fork (children must inherit the computed stats cheaply)",
 )
@@ -35,6 +38,7 @@ def _hammer_put(root, barrier, task, stats, rounds):
         store.put(task, stats)
 
 
+@needs_fork
 class TestConcurrentSameDigestPuts:
     def test_simultaneous_puts_leave_one_complete_entry(self, tmp_path):
         """Four processes put the same digest at once: atomic rename
@@ -113,6 +117,59 @@ class TestConcurrentSameDigestPuts:
         for task in tasks:
             assert store.get(task) == all_stats[task]
         assert len(store) == len(tasks)
+
+
+class TestThreadedSameDigestPuts:
+    """The thread-pool engine writes the store from pool threads; the
+    same atomic-rename contract must hold inside one process."""
+
+    def test_thread_stampede_leaves_one_complete_entry(self, tmp_path):
+        stats = evaluate_cell(TASK)
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait(timeout=60)
+                for _ in range(25):
+                    store.put(TASK, stats)
+            except BaseException as error:    # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert store.get(TASK) == stats
+        files = sorted(p.name for p in store.cells_dir.glob("*/*"))
+        assert len([f for f in files if f.endswith(".json")]) == 1
+        assert len([f for f in files if f.endswith(".lat")]) == 1
+        assert not [f for f in files if f.startswith(".")]
+
+    def test_threaded_readers_race_a_writer(self, tmp_path):
+        stats = evaluate_cell(TASK)
+        store = ResultStore(tmp_path / "store")
+        done = threading.Event()
+        torn = []
+
+        def read_loop():
+            while not done.is_set():
+                seen = store.get(TASK)
+                if seen is not None and seen != stats:
+                    torn.append(seen)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        for _ in range(100):
+            store.put(TASK, stats)
+        done.set()
+        reader.join(timeout=120)
+        assert not torn
+        assert store.get(TASK) == stats
 
 
 class TestGetMany:

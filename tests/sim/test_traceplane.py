@@ -132,20 +132,24 @@ class TestShareAttach:
 
 
 class TestPersistentPool:
+    """The fork pool and its trace plane, pinned explicitly with
+    ``pool="fork"`` — the auto default resolves to the thread pool
+    wherever the compiled twin is available (see TestThreadPool)."""
+
     def test_pool_survives_across_evaluations(self):
         kwargs = dict(architectures=("EPCM-MM",), workloads=("gcc", "mcf"),
-                      num_requests=200, workers=2)
+                      num_requests=200, workers=2, pool="fork")
         run_evaluation(**kwargs)
         pool = engine._WORKER_POOL
         if pool is None:
             pytest.skip("process pools unavailable in this sandbox")
         run_evaluation(architectures=("COMET",), workloads=("mcf", "lbm"),
-                       num_requests=200, workers=2)
+                       num_requests=200, workers=2, pool="fork")
         assert engine._WORKER_POOL is pool
 
     def test_different_worker_count_rebuilds(self):
         kwargs = dict(architectures=("EPCM-MM",), workloads=("gcc", "mcf"),
-                      num_requests=200)
+                      num_requests=200, pool="fork")
         run_evaluation(workers=2, **kwargs)
         pool = engine._WORKER_POOL
         if pool is None:
@@ -159,17 +163,39 @@ class TestPersistentPool:
         kwargs = dict(architectures=("COMET", "COSMOS", "3D_DDR4"),
                       workloads=("mcf", "checkpoint"), num_requests=400)
         serial = run_evaluation(workers=1, **kwargs)
-        parallel = run_evaluation(workers=2, **kwargs)
+        parallel = run_evaluation(workers=2, pool="fork", **kwargs)
         for arch, per_workload in serial.items():
             for workload, stats in per_workload.items():
                 assert parallel[arch][workload].to_dict() == stats.to_dict()
 
+    def test_fork_pool_merges_worker_dispatch_counters(self):
+        """Workers dispatch in their own process; the parent must see
+        the merged per-cell counter deltas (the pre-pool-abstraction
+        engine reported zero kernel hits for every fanned-out cell)."""
+        from repro.sim import controller as controller_mod
+
+        run_evaluation(architectures=("EPCM-MM",), workloads=("gcc", "mcf"),
+                       num_requests=200, workers=2, pool="fork")
+        if engine._WORKER_POOL is None:
+            pytest.skip("process pools unavailable in this sandbox")
+        controller_mod.reset_kernel_counters()
+        run_evaluation(architectures=("EPCM-MM", "COMET", "COSMOS"),
+                       workloads=("gcc", "mcf"), num_requests=200,
+                       workers=2, pool="fork")
+        counters = controller_mod.kernel_counters()
+        assert counters["fast"] == 6
+        assert counters["fast_per_bank"] == 2
+        assert counters["twin_per_bank"] == 2
+        assert counters["fast_shared_bus"] == 2
+        assert counters["fast_global_queue"] == 2
+
     def test_clear_device_caches_tears_everything_down(self):
         run_evaluation(architectures=("EPCM-MM",), workloads=("gcc",),
-                       num_requests=200, workers=2)
+                       num_requests=200, workers=2, pool="fork")
         share_trace_arrays("gcc", 128, 1)
         clear_device_caches()
         assert engine._WORKER_POOL is None
+        assert engine._THREAD_POOL is None
         assert trace_plane_stats()["owned_segments"] == 0
         assert cached_trace_arrays.cache_info().currsize == 0
 
@@ -179,10 +205,49 @@ class TestPersistentPool:
         clear_trace_plane()
         results = run_evaluation(architectures=("COMET",),
                                  workloads=("gcc",), num_requests=300,
-                                 workers=2)
+                                 workers=2, pool="fork")
         assert trace_plane_stats()["owned_segments"] == 0
         serial = run_evaluation(architectures=("COMET",),
                                 workloads=("gcc",), num_requests=300,
                                 workers=1)
         assert results["COMET"]["gcc"].to_dict() \
             == serial["COMET"]["gcc"].to_dict()
+
+
+class TestThreadPool:
+    """The thread executor: the auto default for kernel-served grids."""
+
+    def test_auto_resolves_to_threads_with_twin(self):
+        from repro.sim import _fastloop
+
+        if not _fastloop.available():
+            pytest.skip("no C toolchain in this sandbox")
+        assert engine.resolve_pool() == "threads"
+        assert engine.resolve_pool("fork") == "fork"
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv(engine.POOL_ENV_VAR, "serial")
+        assert engine.resolve_pool() == "serial"
+        assert engine.resolve_pool("threads") == "threads"
+        monkeypatch.setenv(engine.POOL_ENV_VAR, "bogus")
+        with pytest.raises(Exception):
+            engine.resolve_pool()
+
+    def test_thread_pool_persists_and_rebuilds(self):
+        kwargs = dict(architectures=("EPCM-MM",), workloads=("gcc", "mcf"),
+                      num_requests=200, pool="threads")
+        run_evaluation(workers=2, **kwargs)
+        pool = engine._THREAD_POOL
+        assert pool is not None and pool[1] == 2
+        run_evaluation(workers=2, **kwargs)
+        assert engine._THREAD_POOL is pool
+        run_evaluation(workers=3, **kwargs)
+        assert engine._THREAD_POOL is not pool
+        assert engine._THREAD_POOL[1] == 3
+
+    def test_threads_bypass_the_trace_plane(self):
+        clear_trace_plane()
+        run_evaluation(architectures=("COMET", "EPCM-MM"),
+                       workloads=("gcc",), num_requests=300, workers=2,
+                       pool="threads")
+        assert trace_plane_stats()["owned_segments"] == 0
