@@ -1,0 +1,133 @@
+"""Fabric smoke test: two real daemons, one killed mid-sweep.
+
+The CI job runs this end to end against real processes (no pytest, no
+in-process shortcuts): launch two ``python -m repro.sim serve``
+subprocesses with separate result stores, drive a partitioned grid
+through the fabric coordinator, SIGKILL one daemon as soon as it has
+computed a cell, and assert that
+
+* the coordinator re-dispatches the dead daemon's unfinished cells to
+  the survivor and completes the sweep,
+* the results are bit-identical to a serial ``run_sweep`` of the same
+  spec,
+* ``python -m repro.sim merge-stores`` folds the daemons' stores (plus
+  the coordinator's local write-through store) together without
+  conflicts, and
+* a warm sweep against the merged store recomputes nothing.
+
+Usage::
+
+    PYTHONPATH=src python examples/fabric_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.errors import SimulationError
+from repro.sim.client import EvalClient
+from repro.sim.fabric import run_fabric
+from repro.sim.store import ResultStore
+from repro.sim.sweep import SweepSpec, run_sweep
+
+SPEC = SweepSpec(architectures=("EPCM-MM", "2D_DDR3"),
+                 workloads=("gcc", "lbm", "mcf", "milc"),
+                 num_requests=(4000,), seeds=(7,), queue_depths=(None,))
+
+
+def launch_daemon(store_dir):
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim", "serve", "--port", "0",
+         "--store", store_dir, "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env={**os.environ},
+    )
+    ready = daemon.stdout.readline().strip()
+    assert ready.startswith("ready: "), f"unexpected banner: {ready!r}"
+    return daemon, ready.split("ready: ", 1)[1]
+
+
+def kill_after_first_compute(daemon, address):
+    """SIGKILL the daemon the moment its /stats shows a computed cell —
+    mid-sweep by construction, so its partition is left unfinished."""
+    client = EvalClient(address, timeout=5.0, retries=0)
+    while daemon.poll() is None:
+        try:
+            if client.stats().get("computed", 0) >= 1:
+                daemon.kill()
+                return
+        except SimulationError:
+            return
+        time.sleep(0.02)
+
+
+def drain(daemon, label):
+    if daemon.poll() is None:
+        daemon.kill()
+        daemon.wait(timeout=30)
+    stderr = daemon.stderr.read()
+    if stderr:
+        print(f"--- {label} stderr ---\n{stderr}", file=sys.stderr)
+
+
+def main() -> int:
+    root = tempfile.mkdtemp(prefix="fabric-smoke-")
+    store_a = os.path.join(root, "daemon-a")
+    store_b = os.path.join(root, "daemon-b")
+    local = os.path.join(root, "local")
+    merged = os.path.join(root, "merged")
+    daemon_a, addr_a = launch_daemon(store_a)
+    daemon_b, addr_b = launch_daemon(store_b)
+    print(f"fleet up: {addr_a} + {addr_b}")
+    try:
+        killer = threading.Thread(
+            target=kill_after_first_compute, args=(daemon_b, addr_b),
+            daemon=True)
+        killer.start()
+        result = run_fabric(SPEC, [addr_a, addr_b],
+                            store=ResultStore(local),
+                            window=1, retries=0, backoff=0.05,
+                            cell_attempts=4)
+        killer.join(timeout=10)
+        print(f"fabric: {result.describe()}")
+        assert daemon_b.poll() is not None, "victim daemon still alive"
+        assert result.dead_hosts == [addr_b], result.dead_hosts
+        assert result.redispatched >= 1, \
+            "kill landed without any re-dispatch"
+        assert len(result.results) == SPEC.num_cells
+
+        serial = run_sweep(SPEC)
+        assert result.results == serial.results, \
+            "fabric results diverge from serial run_sweep"
+        print("fabric results bit-identical to serial run_sweep")
+
+        merge = subprocess.run(
+            [sys.executable, "-m", "repro.sim", "merge-stores",
+             "--into", merged, store_a, store_b, local],
+            capture_output=True, text=True, env={**os.environ})
+        print(merge.stdout, end="")
+        assert merge.returncode == 0, \
+            f"merge-stores exited {merge.returncode}: {merge.stderr}"
+        print("stores merged without conflicts")
+
+        warm = run_sweep(SPEC, store=ResultStore(merged), resume=True)
+        assert warm.computed == 0, \
+            f"warm sweep against merged store recomputed {warm.computed}"
+        assert warm.results == serial.results
+        print("merged store warm no-compute: results bit-identical")
+
+        EvalClient(addr_a).shutdown()
+        code = daemon_a.wait(timeout=60)
+        assert code == 0, f"survivor exited {code}"
+        print("clean shutdown")
+        return 0
+    finally:
+        drain(daemon_a, "daemon-a")
+        drain(daemon_b, "daemon-b")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,10 @@ Key entry points:
   :class:`repro.sim.client.EvalClient` — the async evaluation daemon
   (HTTP + line protocol, store read-through, request coalescing) and
   its sync/async clients (``python -m repro.sim serve / query``).
+* :func:`repro.sim.fabric.run_fabric` — distributed sweeps across a
+  fleet of daemons (digest-prefix partitioning, work stealing, failure
+  re-dispatch) with audited store merging
+  (``python -m repro.sim fabric / merge-stores``).
 """
 
 from .request import MemRequest, OpType
@@ -59,12 +63,14 @@ from .controller import MemoryController, QUEUE_DEPTH_PER_CHANNEL
 from .factory import build_device, build_workload, ARCHITECTURE_NAMES
 from .engine import (EvalTask, evaluate_cell, evaluate_tasks, grid_tasks,
                      run_evaluation, task_from_dict, task_to_dict)
-from .store import ResultStore, task_digest
+from .store import MergeReport, ResultStore, task_digest
 from .sweep import SweepResult, SweepSpec, run_sweep, write_csv, write_json
 from .simulator import MainMemorySimulator, summarize
 from .server import EvalServer
 from .client import (AsyncEvalClient, EvalClient, SERVER_ENV_VAR,
-                     evaluate_tasks_remote)
+                     TransportError, evaluate_tasks_remote)
+from .fabric import (FabricResult, federate_stats, partition_tasks,
+                     run_fabric, run_fabric_async)
 
 __all__ = [
     "MemRequest",
@@ -103,12 +109,19 @@ __all__ = [
     "task_from_dict",
     "task_to_dict",
     "ResultStore",
+    "MergeReport",
     "task_digest",
     "EvalServer",
     "EvalClient",
     "AsyncEvalClient",
+    "TransportError",
     "SERVER_ENV_VAR",
     "evaluate_tasks_remote",
+    "FabricResult",
+    "run_fabric",
+    "run_fabric_async",
+    "federate_stats",
+    "partition_tasks",
     "SweepSpec",
     "SweepResult",
     "run_sweep",

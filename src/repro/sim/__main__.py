@@ -30,11 +30,18 @@ scheduler-kernel hit rate, trace-plane segments)::
 
     python -m repro.sim --arch ALL --grid --profile
 
-or run / query the async evaluation daemon::
+run / query the async evaluation daemon::
 
     python -m repro.sim serve --port 8787 --store results/ --workers 4
     python -m repro.sim query --arch COMET --workload mcf --requests 8000
     python -m repro.sim query --stats
+
+or drive a fleet of daemons and fold their stores back together::
+
+    python -m repro.sim fabric --hosts http://a:8787,http://b:8787 \
+        --arch ALL --store results/
+    python -m repro.sim fabric stats --hosts http://a:8787,http://b:8787
+    python -m repro.sim merge-stores --into results/ store-a/ store-b/
 """
 
 from __future__ import annotations
@@ -338,9 +345,69 @@ def gc_main(argv=None) -> int:
     return 0
 
 
+def merge_main(argv=None) -> int:
+    """``python -m repro.sim merge-stores --into DIR SRC [SRC...]`` —
+    fold remote daemons' result stores back into one, audited.
+
+    Conflicts (the same digest holding different task/stats payloads —
+    divergent simulator builds) are never copied and make the command
+    exit non-zero.
+    """
+    from .store import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim merge-stores",
+        description="Merge result stores (the write-back half of a "
+                    "fabric run): copy entries absent from the "
+                    "destination, upgrade archival entries with latency "
+                    "sidecars, replace torn entries, and refuse "
+                    "digest-collision conflicts.",
+    )
+    parser.add_argument("--into", required=True, metavar="DIR",
+                        help="destination store (created if missing)")
+    parser.add_argument("sources", nargs="+", metavar="SRC",
+                        help="source store directories")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be copied, write nothing")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every copied path and conflict digest")
+    args = parser.parse_args(argv)
+    try:
+        dest = ResultStore(args.into)
+    except (OSError, SimulationError) as error:
+        print(f"error: destination store {args.into!r} unusable: {error}",
+              file=sys.stderr)
+        return 2
+    conflicts = 0
+    for source in args.sources:
+        try:
+            report = dest.merge_from(source, dry_run=args.dry_run)
+        except (OSError, SimulationError) as error:
+            print(f"error: source store {source!r} unusable: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"{source} -> {args.into}: {report.describe()}")
+        if args.verbose:
+            for label, paths in (("new", report.merged),
+                                 ("upgrade", report.upgraded),
+                                 ("replace", report.replaced_torn),
+                                 ("skip", report.skipped_unreadable)):
+                for path in paths:
+                    print(f"  {label:8s} {path}")
+            for digest in report.conflicts:
+                print(f"  CONFLICT {digest}")
+        conflicts += len(report.conflicts)
+    if conflicts:
+        print(f"error: {conflicts} conflicting digests left uncopied — "
+              f"the stores were written by divergent simulator builds",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 #: Subcommands dispatched before the legacy flag-style parser; the
 #: flag interface (``--arch ... --workload ...``) stays unchanged.
-SUBCOMMANDS = ("serve", "query", "gc")
+SUBCOMMANDS = ("serve", "query", "gc", "fabric", "merge-stores")
 
 
 def main(argv=None) -> int:
@@ -352,6 +419,11 @@ def main(argv=None) -> int:
             return serve_main(argv[1:])
         if argv[0] == "gc":
             return gc_main(argv[1:])
+        if argv[0] == "fabric":
+            from .fabric import fabric_main
+            return fabric_main(argv[1:])
+        if argv[0] == "merge-stores":
+            return merge_main(argv[1:])
         from .client import query_main
         return query_main(argv[1:])
     parser = build_parser()

@@ -13,6 +13,16 @@ Two transports, one wire format:
 daemon.  Responses deserialize back into :class:`SimStats` that are
 bit-identical to a local :func:`repro.sim.engine.evaluate_cell` call
 (Python floats survive JSON exactly).
+
+**Transient failures.**  Connection-level problems — refused connects,
+resets, a daemon restarting mid-sweep — raise :class:`TransportError`
+(a :class:`SimulationError` subclass) and are retried with exponential
+backoff + jitter for the idempotent operations (eval / stats / ping),
+up to ``retries`` extra attempts per call.  ``POST /shutdown`` is never
+retried: a shutdown whose response was lost may already have landed,
+and re-sending it to the daemon that restarted in between would kill
+the *new* daemon.  Structured server errors and malformed responses
+are not retried — they are deterministic, not transient.
 """
 
 from __future__ import annotations
@@ -20,13 +30,16 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import socket
 import sys
+import time
 import urllib.parse
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from .engine import EvalTask, task_to_dict
+from .server import MAX_BODY_BYTES, MAX_HEADER_LINES
 from .stats import SimStats
 from .sweep import SweepSpec
 
@@ -35,6 +48,36 @@ from .sweep import SweepSpec
 SERVER_ENV_VAR = "REPRO_EVAL_SERVER"
 
 DEFAULT_TIMEOUT = 600.0
+
+#: Extra attempts after a transport failure of an idempotent call.
+DEFAULT_RETRIES = 2
+
+#: Base backoff before the first retry (seconds); doubles per attempt,
+#: with multiplicative jitter in [0.5, 1.5).
+DEFAULT_BACKOFF = 0.2
+
+#: Operations that must make exactly one attempt, whatever ``retries``
+#: says: a lost shutdown response may mean the shutdown *landed*, and
+#: re-sending it would take down a daemon that restarted in between.
+NON_IDEMPOTENT_OPS = frozenset({"shutdown"})
+
+
+class TransportError(SimulationError):
+    """A connection-level failure (refused, reset, timed out, closed
+    before a complete response) — transient, safe to retry for
+    idempotent operations.  Malformed-but-complete responses stay
+    plain :class:`SimulationError`: a server sending garbage will send
+    the same garbage again."""
+
+
+def _retry_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff with multiplicative jitter.
+
+    Jitter spreads a fleet of clients hammering a restarted daemon
+    back out in time instead of having every retry land in the same
+    instant (the thundering-herd failure mode a fabric run exposes).
+    """
+    return backoff * (2 ** attempt) * (0.5 + random.random())
 
 
 def default_server() -> Optional[str]:
@@ -103,12 +146,19 @@ class EvalClient:
     """Synchronous client (HTTP or unix line protocol).
 
     ``EvalClient()`` with no address uses ``$REPRO_EVAL_SERVER``.
+    ``retries`` extra attempts (exponential backoff from ``backoff``
+    seconds, jittered) absorb transient transport failures of the
+    idempotent operations; shutdown always makes exactly one attempt.
     """
 
     def __init__(self, address: Optional[str] = None,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff: float = DEFAULT_BACKOFF) -> None:
         self.transport, self.target = _split_address(address)
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
 
     # -- transport ----------------------------------------------------------
 
@@ -128,7 +178,7 @@ class EvalClient:
                 response = connection.getresponse()
                 raw = response.read()
             except (OSError, http.client.HTTPException) as error:
-                raise SimulationError(
+                raise TransportError(
                     f"evaluation server {host}:{port} unreachable: "
                     f"{error}") from error
             try:
@@ -148,25 +198,39 @@ class EvalClient:
                 with sock.makefile("rb") as stream:
                     line = stream.readline()
         except OSError as error:
-            raise SimulationError(
+            raise TransportError(
                 f"evaluation server unix://{self.target} unreachable: "
                 f"{error}") from error
         if not line:
-            raise SimulationError("evaluation server closed the connection")
+            raise TransportError("evaluation server closed the connection")
         try:
             return json.loads(line)
         except json.JSONDecodeError as error:
             raise SimulationError(
                 f"malformed server response: {error}") from error
 
-    def _call(self, op: str, path: str, method: str,
-              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def _call_once(self, op: str, path: str, method: str,
+                   payload: Optional[Dict[str, Any]] = None) \
+            -> Dict[str, Any]:
         if self.transport == "unix":
             message = dict(payload or {})
             message["op"] = op
             return _check_reply(self._line_request(message))
         status, reply = self._http_request(method, path, payload)
         return _check_reply(reply, status)
+
+    def _call(self, op: str, path: str, method: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        attempts = 1 if op in NON_IDEMPOTENT_OPS else self.retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(_retry_delay(self.backoff, attempt - 1))
+            try:
+                return self._call_once(op, path, method, payload)
+            except TransportError:
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")
 
     # -- queries ------------------------------------------------------------
 
@@ -216,13 +280,45 @@ class AsyncEvalClient:
 
     HTTP requests open one connection per call (the server speaks
     ``Connection: close``); unix line-protocol calls do the same for
-    simplicity.  All methods mirror :class:`EvalClient`.
+    simplicity.  All methods mirror :class:`EvalClient`, including the
+    retry policy (idempotent ops only, shutdown never).  Connections
+    are opened with ``limit=MAX_BODY_BYTES`` — the server's own cap —
+    so a latency-bearing response bigger than asyncio's 64 KiB default
+    stream limit parses instead of surfacing a raw
+    ``LimitOverrunError`` from ``readline()``.
     """
 
     def __init__(self, address: Optional[str] = None,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff: float = DEFAULT_BACKOFF) -> None:
         self.transport, self.target = _split_address(address)
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+
+    async def _read_line(self, reader: "Any", what: str) -> bytes:
+        """One bounded line read with every failure mode structured:
+        timeouts and closed connections are transport (retryable),
+        limit overruns are malformed-response errors (not)."""
+        import asyncio
+
+        try:
+            return await asyncio.wait_for(reader.readline(), self.timeout)
+        except asyncio.TimeoutError as error:
+            raise TransportError(
+                f"evaluation server timed out reading {what}") from error
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise SimulationError(
+                f"server {what} exceeds the {MAX_BODY_BYTES}-byte stream "
+                f"limit; request latencies=False for very large cells"
+            ) from error
+        except OSError as error:
+            # A reset/aborted connection mid-read is transport, exactly
+            # like a refused connect.
+            raise TransportError(
+                f"evaluation server connection failed reading {what}: "
+                f"{error}") from error
 
     async def _http_request(self, method: str, path: str,
                             payload: Optional[Dict[str, Any]] = None) \
@@ -232,9 +328,10 @@ class AsyncEvalClient:
         host, port = self.target
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(host, port), self.timeout)
+                asyncio.open_connection(host, port, limit=MAX_BODY_BYTES),
+                self.timeout)
         except (OSError, asyncio.TimeoutError) as error:
-            raise SimulationError(
+            raise TransportError(
                 f"evaluation server {host}:{port} unreachable: "
                 f"{error}") from error
         try:
@@ -247,31 +344,65 @@ class AsyncEvalClient:
                     f"Connection: close\r\n\r\n").encode("latin-1")
             writer.write(head + body)
             await writer.drain()
-            status_line = await asyncio.wait_for(reader.readline(),
-                                                 self.timeout)
+            status_line = await self._read_line(reader, "HTTP status line")
+            if not status_line:
+                # EOF before a single response byte — the daemon died
+                # between accept and reply (a restart race), so this is
+                # transport, not a malformed response.
+                raise TransportError(
+                    "evaluation server closed the connection before "
+                    "responding")
             try:
                 status = int(status_line.split()[1])
             except (IndexError, ValueError):
                 raise SimulationError(
                     f"malformed HTTP status line: {status_line!r}") from None
             length = 0
+            header_lines = 0
             while True:
-                line = await reader.readline()
+                line = await self._read_line(reader, "HTTP header line")
                 if line in (b"\r\n", b"\n", b""):
                     break
+                header_lines += 1
+                if header_lines > MAX_HEADER_LINES:
+                    # A runaway (or malicious) peer streaming headers
+                    # forever must not pin the client in this loop.
+                    raise SimulationError(
+                        f"server response has more than "
+                        f"{MAX_HEADER_LINES} header lines")
                 name, _, value = line.decode("latin-1").partition(":")
                 if name.strip().lower() == "content-length":
-                    length = int(value.strip())
-            raw = await asyncio.wait_for(reader.readexactly(length),
-                                         self.timeout)
+                    try:
+                        length = int(value.strip())
+                    except ValueError:
+                        # The structured malformed-response path every
+                        # other parse failure takes — never a raw
+                        # ValueError escaping to the caller.
+                        raise SimulationError(
+                            f"malformed Content-Length header: "
+                            f"{value.strip()!r}") from None
+            if length < 0:
+                raise SimulationError(
+                    f"malformed Content-Length header: {length}")
+            try:
+                raw = await asyncio.wait_for(reader.readexactly(length),
+                                             self.timeout)
+            except asyncio.TimeoutError as error:
+                raise TransportError(
+                    "evaluation server timed out mid-response") from error
             try:
                 return status, json.loads(raw)
             except json.JSONDecodeError as error:
                 raise SimulationError(
                     f"malformed server response: {error}") from error
         except asyncio.IncompleteReadError as error:
-            raise SimulationError(
+            raise TransportError(
                 f"evaluation server closed mid-response: {error}") from error
+        except OSError as error:
+            # Write-side resets (the peer dropped us while we sent the
+            # request) are transport failures too.
+            raise TransportError(
+                f"evaluation server connection failed: {error}") from error
         finally:
             writer.close()
             try:
@@ -284,15 +415,22 @@ class AsyncEvalClient:
 
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_unix_connection(self.target), self.timeout)
+                asyncio.open_unix_connection(self.target,
+                                             limit=MAX_BODY_BYTES),
+                self.timeout)
         except (OSError, asyncio.TimeoutError) as error:
-            raise SimulationError(
+            raise TransportError(
                 f"evaluation server unix://{self.target} unreachable: "
                 f"{error}") from error
         try:
-            writer.write(json.dumps(payload).encode() + b"\n")
-            await writer.drain()
-            line = await asyncio.wait_for(reader.readline(), self.timeout)
+            try:
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+            except OSError as error:
+                raise TransportError(
+                    f"evaluation server connection failed: "
+                    f"{error}") from error
+            line = await self._read_line(reader, "line-protocol response")
         finally:
             writer.close()
             try:
@@ -300,15 +438,15 @@ class AsyncEvalClient:
             except (ConnectionError, OSError):
                 pass
         if not line:
-            raise SimulationError("evaluation server closed the connection")
+            raise TransportError("evaluation server closed the connection")
         try:
             return json.loads(line)
         except json.JSONDecodeError as error:
             raise SimulationError(
                 f"malformed server response: {error}") from error
 
-    async def _call(self, op: str, path: str, method: str,
-                    payload: Optional[Dict[str, Any]] = None) \
+    async def _call_once(self, op: str, path: str, method: str,
+                         payload: Optional[Dict[str, Any]] = None) \
             -> Dict[str, Any]:
         if self.transport == "unix":
             message = dict(payload or {})
@@ -316,6 +454,22 @@ class AsyncEvalClient:
             return _check_reply(await self._line_request(message))
         status, reply = await self._http_request(method, path, payload)
         return _check_reply(reply, status)
+
+    async def _call(self, op: str, path: str, method: str,
+                    payload: Optional[Dict[str, Any]] = None) \
+            -> Dict[str, Any]:
+        import asyncio
+
+        attempts = 1 if op in NON_IDEMPOTENT_OPS else self.retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(_retry_delay(self.backoff, attempt - 1))
+            try:
+                return await self._call_once(op, path, method, payload)
+            except TransportError:
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")
 
     async def eval_tasks(self, tasks: Sequence[EvalTask],
                          latencies: bool = True) -> Dict[EvalTask, SimStats]:

@@ -1,0 +1,581 @@
+"""Distributed sweep fabric: one coordinator, a fleet of ``EvalServer``s.
+
+``run_sweep`` parallelizes a grid across the cores of one box; this
+module is the step to a cluster.  A coordinator partitions a
+:class:`~repro.sim.sweep.SweepSpec` across remote evaluation daemons
+and drives the fleet to completion:
+
+* **Digest-prefix partitioning.**  Every cell routes to the host whose
+  index matches its :func:`~repro.sim.store.task_digest` prefix
+  (``int(digest[:8], 16) % len(hosts)``) — deterministic, uniform, and
+  a disjoint cover of the grid, so each daemon's result store and LRU
+  see a stable working set across runs.
+* **Bounded in-flight windows.**  ``window`` concurrent single-cell
+  requests per host; a slow host never accumulates an unbounded queue
+  of in-flight work that would all be lost if it died.
+* **Work stealing.**  A host that drains its own partition steals cells
+  from the tail of the largest remaining partition — the fleet finishes
+  together instead of waiting on the slowest member.
+* **Failure re-dispatch.**  A transport failure (after the client's own
+  retry/backoff budget) marks the host dead; its unfinished cells
+  re-enter the shared queue for the surviving hosts.  Each failed cell
+  attempt backs off exponentially and consumes one unit of the cell's
+  ``cell_attempts`` budget; a cell that exhausts its budget fails the
+  run with a structured error (everything already completed is safely
+  in the store — rerun to resume).
+* **Write-through.**  Completed cells land in the coordinator's local
+  :class:`~repro.sim.store.ResultStore` the moment they arrive, so an
+  interrupted fabric run resumes exactly like an interrupted local
+  sweep, and the final results are bit-identical to a serial
+  :func:`~repro.sim.sweep.run_sweep` of the same spec.
+
+Remote daemons keep their own ``--store`` write-back; the audited merge
+tool (``python -m repro.sim merge-stores``,
+:meth:`ResultStore.merge_from`) folds those stores back together
+afterwards, with digest-collision conflict detection.
+
+``python -m repro.sim fabric --hosts ... --grid`` is the CLI;
+``python -m repro.sim fabric stats --hosts ...`` federates the fleet's
+``/stats`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..errors import SimulationError
+from .client import (DEFAULT_BACKOFF, DEFAULT_RETRIES, DEFAULT_TIMEOUT,
+                     AsyncEvalClient, TransportError)
+from .engine import EvalTask
+from .stats import SimStats
+from .store import ResultStore, task_digest
+from .sweep import SweepResult, SweepSpec
+
+#: Hex digits of the task digest used for host routing (32 bits —
+#: uniform far past any realistic fleet size).
+PARTITION_PREFIX_HEX = 8
+
+#: Default in-flight single-cell requests per host.
+DEFAULT_WINDOW = 4
+
+#: Default total attempts per cell before the run is declared failed.
+DEFAULT_CELL_ATTEMPTS = 3
+
+
+def partition_index(task: EvalTask, num_partitions: int) -> int:
+    """The partition one cell routes to (digest-prefix modulo)."""
+    return int(task_digest(task)[:PARTITION_PREFIX_HEX], 16) % num_partitions
+
+
+def partition_tasks(tasks: Sequence[EvalTask],
+                    num_partitions: int) -> List[List[EvalTask]]:
+    """Split cells into ``num_partitions`` deterministic partitions.
+
+    Every cell lands in exactly one partition (a disjoint cover — the
+    property the fabric tests pin), order within a partition follows
+    the input order, and the assignment depends only on the task digest
+    — the same spec partitions identically on every coordinator.
+    """
+    if num_partitions < 1:
+        raise SimulationError("need at least one partition")
+    parts: List[List[EvalTask]] = [[] for _ in range(num_partitions)]
+    for task in tasks:
+        parts[partition_index(task, num_partitions)].append(task)
+    return parts
+
+
+@dataclass
+class FabricResult:
+    """A finished fabric run: results plus dispatch provenance."""
+
+    spec: SweepSpec
+    results: Dict[EvalTask, SimStats]
+    store_hits: int                  #: cells served by the local store
+    completed: int                   #: cells evaluated by the fleet
+    stolen: int                      #: cells run off their home partition
+    redispatched: int                #: cells re-queued after a failure
+    dead_hosts: List[str] = field(default_factory=list)
+    per_host: Dict[str, int] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat export rows, same shape as a local sweep's."""
+        return SweepResult(self.spec, self.results,
+                           self.store_hits, self.completed).rows()
+
+    def describe(self) -> str:
+        hosts = ", ".join(f"{host}={count}"
+                          for host, count in self.per_host.items())
+        line = (f"{len(self.results)} cells ({self.store_hits} local store "
+                f"hits, {self.completed} remote: {hosts}); "
+                f"{self.stolen} stolen, {self.redispatched} re-dispatched")
+        if self.dead_hosts:
+            line += f"; dead hosts: {', '.join(self.dead_hosts)}"
+        return line
+
+
+class _HostState:
+    """One fleet member: its client, its partition, its liveness."""
+
+    __slots__ = ("address", "client", "pending", "alive", "completed")
+
+    def __init__(self, address: str, client: AsyncEvalClient) -> None:
+        self.address = address
+        self.client = client
+        self.pending: "deque[EvalTask]" = deque()
+        self.alive = True
+        self.completed = 0
+
+
+class _FabricRun:
+    """Shared dispatcher state for one fabric execution.
+
+    Everything here mutates on the event loop only, so the deques need
+    no locking; ``wakeup`` is the single notification channel (new work
+    queued, a cell completed, the run failed).
+    """
+
+    def __init__(self, hosts: List[_HostState], missing: List[EvalTask],
+                 store: Optional[ResultStore], latencies: bool,
+                 cell_attempts: int, backoff: float,
+                 on_result: Optional[Callable[[EvalTask, SimStats], None]]
+                 ) -> None:
+        self.hosts = hosts
+        self.store = store
+        self.latencies = latencies
+        self.cell_attempts = max(1, cell_attempts)
+        self.backoff = backoff
+        self.on_result = on_result
+        self.overflow: "deque[EvalTask]" = deque()
+        self.attempts: Dict[EvalTask, int] = {}
+        self.results: Dict[EvalTask, SimStats] = {}
+        self.remaining = len(missing)
+        self.stolen = 0
+        self.redispatched = 0
+        self.failure: Optional[SimulationError] = None
+        self.wakeup = asyncio.Event()
+        self._requeues: Set["asyncio.Task"] = set()
+        for task in missing:
+            hosts[partition_index(task, len(hosts))].pending.append(task)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def next_task(self, host: _HostState):
+        """Next cell for one worker: re-dispatch queue first, then the
+        host's own partition, then steal from the largest remainder."""
+        if self.overflow:
+            return self.overflow.popleft(), False
+        if host.pending:
+            return host.pending.popleft(), False
+        victim = None
+        for other in self.hosts:
+            if other is host or not other.alive or not other.pending:
+                continue
+            if victim is None or len(other.pending) > len(victim.pending):
+                victim = other
+        if victim is not None:
+            # Steal from the tail: the head cells are about to be
+            # pulled by the victim's own workers.
+            return victim.pending.pop(), True
+        return None, False
+
+    def fail(self, error: SimulationError) -> None:
+        if self.failure is None:
+            self.failure = error
+        self.wakeup.set()
+
+    def mark_dead(self, host: _HostState) -> None:
+        """A host stopped answering: its unfinished partition re-enters
+        the shared queue for the survivors."""
+        if not host.alive:
+            return
+        host.alive = False
+        while host.pending:
+            self.overflow.append(host.pending.popleft())
+            self.redispatched += 1
+        self.wakeup.set()
+
+    def cell_failed(self, task: EvalTask, error: SimulationError) -> None:
+        """One failed attempt: consume budget, back off, re-queue."""
+        attempts = self.attempts.get(task, 0) + 1
+        self.attempts[task] = attempts
+        if attempts >= self.cell_attempts:
+            self.fail(SimulationError(
+                f"fabric cell ({task.describe()}) failed after "
+                f"{attempts} attempts: {error}"))
+            return
+        requeue = asyncio.ensure_future(self._requeue_after_backoff(
+            task, self.backoff * (2 ** (attempts - 1))))
+        self._requeues.add(requeue)
+        requeue.add_done_callback(self._requeues.discard)
+
+    async def _requeue_after_backoff(self, task: EvalTask,
+                                     delay: float) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        self.overflow.append(task)
+        self.redispatched += 1
+        self.wakeup.set()
+
+    # -- the worker loop ----------------------------------------------------
+
+    async def worker(self, host: _HostState) -> None:
+        """One in-flight slot on one host (``window`` of these per
+        host).  Exits when the run completes, fails, or the host dies.
+        """
+        while host.alive and self.failure is None and self.remaining > 0:
+            task, stolen = self.next_task(host)
+            if task is None:
+                # Nothing dispatchable right now (cells in flight
+                # elsewhere, or a backoff pending): wait for a wakeup,
+                # with a poll floor as a lost-wakeup safety net.
+                self.wakeup.clear()
+                try:
+                    await asyncio.wait_for(self.wakeup.wait(), 0.05)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            try:
+                stats = await host.client.eval_cell(
+                    task, latencies=self.latencies)
+            except TransportError as error:
+                # The client's own retry budget is spent: the host is
+                # unreachable.  Its queue re-enters the shared pool and
+                # this in-flight cell consumes one attempt.
+                self.mark_dead(host)
+                self.cell_failed(task, error)
+                continue
+            except SimulationError as error:
+                # Structured server-side failure (a crashed worker, a
+                # restarted pool): the host is alive — retry the cell
+                # elsewhere within its budget.
+                self.cell_failed(task, error)
+                continue
+            if stolen:
+                self.stolen += 1
+            host.completed += 1
+            self.results[task] = stats
+            self.remaining -= 1
+            if self.store is not None:
+                self.store.put(task, stats, latencies=self.latencies)
+            if self.on_result is not None:
+                self.on_result(task, stats)
+            self.wakeup.set()
+
+    async def run(self, window: int) -> None:
+        workers = [asyncio.ensure_future(self.worker(host))
+                   for host in self.hosts for _ in range(max(1, window))]
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            for requeue in list(self._requeues):
+                requeue.cancel()
+        if self.failure is not None:
+            raise self.failure
+        if self.remaining > 0:
+            dead = [host.address for host in self.hosts if not host.alive]
+            raise SimulationError(
+                f"fabric stalled with {self.remaining} cells unfinished; "
+                f"dead hosts: {dead or 'none'} — completed cells are in "
+                f"the local store, rerun to resume")
+
+
+async def run_fabric_async(
+    spec: SweepSpec,
+    hosts: Sequence[str],
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
+    window: int = DEFAULT_WINDOW,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    cell_attempts: int = DEFAULT_CELL_ATTEMPTS,
+    latencies: bool = True,
+    timeout: float = DEFAULT_TIMEOUT,
+    on_result: Optional[Callable[[EvalTask, SimStats], None]] = None,
+) -> FabricResult:
+    """Execute a sweep across a fleet of evaluation daemons.
+
+    ``hosts`` are client addresses (``http://host:port`` or
+    ``unix:///path``).  Cells already in the local ``store`` are served
+    from disk when ``resume`` is true; the rest are partitioned by
+    digest prefix and dispatched with ``window`` in-flight requests per
+    host, work stealing, and failure re-dispatch (see the module
+    docstring).  ``latencies=False`` trims per-request samples from
+    both the wire and the store write-through (archival mode).
+
+    The final ``results`` are bit-identical to a serial
+    :func:`~repro.sim.sweep.run_sweep` of the same spec.
+    """
+    addresses = list(dict.fromkeys(hosts))
+    if not addresses:
+        raise SimulationError("fabric needs at least one host")
+    tasks = spec.tasks()
+    cached: Dict[EvalTask, SimStats] = {}
+    if store is not None and resume:
+        cached = {task: hit for task, hit in store.get_many(tasks).items()
+                  if hit is not None}
+    missing = [task for task in tasks if task not in cached]
+    states = [
+        _HostState(address, AsyncEvalClient(address, timeout=timeout,
+                                            retries=retries,
+                                            backoff=backoff))
+        for address in addresses
+    ]
+    run = _FabricRun(states, missing, store, latencies, cell_attempts,
+                     backoff, on_result)
+    run.results.update(cached)
+    await run.run(window)
+    return FabricResult(
+        spec=spec,
+        results=run.results,
+        store_hits=len(cached),
+        completed=sum(state.completed for state in states),
+        stolen=run.stolen,
+        redispatched=run.redispatched,
+        dead_hosts=[state.address for state in states if not state.alive],
+        per_host={state.address: state.completed for state in states},
+    )
+
+
+def run_fabric(spec: SweepSpec, hosts: Sequence[str],
+               **kwargs: Any) -> FabricResult:
+    """Synchronous wrapper over :func:`run_fabric_async`."""
+    return asyncio.run(run_fabric_async(spec, hosts, **kwargs))
+
+
+# -- federated stats ---------------------------------------------------------
+
+
+async def federate_stats_async(hosts: Sequence[str],
+                               timeout: float = 30.0,
+                               retries: int = DEFAULT_RETRIES,
+                               backoff: float = DEFAULT_BACKOFF
+                               ) -> Dict[str, Any]:
+    """Every host's ``/stats`` plus fleet-wide numeric totals.
+
+    Unreachable hosts are reported (``{"error": ...}`` per host and an
+    ``unreachable`` count), never raised — a dashboard poll must not
+    die because one member is restarting.
+    """
+    addresses = list(dict.fromkeys(hosts))
+    if not addresses:
+        raise SimulationError("need at least one host")
+
+    async def fetch(address: str) -> Any:
+        try:
+            return await AsyncEvalClient(address, timeout=timeout,
+                                         retries=retries,
+                                         backoff=backoff).stats()
+        except SimulationError as error:
+            return {"error": str(error)}
+
+    snapshots = await asyncio.gather(*(fetch(a) for a in addresses))
+    per_host = dict(zip(addresses, snapshots))
+    totals: Dict[str, Any] = {}
+    kernel_totals: Dict[str, int] = {}
+    reachable = 0
+    for snapshot in snapshots:
+        if "error" in snapshot:
+            continue
+        reachable += 1
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+        for key, value in (snapshot.get("kernel") or {}).items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                kernel_totals[key] = kernel_totals.get(key, 0) + value
+    if kernel_totals:
+        totals["kernel"] = kernel_totals
+    return {
+        "hosts": per_host,
+        "totals": totals,
+        "reachable": reachable,
+        "unreachable": len(addresses) - reachable,
+    }
+
+
+def federate_stats(hosts: Sequence[str], **kwargs: Any) -> Dict[str, Any]:
+    """Synchronous wrapper over :func:`federate_stats_async`."""
+    return asyncio.run(federate_stats_async(hosts, **kwargs))
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _parse_hosts(values: List[str]) -> List[str]:
+    hosts: List[str] = []
+    for value in values:
+        hosts.extend(part.strip() for part in value.split(",")
+                     if part.strip())
+    return list(dict.fromkeys(hosts))
+
+
+def _stats_main(argv: List[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim fabric stats",
+        description="Federate /stats across a fleet of evaluation "
+                    "daemons.",
+    )
+    parser.add_argument("--hosts", required=True, action="append",
+                        metavar="ADDR[,ADDR...]",
+                        help="daemon addresses (repeatable or "
+                             "comma-separated)")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+    hosts = _parse_hosts(args.hosts)
+    if not hosts:
+        parser.error("--hosts resolved to an empty set")
+    report = federate_stats(hosts, timeout=args.timeout)
+    for address, snapshot in report["hosts"].items():
+        if "error" in snapshot:
+            print(f"{address}: unreachable ({snapshot['error']})")
+            continue
+        print(f"{address}: computed {snapshot.get('computed', 0)}, "
+              f"store_hits {snapshot.get('store_hits', 0)}, "
+              f"lru_hits {snapshot.get('lru_hits', 0)}, "
+              f"queries {snapshot.get('queries', 0)}, "
+              f"errors {snapshot.get('errors', 0)}")
+    totals = report["totals"]
+    print(f"fleet ({report['reachable']}/{len(report['hosts'])} "
+          f"reachable): " + ", ".join(
+              f"{key} {value}" for key, value in sorted(totals.items())
+              if not isinstance(value, dict)))
+    return 0 if report["unreachable"] == 0 else 1
+
+
+def fabric_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.sim fabric`` — run a sweep across a fleet (or
+    ``fabric stats`` — federate the fleet's counters)."""
+    import argparse
+
+    from .factory import known_architectures
+    from .sweep import run_sweep, write_csv, write_json
+    from .tracegen import SPEC_WORKLOADS, WORKLOAD_NAMES
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim fabric",
+        description="Partition a sweep across remote evaluation daemons "
+                    "(digest-prefix routing, bounded in-flight windows, "
+                    "work stealing, failure re-dispatch) with local "
+                    "result-store write-through.  "
+                    "'fabric stats --hosts ...' federates /stats.",
+    )
+    parser.add_argument("--hosts", required=True, action="append",
+                        metavar="ADDR[,ADDR...]",
+                        help="daemon addresses (repeatable or "
+                             "comma-separated)")
+    parser.add_argument("--arch", default="ALL",
+                        choices=known_architectures() + ("ALL",))
+    parser.add_argument("--workloads", default=None,
+                        help="'spec' (default), 'all', or a "
+                             "comma-separated list")
+    parser.add_argument("--requests", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--queue-depths", default=None,
+                        metavar="D[,D...]",
+                        help="queue-depth axis (integers; 'default' "
+                             "keeps the per-architecture default)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="local write-through result store "
+                             "(resumable)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore cells already in --store")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="in-flight requests per host")
+    parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                        help="transport retries per request before a "
+                             "host is declared dead")
+    parser.add_argument("--backoff", type=float, default=DEFAULT_BACKOFF,
+                        help="base retry/re-dispatch backoff (seconds)")
+    parser.add_argument("--cell-attempts", type=int,
+                        default=DEFAULT_CELL_ATTEMPTS,
+                        help="attempts per cell before the run fails")
+    parser.add_argument("--no-latencies", action="store_true",
+                        help="archival mode: trim per-request samples "
+                             "from the wire and the store")
+    parser.add_argument("--export", choices=("csv", "json"), default=None)
+    parser.add_argument("--export-path", default="-", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    hosts = _parse_hosts(args.hosts)
+    if not hosts:
+        parser.error("--hosts resolved to an empty set")
+    if args.window < 1:
+        parser.error("--window must be >= 1")
+    if args.cell_attempts < 1:
+        parser.error("--cell-attempts must be >= 1")
+    if args.workloads in (None, "spec"):
+        workloads = sorted(SPEC_WORKLOADS)
+    elif args.workloads == "all":
+        workloads = list(WORKLOAD_NAMES)
+    else:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+    if not workloads:
+        parser.error("--workloads resolved to an empty set")
+    queue_depths: List[Optional[int]] = [None]
+    if args.queue_depths is not None:
+        queue_depths = []
+        for part in args.queue_depths.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part == "default":
+                queue_depths.append(None)
+                continue
+            try:
+                queue_depths.append(int(part))
+            except ValueError:
+                parser.error(f"--queue-depths entry {part!r} is not an "
+                             f"integer (or 'default')")
+        if not queue_depths:
+            parser.error("--queue-depths resolved to an empty set")
+    archs = known_architectures() if args.arch == "ALL" else (args.arch,)
+    try:
+        spec = SweepSpec(architectures=tuple(archs),
+                         workloads=tuple(workloads),
+                         num_requests=(args.requests,),
+                         seeds=(args.seed,),
+                         queue_depths=tuple(queue_depths))
+        store = ResultStore(args.store) if args.store else None
+    except SimulationError as error:
+        parser.error(str(error))
+    except OSError as error:
+        parser.error(f"result store {args.store!r} unusable: {error}")
+    table = sys.stderr if (args.export and args.export_path == "-") \
+        else sys.stdout
+    print(f"fabric       : {len(hosts)} hosts, {spec.num_cells} cells "
+          f"(window {args.window}/host, {args.cell_attempts} attempts/"
+          f"cell)", file=table)
+    try:
+        result = run_fabric(spec, hosts, store=store,
+                            resume=not args.no_resume, window=args.window,
+                            retries=args.retries, backoff=args.backoff,
+                            cell_attempts=args.cell_attempts,
+                            latencies=not args.no_latencies)
+    except SimulationError as error:
+        message = f"error: {error}"
+        if args.store:
+            message += (f"\ncompleted cells are checkpointed in "
+                        f"{args.store}; rerun to continue")
+        print(message, file=sys.stderr)
+        return 1
+    print(f"dispatch     : {result.describe()}", file=table)
+    if args.export:
+        writer = write_csv if args.export == "csv" else write_json
+        if args.export_path == "-":
+            writer(result.rows(), sys.stdout)
+        else:
+            with open(args.export_path, "w", newline="") as stream:
+                writer(result.rows(), stream)
+    return 0

@@ -78,6 +78,11 @@ MAX_REQUESTS_PER_CELL = 1_000_000
 #: Hard cap on an HTTP request body / line-protocol line.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Hard cap on HTTP header lines per message, shared with the clients'
+#: response parsers — neither side may be pinned in a header-read loop
+#: by a peer streaming headers forever.
+MAX_HEADER_LINES = 128
+
 _HTTP_REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
@@ -508,10 +513,17 @@ class EvalServer:
             self._counters["errors"] += 1
             return 400, {"ok": False, "error": "malformed request line"}
         headers: Dict[str, str] = {}
+        header_lines = 0
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_lines += 1
+            if header_lines > MAX_HEADER_LINES:
+                self._counters["errors"] += 1
+                return 400, {"ok": False,
+                             "error": f"more than {MAX_HEADER_LINES} "
+                                      f"header lines"}
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         try:

@@ -182,6 +182,47 @@ class GcReport:
                 f"{len(self.removed_dirs)} empty shard dirs")
 
 
+@dataclass
+class MergeReport:
+    """What one :meth:`ResultStore.merge_from` pass did (paths listed
+    for auditing / ``--dry-run``), in the :class:`GcReport` mold.
+
+    ``conflicts`` is the audit that makes merging safe: two stores
+    holding the *same digest* with *different* task/stats payloads mean
+    one of them was produced by divergent simulator code (a digest
+    collision by construction cannot happen otherwise) — those entries
+    are never copied, and the CLI exits non-zero.
+    """
+
+    dry_run: bool = False
+    source: str = ""
+    merged: List[Path] = field(default_factory=list)
+    upgraded: List[Path] = field(default_factory=list)
+    already_present: int = 0
+    replaced_torn: List[Path] = field(default_factory=list)
+    skipped_unreadable: List[Path] = field(default_factory=list)
+    conflicts: List[str] = field(default_factory=list)
+
+    @property
+    def copied_total(self) -> int:
+        return (len(self.merged) + len(self.upgraded)
+                + len(self.replaced_torn))
+
+    def describe(self) -> str:
+        verb = "would copy" if self.dry_run else "copied"
+        line = (f"{verb} {len(self.merged)} new entries from "
+                f"{self.source or 'source'} ({len(self.upgraded)} "
+                f"archival entries upgraded with latency sidecars, "
+                f"{len(self.replaced_torn)} torn destination entries "
+                f"replaced); {self.already_present} already present, "
+                f"{len(self.skipped_unreadable)} unreadable source "
+                f"entries skipped")
+        if self.conflicts:
+            line += (f"; {len(self.conflicts)} CONFLICTS "
+                     f"(same digest, different payload) left uncopied")
+        return line
+
+
 class ResultStore:
     """On-disk result store: ``directory/cells/<ab>/<digest>.json``
     entries plus ``<digest>.lat`` packed-latency sidecars.
@@ -415,6 +456,110 @@ class ResultStore:
                         # Concurrently repopulated — leave it.
                         report.removed_dirs.pop()
         return report
+
+    # -- merging ------------------------------------------------------------
+
+    def merge_from(self, source: Union["ResultStore", str, Path],
+                   dry_run: bool = False) -> "MergeReport":
+        """Fold another store's entries into this one, audited.
+
+        The write-back half of a distributed sweep
+        (:mod:`repro.sim.fabric`): each daemon accumulates results in
+        its own ``--store``; this folds them back together.  File-level
+        by digest filename — no device models are built, so stores can
+        be merged on a machine that cannot even run the simulations.
+
+        Per source entry (sidecar copied before entry, same atomicity
+        as ``put``):
+
+        * digest absent here → copied (``merged``);
+        * present and byte-equivalent → skipped (``already_present``);
+          if the source additionally carries a latency sidecar our
+          archival entry lacks, the richer entry wins (``upgraded``);
+        * present but torn/unreadable here → replaced
+          (``replaced_torn``);
+        * present with a *different* task/stats payload → **conflict**:
+          never copied, listed in ``conflicts`` for the caller to
+          refuse (same digest + different payload means divergent
+          simulator builds wrote the two stores);
+        * unreadable or torn in the *source* → skipped and counted.
+
+        ``dry_run`` reports without writing.  Safe against concurrent
+        readers of this store (atomic replace); like ``gc``, do not run
+        it against a store another process is actively writing.
+        """
+        if not isinstance(source, ResultStore):
+            source = ResultStore(source)
+        report = MergeReport(dry_run=dry_run, source=str(source.root))
+        for src_path in sorted(source.cells_dir.glob("*/*.json")):
+            digest = src_path.stem
+            src = self._readable_entry(src_path)
+            if src is None:
+                report.skipped_unreadable.append(src_path)
+                continue
+            src_entry, src_blob = src
+            dst_path = self._digest_path(digest)
+            dst = self._readable_entry(dst_path) \
+                if dst_path.exists() else None
+            if dst is not None:
+                dst_entry = dst[0]
+                if (self._comparable(src_entry)
+                        != self._comparable(dst_entry)):
+                    report.conflicts.append(digest)
+                    continue
+                src_count = src_entry.get("latencies_count")
+                if (src_count is None
+                        or dst_entry.get("latencies_count") is not None):
+                    report.already_present += 1
+                    continue
+                # Same payload, but the source carries the per-request
+                # sidecar our archival entry dropped: take the richer
+                # one.
+                report.upgraded.append(dst_path)
+            elif dst_path.exists():
+                report.replaced_torn.append(dst_path)
+            else:
+                report.merged.append(dst_path)
+            if dry_run:
+                continue
+            count = src_entry.get("latencies_count")
+            if count is not None:
+                self._atomic_write_bytes(
+                    self._sidecar_path(dst_path),
+                    source._sidecar_path(src_path).read_bytes())
+            self._atomic_write_bytes(dst_path, src_blob)
+            if count is None:
+                self._sidecar_path(dst_path).unlink(missing_ok=True)
+        return report
+
+    def _readable_entry(self, path: Path) \
+            -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Parsed entry + raw bytes, or ``None`` if torn/unreadable
+        (mis-shaped JSON, or a latency sidecar missing/size-mismatched).
+        """
+        try:
+            blob = path.read_bytes()
+            entry = json.loads(blob)
+            if (not isinstance(entry, dict)
+                    or not isinstance(entry.get("task"), dict)
+                    or "stats" not in entry):
+                return None
+            count = entry.get("latencies_count")
+            if count is not None:
+                sidecar = self._sidecar_path(path)
+                if sidecar.stat().st_size != 8 * count:
+                    return None
+            return entry, blob
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _comparable(entry: Dict[str, Any]) -> Dict[str, Any]:
+        """The digest-collision comparison payload: everything except
+        the sidecar bookkeeping (an archival and a latency-bearing
+        entry for the same cell are *equivalent*, not conflicting)."""
+        return {key: value for key, value in entry.items()
+                if key != "latencies_count"}
 
     def _entry_is_live(self, path: Path) -> Optional[bool]:
         """Liveness of one entry, decided in a single parse.

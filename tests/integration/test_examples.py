@@ -35,6 +35,7 @@ class TestExamplesRun:
             "reliability_study.py",
             "sweep_resume_demo.py",
             "server_smoke.py",
+            "fabric_smoke.py",
         }
 
     def test_quickstart(self):
@@ -92,4 +93,13 @@ class TestExamplesRun:
         assert result.returncode == 0, result.stderr
         assert "hit served without recomputation" in result.stdout
         assert "bit-identical" in result.stdout
+        assert "clean shutdown" in result.stdout
+
+    def test_fabric_smoke(self):
+        result = run_example("fabric_smoke.py")
+        assert result.returncode == 0, result.stderr
+        assert "fabric results bit-identical to serial run_sweep" \
+            in result.stdout
+        assert "stores merged without conflicts" in result.stdout
+        assert "merged store warm no-compute" in result.stdout
         assert "clean shutdown" in result.stdout

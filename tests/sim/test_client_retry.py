@@ -1,0 +1,294 @@
+"""Client transport hardening: retry/backoff policy and the async
+response-parser failure modes a fleet exposes.
+
+The retry tests drive the real clients against a *scriptable* fake
+endpoint (each accepted connection consumes the next behavior: drop the
+connection, or send canned bytes), so attempt counts are observable and
+deterministic.  The parser tests send responses no well-behaved daemon
+would produce — malformed ``Content-Length``, unbounded header streams,
+a line-protocol reply bigger than the stream limit — and pin that every
+one surfaces as a structured :class:`SimulationError`, never a raw
+``ValueError``/``LimitOverrunError``.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.client import (DEFAULT_RETRIES, MAX_BODY_BYTES,
+                              MAX_HEADER_LINES, NON_IDEMPOTENT_OPS,
+                              AsyncEvalClient, EvalClient, TransportError,
+                              _retry_delay)
+
+#: Close the connection without a byte — a daemon dying mid-restart.
+DROP = "drop"
+
+
+def http_response(payload, status=200):
+    body = json.dumps(payload).encode()
+    return (f"HTTP/1.1 {status} X\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode() + body
+
+
+STATS_OK = http_response({"ok": True, "stats": {"computed": 3}})
+SHUTDOWN_OK = http_response({"ok": True})
+
+
+class FakeEndpoint(threading.Thread):
+    """Scriptable TCP endpoint for the *sync* client.
+
+    Each accepted connection consumes the next script entry: ``DROP``
+    closes immediately, bytes are sent after the request head arrives.
+    ``connections`` counts accepts — the retry-policy observable.
+    """
+
+    def __init__(self, script):
+        super().__init__(daemon=True)
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.port = self.listener.getsockname()[1]
+        self.script = list(script)
+        self.connections = 0
+
+    @property
+    def address(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def run(self):
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return          # closed — test over
+            self.connections += 1
+            behavior = self.script.pop(0) if self.script else DROP
+            with conn:
+                if behavior == DROP:
+                    continue
+                conn.settimeout(5.0)
+                try:
+                    head = b""
+                    while b"\r\n\r\n" not in head:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        head += chunk
+                    conn.sendall(behavior)
+                except OSError:
+                    continue
+
+    def close(self):
+        self.listener.close()
+
+
+@pytest.fixture
+def endpoint(request):
+    """Build-and-start helper; always closes the listener."""
+    created = []
+
+    def build(script):
+        fake = FakeEndpoint(script)
+        fake.start()
+        created.append(fake)
+        return fake
+
+    yield build
+    for fake in created:
+        fake.close()
+
+
+def run_async_endpoint(script, scenario):
+    """The async twin of :class:`FakeEndpoint`: same script semantics,
+    served by ``asyncio.start_server`` on the test's event loop."""
+    state = {"connections": 0, "script": list(script)}
+
+    async def handle(reader, writer):
+        state["connections"] += 1
+        behavior = state["script"].pop(0) if state["script"] else DROP
+        try:
+            if behavior != DROP:
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                writer.write(behavior)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def wrapper():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = yield_client(port)
+            return await scenario(client), state["connections"]
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def yield_client(port):
+        return AsyncEvalClient(f"http://127.0.0.1:{port}",
+                               timeout=5.0, retries=2, backoff=0.001)
+
+    return asyncio.run(wrapper())
+
+
+class TestRetryPolicy:
+    def test_transient_drop_then_recovery_succeeds(self, endpoint):
+        fake = endpoint([DROP, DROP, STATS_OK])
+        client = EvalClient(fake.address, retries=2, backoff=0.001)
+        assert client.stats() == {"computed": 3}
+        assert fake.connections == 3
+
+    def test_retry_budget_exhaustion_raises_transport_error(self, endpoint):
+        fake = endpoint([DROP, DROP, DROP])
+        client = EvalClient(fake.address, retries=2, backoff=0.001)
+        with pytest.raises(TransportError):
+            client.stats()
+        assert fake.connections == 3    # exactly retries + 1 attempts
+
+    def test_retries_zero_means_single_attempt(self, endpoint):
+        fake = endpoint([DROP, STATS_OK])
+        client = EvalClient(fake.address, retries=0, backoff=0.001)
+        with pytest.raises(TransportError):
+            client.stats()
+        assert fake.connections == 1
+
+    def test_shutdown_is_never_retried(self, endpoint):
+        # A lost shutdown response may mean the shutdown *landed*;
+        # re-sending it would kill a daemon that restarted in between.
+        fake = endpoint([DROP, SHUTDOWN_OK])
+        client = EvalClient(fake.address, retries=5, backoff=0.001)
+        with pytest.raises(TransportError):
+            client.shutdown()
+        assert fake.connections == 1
+        assert "shutdown" in NON_IDEMPOTENT_OPS
+
+    def test_structured_server_errors_are_not_retried(self, endpoint):
+        # Deterministic failures re-fail identically: retrying a 500
+        # would just run the broken request again.
+        fake = endpoint([http_response({"ok": False, "error": "boom"},
+                                       status=500), STATS_OK])
+        client = EvalClient(fake.address, retries=3, backoff=0.001)
+        with pytest.raises(SimulationError, match="boom") as excinfo:
+            client.stats()
+        assert not isinstance(excinfo.value, TransportError)
+        assert fake.connections == 1
+
+    def test_async_transient_drop_then_recovery(self):
+        async def scenario(client):
+            return await client.stats()
+        stats, connections = run_async_endpoint(
+            [DROP, DROP, STATS_OK], scenario)
+        assert stats == {"computed": 3}
+        assert connections == 3
+
+    def test_async_shutdown_is_never_retried(self):
+        async def scenario(client):
+            with pytest.raises(TransportError):
+                await client.shutdown()
+            return None
+        _, connections = run_async_endpoint([DROP, SHUTDOWN_OK], scenario)
+        assert connections == 1
+
+    def test_retry_delay_is_jittered_exponential(self):
+        for attempt in range(4):
+            nominal = 0.2 * (2 ** attempt)
+            samples = [_retry_delay(0.2, attempt) for _ in range(200)]
+            assert all(0.5 * nominal <= s < 1.5 * nominal for s in samples)
+            # Jitter actually jitters — a fleet's retries must spread.
+            assert len({round(s, 9) for s in samples}) > 1
+
+    def test_default_retry_budget_is_small(self):
+        assert 1 <= DEFAULT_RETRIES <= 3
+
+
+class TestAsyncResponseParser:
+    def _request(self, response_bytes):
+        async def scenario(client):
+            return await client.stats()
+
+        def run():
+            return run_async_endpoint([response_bytes], scenario)
+        return run
+
+    def test_malformed_content_length_is_structured(self):
+        response = (b"HTTP/1.1 200 X\r\n"
+                    b"Content-Length: not-a-number\r\n"
+                    b"Connection: close\r\n\r\n{}")
+        with pytest.raises(SimulationError,
+                           match="malformed Content-Length") as excinfo:
+            self._request(response)()
+        assert not isinstance(excinfo.value, ValueError)
+
+    def test_negative_content_length_is_structured(self):
+        response = (b"HTTP/1.1 200 X\r\n"
+                    b"Content-Length: -7\r\n"
+                    b"Connection: close\r\n\r\n{}")
+        with pytest.raises(SimulationError,
+                           match="malformed Content-Length"):
+            self._request(response)()
+
+    def test_header_line_count_is_bounded(self):
+        junk = b"".join(b"X-Pad-%d: y\r\n" % i
+                        for i in range(MAX_HEADER_LINES + 8))
+        response = (b"HTTP/1.1 200 X\r\n" + junk
+                    + b"Content-Length: 2\r\n\r\n{}")
+        with pytest.raises(SimulationError, match="header lines"):
+            self._request(response)()
+
+    def test_oversized_line_protocol_response_is_structured(self, tmp_path):
+        # A reply line bigger than the stream limit must surface as a
+        # structured error, not asyncio's raw readline() ValueError.
+        path = tmp_path / "eval.sock"
+
+        async def handle(reader, writer):
+            await reader.readline()
+            writer.write(b"x" * (MAX_BODY_BYTES + 4096))
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_unix_server(handle, path=str(path))
+            try:
+                client = AsyncEvalClient(f"unix://{path}", timeout=30.0,
+                                         retries=0)
+                with pytest.raises(SimulationError, match="stream limit"):
+                    await client.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_within_limit_line_protocol_response_parses(self, tmp_path):
+        # The reason limit= must be MAX_BODY_BYTES: a legitimate
+        # latency-bearing reply is far bigger than asyncio's 64 KiB
+        # default, which used to blow up readline().
+        path = tmp_path / "eval.sock"
+        payload = {"ok": True, "stats": {"pad": "y" * (256 * 1024)}}
+
+        async def handle(reader, writer):
+            await reader.readline()
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_unix_server(handle, path=str(path))
+            try:
+                client = AsyncEvalClient(f"unix://{path}", timeout=30.0,
+                                         retries=0)
+                return await client.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(scenario()) == payload["stats"]
