@@ -314,8 +314,12 @@ def clear_device_caches() -> None:
     them; clearing only here would leave the store addressing results
     computed under the old model.
     """
-    _DEVICE_CACHE.clear()
-    _CONTROLLER_CACHE.clear()
+    # Under the lock: a concurrent device_for() build must not land its
+    # double-checked insert between the two clears and survive with a
+    # stale model.
+    with _CACHE_LOCK:
+        _DEVICE_CACHE.clear()
+        _CONTROLLER_CACHE.clear()
     cached_trace_arrays.cache_clear()
     _ADOPTED_TRACES.clear()
     clear_trace_plane()
