@@ -264,10 +264,15 @@ def available() -> bool:
 
 
 def reset_probe() -> None:
-    """Forget the availability probe (tests that flip the environment)."""
+    """Forget the availability probe (tests that flip the environment).
+
+    Holds the probe lock: resetting mid-probe on another thread must
+    not let a half-initialized ``_LIB`` slip out as "probed".
+    """
     global _LIB, _PROBED
-    _LIB = None
-    _PROBED = False
+    with _PROBE_LOCK:
+        _LIB = None
+        _PROBED = False
 
 
 def _as_double_ptr(array: np.ndarray):
