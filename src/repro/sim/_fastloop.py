@@ -23,11 +23,26 @@ change, and fast-math stays off.
 
 The library is cached on disk keyed by the SHA-256 of the source, so a
 process pays the compile once ever (pool workers dlopen the cached
-artifact).  Where no C toolchain exists the module reports itself
+artifact).  A corrupt or truncated cached artifact (a build killed
+mid-copy, a full disk) triggers one rebuild instead of reporting the
+twin gone.  Where no C toolchain exists the module reports itself
 unavailable and the controller's dispatch falls back to the scalar
 recurrence — same results, scalar speed — counted under
 ``fallback_toolchain``.  ``REPRO_FASTLOOP=0`` forces that fallback
 deterministically (tests, benchmarks).
+
+``REPRO_FASTLOOP_SANITIZE=asan,ubsan`` (or ``tsan`` for the threaded
+per-bank path) recompiles the twin with the matching ``-fsanitize=``
+flags into a *separate* cache entry — the sanitizer list salts both the
+source hash and the filename, so an instrumented artifact can never be
+dlopened where the production twin is expected.  ASan twins need the
+runtime preloaded into CPython (``LD_PRELOAD=libasan.so`` plus
+``ASAN_OPTIONS=detect_leaks=0``); without the preload the ASan runtime
+exits the calling process from *inside* dlopen, so sanitized artifacts
+are test-loaded in a throwaway subprocess first and the probe degrades
+to the scalar fallback when they refuse to load.
+``examples/sanitize_smoke.py`` sets the preload up and CI's
+``kernel-sanitize`` job drives the equivalence suite under it.
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ import ctypes
 import hashlib
 import os
 import subprocess
+import sys
 import tempfile
 import threading
 from pathlib import Path
@@ -50,6 +66,19 @@ FASTLOOP_ENV_VAR = "REPRO_FASTLOOP"
 #: Override for the shared-library cache directory (useful when the
 #: package tree is read-only).
 CACHE_ENV_VAR = "REPRO_FASTLOOP_CACHE"
+
+#: Comma-separated sanitizer list (``asan``, ``ubsan``, ``tsan``) for
+#: instrumented twin builds.  Unknown tokens raise: a typo must fail
+#: loudly, not silently hand back an uninstrumented twin.
+SANITIZE_ENV_VAR = "REPRO_FASTLOOP_SANITIZE"
+
+#: Sanitizer token -> extra compiler flags.  UBSan artifacts dlopen into
+#: plain CPython; ASan/TSan ones need their runtime preloaded first.
+_SANITIZER_FLAGS = {
+    "asan": ("-fsanitize=address", "-fno-omit-frame-pointer"),
+    "tsan": ("-fsanitize=thread",),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=undefined"),
+}
 
 # One routine covers every device class.  ``per_bank`` selects the
 # contention-free per-bank-queue recurrence (COMET-class photonic
@@ -174,20 +203,42 @@ int repro_schedule_loop(
 ADMISSION_BINDS = object()
 
 #: ``None`` = not probed yet; ``False`` = unavailable this process.
+#: Writes hold ``_PROBE_LOCK`` (double-checked: reads stay lock-free).
+# staticcheck: guarded-by[_PROBE_LOCK]
 _LIB: Optional[object] = None
-_PROBED = False
+_PROBED = False  # staticcheck: guarded-by[_PROBE_LOCK]
 
 
 def _cache_dir() -> Path:
+    # Toolchain/cache configuration reads select *where* the twin
+    # builds and whether it engages — never what it computes — so they
+    # are allow-listed from the determinism lint.
+    # staticcheck: allow[determinism]
     override = os.environ.get(CACHE_ENV_VAR)
     if override:
         return Path(override)
     return Path(__file__).resolve().parent / "_fastloop_cache"
 
 
-def _compile(source: str, target: Path) -> bool:
+def sanitize_tokens() -> tuple:
+    """Requested sanitizers, deduplicated and sorted; ``()`` means the
+    production build.  Raises ``ValueError`` on an unknown token."""
+    # staticcheck: allow[determinism]  (build-config read, as above)
+    raw = os.environ.get(SANITIZE_ENV_VAR, "")
+    tokens = sorted({tok.strip().lower()
+                     for tok in raw.split(",") if tok.strip()})
+    unknown = [tok for tok in tokens if tok not in _SANITIZER_FLAGS]
+    if unknown:
+        raise ValueError(
+            f"{SANITIZE_ENV_VAR} names unknown sanitizer(s) {unknown}; "
+            f"known: {sorted(_SANITIZER_FLAGS)}")
+    return tuple(tokens)
+
+
+def _compile(source: str, target: Path, extra_flags=()) -> bool:
     """Compile the twin into ``target`` (atomic rename); False on any
     toolchain failure."""
+    # staticcheck: allow[determinism]  (build-config read, as above)
     compiler = os.environ.get("CC", "cc")
     try:
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -200,6 +251,7 @@ def _compile(source: str, target: Path) -> bool:
                  # No contraction, no fast-math: every double op must
                  # round exactly where the Python loop rounds.
                  "-ffp-contract=off", "-fno-fast-math",
+                 *extra_flags,
                  "-o", str(obj), str(src), "-lm"],
                 capture_output=True, timeout=120)
             if result.returncode != 0 or not obj.exists():
@@ -210,17 +262,16 @@ def _compile(source: str, target: Path) -> bool:
         return False
 
 
-def _load():
-    """dlopen the cached twin, compiling it first if needed."""
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    target = _cache_dir() / f"fastloop-{digest}.so"
-    if not target.exists() and not _compile(_C_SOURCE, target):
+def _dlopen(target: Path):
+    """CDLL + prototype the twin; ``None`` when the artifact is absent
+    or unloadable (truncated file, wrong arch, missing symbol)."""
+    if not target.exists():
         return None
     try:
         lib = ctypes.CDLL(str(target))
-    except OSError:
+        fn = lib.repro_schedule_loop
+    except (OSError, AttributeError):
         return None
-    fn = lib.repro_schedule_loop
     fn.restype = ctypes.c_int
     fn.argtypes = [
         ctypes.c_longlong, ctypes.POINTER(ctypes.c_longlong),
@@ -239,6 +290,69 @@ def _load():
     return fn
 
 
+def _subprocess_loadable(target: Path) -> bool:
+    """True when ``target`` dlopens in a throwaway interpreter.
+
+    Sanitizer runtimes can refuse to initialize when the host process
+    was not started under them — ASan without ``LD_PRELOAD=libasan.so``
+    hard-exits the *calling* process from inside ``dlopen`` — so
+    sanitized artifacts are test-loaded in a subprocess (which inherits
+    this process's preload environment) before this process risks the
+    dlopen itself.  Production artifacts never pay this cost."""
+    code = "import ctypes, sys; ctypes.CDLL(sys.argv[1])"
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", code, str(target)],
+            capture_output=True, timeout=120)
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return proc.returncode == 0
+
+
+def _load():
+    """dlopen the cached twin, compiling it first if needed."""
+    tokens = sanitize_tokens()
+    key = _C_SOURCE
+    suffix = ""
+    if tokens:
+        # Salt the hash *and* the filename: an instrumented artifact
+        # must never collide with the production .so in the cache.
+        key += "\0sanitize=" + ",".join(tokens)
+        suffix = "-" + "-".join(tokens)
+    digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+    target = _cache_dir() / f"fastloop-{digest}{suffix}.so"
+    fresh = not target.exists()
+    if fresh or (tokens and not _subprocess_loadable(target)):
+        # Cache miss — or a corrupt/partial artifact (a build killed
+        # mid-copy, a full disk): rebuild once instead of degrading to
+        # fallback_toolchain with a perfectly good compiler around.
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        extra = tuple(f for tok in tokens for f in _SANITIZER_FLAGS[tok])
+        if not _compile(_C_SOURCE, target, extra):
+            return None
+    if tokens and not _subprocess_loadable(target):
+        # A freshly built artifact that still refuses to load means the
+        # sanitizer runtime cannot live in this process (e.g. ASan with
+        # no preload): degrade to the scalar fallback instead of letting
+        # the in-process dlopen take the interpreter down.
+        return None
+    fn = _dlopen(target)
+    if fn is None and not tokens:
+        # Production path keeps the original corrupt-artifact recovery:
+        # dlopen is the probe, one rebuild on failure.
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        if not _compile(_C_SOURCE, target):
+            return None
+        fn = _dlopen(target)
+    return fn
+
+
 #: Serializes the first-use probe: under the thread pool many workers
 #: can race into :func:`available` before anyone has compiled/dlopened
 #: the twin; the double-checked lock makes exactly one thread probe.
@@ -253,6 +367,9 @@ os.register_at_fork(
 def available() -> bool:
     """True when the compiled twin can serve schedules in this process."""
     global _LIB, _PROBED
+    # Kill-switch read: forces the bit-identical scalar fallback,
+    # results cannot move.
+    # staticcheck: allow[determinism]
     if os.environ.get(FASTLOOP_ENV_VAR, "1") == "0":
         return False
     if not _PROBED:
