@@ -6,7 +6,7 @@ evaluated together.
 """
 
 from repro.arch.endurance import EnduranceModel, StartGapWearLeveler
-from repro.device.drift import TEN_YEARS_S, TransmissionDriftModel
+from repro.device.drift import TransmissionDriftModel
 from repro.device.mlc import MultiLevelCell
 from repro.device.thermal_crosstalk import comet_write_disturb_report
 from repro.errors import ConfigError

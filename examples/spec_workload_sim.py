@@ -14,7 +14,6 @@ import tempfile
 
 from repro.sim import (
     ARCHITECTURE_NAMES,
-    MainMemorySimulator,
     TraceReader,
     TraceWriter,
     generate_trace,

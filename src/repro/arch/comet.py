@@ -7,9 +7,6 @@ This is the object examples and the simulator factory consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
 from ..config import (
     CHANNEL_CAPACITY_BYTES,
     COMET_TIMINGS,

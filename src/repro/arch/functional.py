@@ -108,7 +108,6 @@ class FunctionalCometMemory:
         return self.mapper.map_address(address)
 
     def _bytes_to_levels(self, data: bytes) -> np.ndarray:
-        bits = self.org.bits_per_cell
         value = int.from_bytes(data, "big")
         levels = self.mlc.unpack_values(value, self.org.cols_per_subarray)
         return np.array(levels, dtype=int)

@@ -19,7 +19,7 @@ COSMOS model from :mod:`repro.baselines.cosmos`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..config import OpticalParameters, TABLE_I

@@ -21,7 +21,7 @@ single dataclass.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from .errors import ConfigError

@@ -23,7 +23,6 @@ produced by the physics, not the calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Tuple
 
 import numpy as np

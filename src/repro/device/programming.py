@@ -22,7 +22,6 @@ latency (pulse + thermal settle back below Tg).
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 

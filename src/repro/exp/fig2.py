@@ -12,7 +12,7 @@ contrast, for COMET's isolated cells (zero by construction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ wins the Section III.A figure of merit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np

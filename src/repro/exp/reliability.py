@@ -15,7 +15,7 @@ from ..device.drift import TEN_YEARS_S, TransmissionDriftModel
 from ..device.mlc import MultiLevelCell
 from ..device.thermal_crosstalk import comet_write_disturb_report
 from ..errors import ConfigError
-from ..photonics.wdm import comet_wavelength_plan, ring_addressability
+from ..photonics.wdm import comet_wavelength_plan
 from .report import print_table
 
 

@@ -9,8 +9,8 @@ required launch power for a target delivered power falls out directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 from ..config import OpticalParameters, TABLE_I
 from ..errors import ConfigError

@@ -28,7 +28,7 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 from ..errors import SolverError
-from .indices import AIR_INDEX, SILICA_INDEX, SILICON_INDEX
+from .indices import SILICA_INDEX, SILICON_INDEX
 from .slab import Layer, MultilayerSlabSolver
 
 

@@ -48,7 +48,8 @@ from __future__ import annotations
 
 import atexit
 import os
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -582,9 +583,6 @@ _ATTACHED_TRACES: Dict[str, Tuple[object, TraceArrays]] = {}
 #: owned segment first — workers holding its descriptor fall back to
 #: local generation, which is merely slower.
 MAX_OWNED_SEGMENTS = 32
-
-
-import threading
 
 _ATTACH_LOCK = threading.Lock()
 

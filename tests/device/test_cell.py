@@ -5,7 +5,6 @@ import pytest
 
 from repro.device import CellGeometry, OpticalGstCell
 from repro.errors import ConfigError, MaterialError
-from repro.materials import get_material
 
 
 class TestResponse:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.device import MultiLevelCell, ProgrammingMode
+from repro.device import ProgrammingMode
 from repro.errors import ProgrammingError
 
 

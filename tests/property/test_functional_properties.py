@@ -5,7 +5,6 @@ loss-aware gain LUT enabled and Table I losses, *any* data written to
 *any* line survives readout bit-exactly at 4 bits/cell.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,8 +6,6 @@ budget algebra, trace round-trips, MLC packing, JMAK monotonicity, LUT
 compensation bounds, and scheduler conservation laws.
 """
 
-import math
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -56,7 +54,7 @@ class TestAddressMapping:
         locations = {
             (loc.channel, loc.bank, loc.subarray_id,
              loc.subarray_row, loc.subarray_col)
-            for loc in (_MAPPER.map_address(l * 128) for l in line_list)
+            for loc in (_MAPPER.map_address(line * 128) for line in line_list)
         }
         assert len(locations) == len(line_list)
 

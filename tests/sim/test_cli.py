@@ -1,6 +1,5 @@
 """Command-line runner (python -m repro.sim)."""
 
-import io
 import json
 import tempfile
 
@@ -99,8 +98,9 @@ class TestStoreAndExport:
         warm = capsys.readouterr().out
         assert "2 cached, 0 computed" in warm
         # Identical table modulo the store provenance line.
-        strip = lambda out: [line for line in out.splitlines()
-                             if not line.startswith("store")]
+        def strip(out):
+            return [line for line in out.splitlines()
+                    if not line.startswith("store")]
         assert strip(warm) == strip(cold)
 
     def test_export_csv_to_file(self, capsys, tmp_path):

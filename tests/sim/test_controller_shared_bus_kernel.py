@@ -17,7 +17,6 @@ toolchain (``REPRO_FASTLOOP=0``), a fast-path-ineligible device
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.sim import _fastloop
 from repro.sim import controller as controller_mod

@@ -92,7 +92,8 @@ class TestControllerScheduling:
         with_ta = simple_device(shared_bus=True, bus_turnaround_ns=6.0,
                                 write_occupancy_ns=10.0)
         without_ta = simple_device(shared_bus=True, write_occupancy_ns=10.0)
-        requests = lambda: [read_at(0.0, 0), write_at(0.0, 128)]
+        def requests():
+            return [read_at(0.0, 0), write_at(0.0, 128)]
         latency_ta = MemoryController(with_ta).run(requests()).latencies_ns[1]
         latency_plain = MemoryController(without_ta).run(
             requests()).latencies_ns[1]

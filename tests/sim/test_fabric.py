@@ -16,9 +16,8 @@ import pytest
 from repro.errors import SimulationError
 from repro.sim import engine
 from repro.sim.engine import EvalTask, evaluate_cell
-from repro.sim.fabric import (FabricResult, federate_stats_async,
-                              partition_index, partition_tasks,
-                              run_fabric_async)
+from repro.sim.fabric import (federate_stats_async, partition_index,
+                              partition_tasks, run_fabric_async)
 from repro.sim.server import EvalServer
 from repro.sim.store import ResultStore, task_digest
 from repro.sim.sweep import SweepSpec, run_sweep

@@ -16,7 +16,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.sim import engine
 from repro.sim.client import AsyncEvalClient, EvalClient
-from repro.sim.engine import EvalTask, evaluate_cell, grid_tasks, task_to_dict
+from repro.sim.engine import EvalTask, evaluate_cell, task_to_dict
 from repro.sim.server import EvalServer, MAX_CELLS_PER_QUERY, _parse_query
 from repro.sim.store import ResultStore
 from repro.sim.sweep import SweepSpec
