@@ -118,6 +118,7 @@ KERNEL_CLASSES: Tuple[str, ...] = ("per_bank", "shared_bus", "global_queue")
 #: Counters are process-wide and thread-safe (every mutation holds
 #: ``_COUNTER_LOCK``); under fork fan-out each worker keeps its own and
 #: the engine merges the deltas back via :func:`merge_kernel_counters`.
+# staticcheck: guarded-by[_COUNTER_LOCK, reads]
 _KERNEL_COUNTERS = {
     "fast": 0,
     "fast_per_bank": 0,

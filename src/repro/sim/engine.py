@@ -91,7 +91,9 @@ POOL_MODES: Tuple[str, ...] = ("threads", "fork", "serial")
 #: thread pool never uses the plane.
 TRACE_PLANE_ENV_VAR = "REPRO_TRACE_PLANE"
 
+# staticcheck: guarded-by[_CACHE_LOCK]
 _DEVICE_CACHE: Dict[str, "MemoryDeviceModel"] = {}
+# staticcheck: guarded-by[_CACHE_LOCK]
 _CONTROLLER_CACHE: Dict[Tuple[str, Optional[int]], MemoryController] = {}
 
 #: Guards the device/controller cache build: under the thread pool many
@@ -113,6 +115,7 @@ _THREAD_POOL: Optional[Tuple[Any, int]] = None
 #: their own process and return per-cell deltas the parent merges, so
 #: the totals cover the whole grid under every pool kind (summed across
 #: workers, they can exceed wall-clock).
+# staticcheck: guarded-by[_PROFILE_LOCK, reads]
 _PROFILE = {"trace_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 _PROFILE_LOCK = threading.Lock()
 
@@ -120,6 +123,7 @@ _PROFILE_LOCK = threading.Lock()
 #: wall-clock spent inside :func:`_map_tasks`, keyed by resolved pool
 #: mode — one run with ``REPRO_POOL=fork`` and one with ``threads``
 #: print side by side.
+# staticcheck: guarded-by[_PROFILE_LOCK, reads]
 _POOL_PROFILE: Dict[str, Dict[str, float]] = {}
 
 
@@ -165,7 +169,7 @@ ResultCallback = Callable[["EvalTask", SimStats], None]
 #: arrive, so it is accurate under process fan-out too; this is what the
 #: zero-recompute pinning tests and ``run-all --expect-no-compute``
 #: read.
-_COMPUTED_CELLS = 0
+_COMPUTED_CELLS = 0  # staticcheck: guarded-by[_COMPUTED_LOCK, reads]
 _COMPUTED_LOCK = threading.Lock()
 
 

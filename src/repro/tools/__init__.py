@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repo (static analysis, etc.).
+
+Nothing under ``repro.tools`` is imported by the simulation stack; the
+packages here are entry points (``python -m repro.tools.<name>``) run
+by CI and by developers.
+"""

@@ -1,0 +1,84 @@
+"""CLI: ``python -m repro.tools.staticcheck [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``--format json``
+emits a machine-readable report (schema pinned by the analyzer tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tools.staticcheck.checkers import ALL_CHECKERS
+from repro.tools.staticcheck.core import run_checks
+
+#: Bumped when the JSON report shape changes.
+REPORT_VERSION = 1
+
+
+def _parse_names(raw: str) -> list:
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.staticcheck",
+        description="AST-driven invariant analyzer for the repro tree")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to scan (default: <root>/src)")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root findings are reported relative to")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", metavar="NAMES",
+                        help="comma-separated checkers to run")
+    parser.add_argument("--ignore", metavar="NAMES",
+                        help="comma-separated checkers to skip")
+    parser.add_argument("--list-checkers", action="store_true",
+                        help="print available checkers and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.name}: {checker.description}")
+        return 0
+
+    known = {checker.name for checker in ALL_CHECKERS}
+    select = _parse_names(args.select) if args.select else None
+    ignore = _parse_names(args.ignore) if args.ignore else None
+    for names in (select or []), (ignore or []):
+        unknown = sorted(set(names) - known)
+        if unknown:
+            parser.error(f"unknown checker(s) {unknown}; "
+                         f"known: {sorted(known)}")
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"--root {args.root!r} is not a directory")
+    paths = [Path(p) for p in args.paths] or None
+    result = run_checks(root, ALL_CHECKERS, paths=paths,
+                        select=select, ignore=ignore)
+
+    if args.format == "json":
+        print(json.dumps({
+            "version": REPORT_VERSION,
+            "files_scanned": result.files_scanned,
+            "checkers": list(result.checkers),
+            "findings": [f.to_dict() for f in result.findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.describe())
+        noun = "finding" if len(result.findings) == 1 else "findings"
+        print(f"staticcheck: {len(result.findings)} {noun} across "
+              f"{result.files_scanned} files "
+              f"({len(result.checkers)} checkers)")
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

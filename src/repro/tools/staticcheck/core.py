@@ -1,0 +1,275 @@
+"""Checker framework: findings, parsed modules, pragmas, the runner.
+
+Pragmas are ordinary comments:
+
+``# staticcheck: allow[checker-a, checker-b]``
+    Suppress those checkers' findings on this line (same-line comment)
+    or on the next line (a comment on its own line).  ``allow[*]``
+    suppresses every checker.
+
+``# staticcheck: guarded-by[_SOME_LOCK]`` /
+``# staticcheck: guarded-by[_SOME_LOCK, reads]``
+    Declares the module-level attribute(s) assigned on this (or the
+    next) line as part of the lock-discipline registry: every mutation
+    — and with ``reads``, every read — must happen inside a
+    ``with _SOME_LOCK:`` block or a ``register_at_fork`` reinit path.
+    The default (writes-only) is the double-checked idiom: lock-free
+    reads, locked writes.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+_PRAGMA_RE = re.compile(
+    r"#\s*staticcheck:\s*(?P<kind>allow|guarded-by)\[(?P<body>[^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified violation, pointing at a file:line with a fix hint."""
+
+    checker: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    severity: str = "error"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def describe(self) -> str:
+        text = f"{self.path}:{self.line}: {self.severity}: " \
+               f"[{self.checker}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """A ``guarded-by`` pragma before name resolution: the declaring
+    line, the lock name, and whether reads are covered too."""
+
+    line: int
+    lock: str
+    reads: bool
+
+
+class Module:
+    """A parsed source file plus its pragma annotations."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: line -> frozenset of checker names allowed ("*" = all).
+        self.allow: Dict[int, frozenset] = {}
+        self.guards: List[GuardDecl] = []
+        self._parse_pragmas()
+
+    def _parse_pragmas(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            line, col = tok.start
+            own_line = not tok.line[:col].strip()
+            names = [part.strip()
+                     for part in match.group("body").split(",")
+                     if part.strip()]
+            # A comment on its own line annotates the next line; an
+            # inline comment annotates its own.
+            target = line + 1 if own_line else line
+            if match.group("kind") == "allow":
+                merged = self.allow.get(target, frozenset()) | set(names)
+                self.allow[target] = merged
+            else:
+                reads = "reads" in names[1:]
+                if names:
+                    self.guards.append(
+                        GuardDecl(line=target, lock=names[0], reads=reads))
+
+    def allows(self, checker: str, line: int) -> bool:
+        names = self.allow.get(line)
+        return bool(names) and (checker in names or "*" in names)
+
+
+class Project:
+    """Every parsed module, plus cross-module lookups."""
+
+    def __init__(self, root: Path, modules: Sequence[Module]):
+        self.root = root
+        self.modules = list(modules)
+        self._by_rel = {m.rel: m for m in self.modules}
+
+    def matching(self, *suffixes: str) -> List[Module]:
+        return [m for m in self.modules
+                if any(m.rel.endswith(s) for s in suffixes)]
+
+    def module(self, rel: str) -> Optional[Module]:
+        return self._by_rel.get(rel)
+
+    def dataclass_fields(self, class_name: str) -> Optional[List[str]]:
+        """Ordered field names of the first ``@dataclass`` named
+        ``class_name`` anywhere in the project; None when absent."""
+        for mod in self.modules:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name != class_name:
+                    continue
+                if not _is_dataclass(node):
+                    continue
+                names = []
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) \
+                            and isinstance(stmt.target, ast.Name) \
+                            and not _is_classvar(stmt.annotation):
+                        names.append(stmt.target.id)
+                return names
+        return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) \
+        else annotation
+    return dotted_name(target) in ("ClassVar", "typing.ClassVar")
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for Attribute/Name chains, '' for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class Checker:
+    """Base class: subclasses override one (or both) hooks."""
+
+    #: Unique identifier — pragma allow-lists and --select/--ignore
+    #: refer to checkers by this name.
+    name = ""
+    description = ""
+
+    def check_module(self, module: Module,
+                     project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class RunResult:
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    checkers: Tuple[str, ...] = ()
+
+
+_SKIP_DIRS = {"__pycache__", ".git", "_fastloop_cache"}
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".")
+                   for part in candidate.parts):
+                continue
+            files.append(candidate)
+    return files
+
+
+def load_project(root: Path, paths: Optional[Sequence[Path]] = None,
+                 ) -> Tuple[Project, List[Finding]]:
+    """Parse every .py under ``paths`` (default: ``root/src``).
+
+    Unparseable files become ``parse`` findings instead of aborting the
+    run — a syntax error must fail CI with a location, not a traceback.
+    """
+    root = root.resolve()
+    if paths is None:
+        paths = [root / "src"]
+    modules: List[Module] = []
+    errors: List[Finding] = []
+    for file in _collect_files([Path(p) for p in paths]):
+        file = file.resolve()
+        try:
+            rel = file.relative_to(root).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        source = file.read_text()
+        try:
+            modules.append(Module(file, rel, source))
+        except SyntaxError as exc:
+            errors.append(Finding(
+                checker="parse", path=rel, line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+                hint="fix the syntax error so the analyzers can run"))
+    return Project(root, modules), errors
+
+
+def run_checks(root: Path, checkers: Sequence[Checker],
+               paths: Optional[Sequence[Path]] = None,
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None) -> RunResult:
+    """Run ``checkers`` over the tree; pragma suppression applied here
+    so individual checkers never reimplement it."""
+    selected = list(checkers)
+    if select is not None:
+        wanted = set(select)
+        selected = [c for c in selected if c.name in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        selected = [c for c in selected if c.name not in dropped]
+
+    project, findings = load_project(root, paths)
+    for checker in selected:
+        raw: List[Finding] = []
+        raw.extend(checker.check_project(project))
+        for module in project.modules:
+            raw.extend(checker.check_module(module, project))
+        for finding in raw:
+            module = project.module(finding.path)
+            if module is not None \
+                    and module.allows(finding.checker, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.checker, f.message))
+    return RunResult(findings=findings,
+                     files_scanned=len(project.modules),
+                     checkers=tuple(c.name for c in selected))
