@@ -8,8 +8,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
@@ -36,6 +34,7 @@ class TestExamplesRun:
             "sweep_resume_demo.py",
             "server_smoke.py",
             "fabric_smoke.py",
+            "sanitize_smoke.py",
         }
 
     def test_quickstart(self):
@@ -94,6 +93,13 @@ class TestExamplesRun:
         assert "hit served without recomputation" in result.stdout
         assert "bit-identical" in result.stdout
         assert "clean shutdown" in result.stdout
+
+    def test_sanitize_smoke(self):
+        result = run_example("sanitize_smoke.py")
+        assert result.returncode == 0, result.stderr
+        # Unsupported toolchains skip legs; supported ones must pass.
+        assert ("all legs passed" in result.stdout
+                or "SKIP" in result.stdout), result.stdout
 
     def test_fabric_smoke(self):
         result = run_example("fabric_smoke.py")
