@@ -29,10 +29,13 @@ Key entry points:
   :class:`repro.sim.client.EvalClient` — the async evaluation daemon
   (HTTP + line protocol, store read-through, request coalescing) and
   its sync/async clients (``python -m repro.sim serve / query``).
-* :func:`repro.sim.fabric.run_fabric` — distributed sweeps across a
-  fleet of daemons (digest-prefix partitioning, work stealing, failure
-  re-dispatch) with audited store merging
-  (``python -m repro.sim fabric / merge-stores``).
+* :func:`repro.sim.fabric.run_fabric` — distributed sweeps across an
+  *elastic* fleet of daemons (digest-prefix partitioning, work
+  stealing, failure re-dispatch, health-checked membership with
+  mid-run join and re-admission) with audited store merging
+  (``python -m repro.sim fabric / merge-stores``);
+  :mod:`repro.sim.chaos` is the fault-injection harness that proves
+  the churn story against real subprocess daemons.
 """
 
 from .request import MemRequest, OpType
@@ -69,8 +72,10 @@ from .simulator import MainMemorySimulator, summarize
 from .server import EvalServer
 from .client import (AsyncEvalClient, EvalClient, SERVER_ENV_VAR,
                      TransportError, evaluate_tasks_remote)
-from .fabric import (FabricResult, federate_stats, partition_tasks,
-                     run_fabric, run_fabric_async)
+from .fabric import (FabricResult, HostFileMembership, MembershipEndpoint,
+                     MembershipSource, StaticMembership, announce_join,
+                     federate_stats, membership_counters, partition_tasks,
+                     reset_membership_counters, run_fabric, run_fabric_async)
 
 __all__ = [
     "MemRequest",
@@ -122,6 +127,13 @@ __all__ = [
     "run_fabric_async",
     "federate_stats",
     "partition_tasks",
+    "MembershipSource",
+    "StaticMembership",
+    "HostFileMembership",
+    "MembershipEndpoint",
+    "announce_join",
+    "membership_counters",
+    "reset_membership_counters",
     "SweepSpec",
     "SweepResult",
     "run_sweep",

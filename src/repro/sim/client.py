@@ -56,6 +56,13 @@ DEFAULT_RETRIES = 2
 #: with multiplicative jitter in [0.5, 1.5).
 DEFAULT_BACKOFF = 0.2
 
+#: Ceiling on the un-jittered retry delay (seconds).  ``backoff *
+#: 2**attempt`` is unbounded — at a high attempt count (the fabric's
+#: ``cell_attempts`` budget compounds with per-call retries) a single
+#: cell could sleep for minutes; the cap keeps the worst wait bounded
+#: while preserving the early exponential spread.
+DEFAULT_MAX_BACKOFF = 30.0
+
 #: Operations that must make exactly one attempt, whatever ``retries``
 #: says: a lost shutdown response may mean the shutdown *landed*, and
 #: re-sending it would take down a daemon that restarted in between.
@@ -70,14 +77,18 @@ class TransportError(SimulationError):
     the same garbage again."""
 
 
-def _retry_delay(backoff: float, attempt: int) -> float:
-    """Exponential backoff with multiplicative jitter.
+def _retry_delay(backoff: float, attempt: int,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF) -> float:
+    """Exponential backoff with multiplicative jitter, capped.
 
     Jitter spreads a fleet of clients hammering a restarted daemon
     back out in time instead of having every retry land in the same
     instant (the thundering-herd failure mode a fabric run exposes).
+    ``max_backoff`` bounds the un-jittered delay so a deep attempt
+    count never turns into a multi-minute sleep on one cell.
     """
-    return backoff * (2 ** attempt) * (0.5 + random.random())
+    return min(backoff * (2 ** attempt), max_backoff) * \
+        (0.5 + random.random())
 
 
 def default_server() -> Optional[str]:
@@ -154,11 +165,13 @@ class EvalClient:
     def __init__(self, address: Optional[str] = None,
                  timeout: float = DEFAULT_TIMEOUT,
                  retries: int = DEFAULT_RETRIES,
-                 backoff: float = DEFAULT_BACKOFF) -> None:
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF) -> None:
         self.transport, self.target = _split_address(address)
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
+        self.max_backoff = max_backoff
 
     # -- transport ----------------------------------------------------------
 
@@ -224,7 +237,8 @@ class EvalClient:
         attempts = 1 if op in NON_IDEMPOTENT_OPS else self.retries + 1
         for attempt in range(attempts):
             if attempt:
-                time.sleep(_retry_delay(self.backoff, attempt - 1))
+                time.sleep(_retry_delay(self.backoff, attempt - 1,
+                                        self.max_backoff))
             try:
                 return self._call_once(op, path, method, payload)
             except TransportError:
@@ -261,12 +275,18 @@ class EvalClient:
         """The daemon's ``/stats`` counters."""
         return self._call("stats", "/stats", "GET")["stats"]
 
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health payload (``GET /healthz`` / op ping):
+        ``ok``, uptime, in-flight count, pool kind and size.  Raises on
+        an unreachable daemon — use :meth:`ping` for a boolean probe."""
+        if self.transport == "unix":
+            return self._call("ping", "", "")
+        return self._call("ping", "/healthz", "GET")
+
     def ping(self) -> bool:
         """True iff the daemon answers its health check."""
         try:
-            if self.transport == "unix":
-                return bool(self._call("ping", "", "").get("pong"))
-            return bool(self._call("ping", "/healthz", "GET").get("ok"))
+            return bool(self.health().get("ok"))
         except SimulationError:
             return False
 
@@ -291,11 +311,13 @@ class AsyncEvalClient:
     def __init__(self, address: Optional[str] = None,
                  timeout: float = DEFAULT_TIMEOUT,
                  retries: int = DEFAULT_RETRIES,
-                 backoff: float = DEFAULT_BACKOFF) -> None:
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF) -> None:
         self.transport, self.target = _split_address(address)
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
+        self.max_backoff = max_backoff
 
     async def _read_line(self, reader: "Any", what: str) -> bytes:
         """One bounded line read with every failure mode structured:
@@ -463,7 +485,8 @@ class AsyncEvalClient:
         attempts = 1 if op in NON_IDEMPOTENT_OPS else self.retries + 1
         for attempt in range(attempts):
             if attempt:
-                await asyncio.sleep(_retry_delay(self.backoff, attempt - 1))
+                await asyncio.sleep(_retry_delay(self.backoff, attempt - 1,
+                                                 self.max_backoff))
             try:
                 return await self._call_once(op, path, method, payload)
             except TransportError:
@@ -493,6 +516,20 @@ class AsyncEvalClient:
 
     async def stats(self) -> Dict[str, Any]:
         return (await self._call("stats", "/stats", "GET"))["stats"]
+
+    async def health(self) -> Dict[str, Any]:
+        """The daemon's health payload, as :meth:`EvalClient.health`."""
+        if self.transport == "unix":
+            return await self._call("ping", "", "")
+        return await self._call("ping", "/healthz", "GET")
+
+    async def ping(self) -> bool:
+        """True iff the daemon answers its health check (the membership
+        prober's probe; mirrors :meth:`EvalClient.ping`)."""
+        try:
+            return bool((await self.health()).get("ok"))
+        except SimulationError:
+            return False
 
     async def shutdown(self) -> None:
         await self._call("shutdown", "/shutdown", "POST")

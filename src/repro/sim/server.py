@@ -47,6 +47,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, Executor, \
     ProcessPoolExecutor, ThreadPoolExecutor
@@ -196,6 +197,7 @@ class EvalServer:
         self._servers: List[asyncio.AbstractServer] = []
         self._shutdown = asyncio.Event()
         self.executor_kind = "none"
+        self._started_monotonic: Optional[float] = None
         # Baseline for the fast-path counters: /stats reports this
         # server's delta, not process-lifetime totals (keeps scripted
         # load replays deterministic).
@@ -207,6 +209,7 @@ class EvalServer:
 
     async def start(self) -> None:
         """Bind the front-ends and spin up the executors."""
+        self._started_monotonic = time.monotonic()
         self._compute = self._build_compute_pool()
         self._io = ThreadPoolExecutor(max_workers=2,
                                       thread_name_prefix="eval-store-io")
@@ -308,6 +311,27 @@ class EvalServer:
                                   thread_name_prefix="eval-compute")
 
     # -- stats / LRU --------------------------------------------------------
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: liveness plus cheap vitals.
+
+        ``{"ok": true}`` is the compatibility floor older probes check;
+        the rest lets the fabric's membership prober and ``fabric
+        stats`` share one health surface — uptime (monotonic seconds
+        since :meth:`start`, ``null`` before it), the in-flight
+        resolution count, and the compute pool's kind and size.  Cheap
+        by construction: no store I/O, no executor round-trips.
+        """
+        uptime: Optional[float] = None
+        if self._started_monotonic is not None:
+            uptime = max(0.0, time.monotonic() - self._started_monotonic)
+        return {
+            "ok": True,
+            "uptime_s": uptime,
+            "inflight": len(self._inflight),
+            "workers": self.workers,
+            "executor": self.executor_kind,
+        }
 
     def stats_snapshot(self) -> Dict[str, Any]:
         """The ``/stats`` payload: counters plus configuration.
@@ -543,7 +567,7 @@ class EvalServer:
         if path == "/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
-            return 200, {"ok": True}
+            return 200, self.health_snapshot()
         if path == "/stats":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -632,7 +656,7 @@ class EvalServer:
                 False
         op = payload.get("op", "eval") if isinstance(payload, dict) else "eval"
         if op == "ping":
-            return {"ok": True, "pong": True}, False
+            return {**self.health_snapshot(), "pong": True}, False
         if op == "stats":
             return {"ok": True, "stats": self.stats_snapshot()}, False
         if op == "shutdown":

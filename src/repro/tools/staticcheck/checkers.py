@@ -36,6 +36,7 @@ LOCK_AUDITED = (
     "repro/sim/controller.py",
     "repro/sim/engine.py",
     "repro/sim/_fastloop.py",
+    "repro/sim/fabric.py",
 )
 
 

@@ -1,0 +1,207 @@
+"""Fault injection against real daemon subprocesses.
+
+The tentpole acceptance pin lives here: a fabric run under a *seeded*
+chaos schedule — at least one SIGKILL + rejoin and one mid-run host
+join, with the victim and the injection points drawn from the seed —
+still produces results bit-identical to a serial :func:`run_sweep`.
+The in-process membership scenarios are in
+``test_fabric_membership.py``; these tests pay for subprocesses to get
+the failure modes mocks cannot fake: SIGKILLed sockets, SIGSTOPped
+(wedged-but-listening) processes, and severed TCP transports.
+"""
+
+import threading
+
+import pytest
+
+from repro.sim.chaos import Blackhole, ChaosDaemon, ChaosSchedule
+from repro.sim.fabric import HostFileMembership, run_fabric
+from repro.sim.store import ResultStore
+from repro.sim.sweep import SweepSpec, run_sweep
+
+#: 16 cells: enough runway for a kill, a ~1 s subprocess restart, a
+#: re-admission and a join to all land mid-run at chaos pacing.
+SPEC16 = SweepSpec(architectures=("EPCM-MM", "2D_DDR3"),
+                   workloads=("gcc", "lbm", "mcf", "milc"),
+                   num_requests=(300,), seeds=(7, 11),
+                   queue_depths=(None,))
+
+#: 8 cells for the single-fault scenarios.
+SPEC8 = SweepSpec(architectures=("EPCM-MM", "2D_DDR3"),
+                  workloads=("gcc", "lbm", "mcf", "milc"),
+                  num_requests=(300,), seeds=(7,), queue_depths=(None,))
+
+#: No client retries and a fast prober: fault verdicts land within a
+#: probe tick of the injection instead of stretching the test.
+FABRIC = dict(window=1, retries=0, backoff=0.05, cell_attempts=8,
+              probe_interval=0.1, probe_timeout=0.5, timeout=60.0)
+
+
+def test_seeded_kill_rejoin_and_midrun_join_bit_identical(tmp_path):
+    """The acceptance pin.  ChaosSchedule.seeded draws a victim, a
+    SIGKILL point, its restart and a join point from the seed; the
+    fabric must absorb all of it and match a serial run bit for bit,
+    with the rejoin and the join both visible in provenance."""
+    schedule = ChaosSchedule.seeded(seed=1234,
+                                    num_cells=SPEC16.num_cells,
+                                    num_daemons=2)
+    hostfile = tmp_path / "hosts.txt"
+    progress = []
+    daemons = []
+    spare = None
+    try:
+        daemons = [ChaosDaemon(cell_delay=0.3,
+                               store=str(tmp_path / f"daemon{index}"))
+                   for index in range(2)]
+        spare = ChaosDaemon(cell_delay=0.3,
+                            store=str(tmp_path / "spare"))
+        hostfile.write_text("".join(d.address + "\n" for d in daemons))
+
+        def join_spare(_target):
+            hostfile.write_text("".join(
+                d.address + "\n" for d in (*daemons, spare)))
+
+        schedule.run_in_thread(
+            progress=lambda: len(progress),
+            actions={"kill": lambda t: daemons[t].kill(),
+                     "restart": lambda t: daemons[t].restart(),
+                     "join": join_spare})
+        local = ResultStore(tmp_path / "local")
+        result = run_fabric(
+            SPEC16, membership=HostFileMembership(hostfile), store=local,
+            on_result=lambda task, stats: progress.append(task), **FABRIC)
+        schedule.stop()    # surfaces any failed injection
+    finally:
+        for daemon in (*daemons, *(d for d in [spare] if d)):
+            daemon.close()
+    # Every scheduled fault actually fired mid-run.
+    assert [event.kind for event in schedule.fired] \
+        == [event.kind for event in schedule.events]
+    victim = daemons[schedule.events[0].target]
+    assert victim.address in result.readmitted
+    assert spare.address in result.joined
+    assert result.results == run_sweep(SPEC16).results
+    assert result.completed + result.store_hits == SPEC16.num_cells
+    assert sum(result.per_host.values()) == result.completed
+    # The reborn victim finished the run as a live member.
+    assert victim.address not in result.dead_hosts
+
+
+def test_sigstop_makes_host_suspect_then_recovers(tmp_path):
+    """A wedged-but-listening daemon (SIGSTOP: the kernel still accepts
+    TCP on its behalf) must go suspect on a probe timeout, hold new
+    dispatches, and come straight back on SIGCONT — without ever being
+    declared dead."""
+    progress = []
+    events = []
+    daemons = []
+    try:
+        daemons = [ChaosDaemon(cell_delay=0.15) for _ in range(2)]
+        victim = daemons[1]
+        thawed = threading.Event()
+
+        def on_membership(address, old, new, reason):
+            events.append((address, old, new))
+            if address == victim.address and new == "suspect" \
+                    and not thawed.is_set():
+                thawed.set()
+                victim.sigcont()
+
+        def freeze():
+            while not progress:
+                thawed.wait(0.01)
+            victim.sigstop()
+
+        freezer = threading.Thread(target=freeze, daemon=True)
+        freezer.start()
+        result = run_fabric(
+            SPEC8, [d.address for d in daemons],
+            on_result=lambda task, stats: progress.append(task),
+            on_membership=on_membership, **FABRIC)
+        freezer.join(timeout=10)
+    finally:
+        for daemon in daemons:
+            daemon.close()
+    assert (victim.address, "alive", "suspect") in events
+    assert (victim.address, "suspect", "alive") in events
+    assert not result.dead_hosts and not result.readmitted
+    assert result.results == run_sweep(SPEC8).results
+
+
+def test_blackhole_transport_fault_then_heal_readmits(tmp_path):
+    """A severed transport with a perfectly healthy daemon behind it:
+    the fabric declares the host dead on the transport failure,
+    re-dispatches its queue, then re-admits it once the network heals —
+    the network twin of the SIGKILL+restart arc."""
+    progress = []
+    events = []
+    direct = backend = hole = None
+    try:
+        direct = ChaosDaemon(cell_delay=0.15)
+        backend = ChaosDaemon(cell_delay=0.15)
+        hole = Blackhole(backend.port)
+        healed = threading.Event()
+
+        def on_membership(address, old, new, reason):
+            events.append((address, old, new))
+            if address == hole.address and new == "dead" \
+                    and not healed.is_set():
+                healed.set()
+                hole.heal()
+
+        def sever():
+            while not progress:
+                healed.wait(0.01)
+            hole.engage()
+
+        severer = threading.Thread(target=sever, daemon=True)
+        severer.start()
+        result = run_fabric(
+            SPEC8, [direct.address, hole.address],
+            on_result=lambda task, stats: progress.append(task),
+            on_membership=on_membership, **FABRIC)
+        severer.join(timeout=10)
+    finally:
+        for resource in (hole, direct, backend):
+            if resource is not None:
+                resource.close()
+    assert hole.address in result.readmitted
+    assert (hole.address, "dead", "rejoining") in events
+    assert result.results == run_sweep(SPEC8).results
+    assert sum(result.per_host.values()) == result.completed \
+        == SPEC8.num_cells
+
+
+def test_seeded_schedule_is_deterministic():
+    first = ChaosSchedule.seeded(seed=99, num_cells=40, num_daemons=3)
+    second = ChaosSchedule.seeded(seed=99, num_cells=40, num_daemons=3)
+    assert first.events == second.events
+    assert {event.kind for event in first.events} \
+        == {"kill", "restart", "join"}
+    different = ChaosSchedule.seeded(seed=100, num_cells=40, num_daemons=3)
+    # Not a guarantee for every seed pair, but pinned for these: the
+    # seed actually steers the schedule.
+    assert different.events != first.events
+
+
+def test_chaos_daemon_restart_keeps_port_and_store(tmp_path):
+    with ChaosDaemon(store=str(tmp_path / "store")) as daemon:
+        port = daemon.port
+        assert daemon.ping()
+        daemon.kill()
+        assert not daemon.ping()
+        daemon.restart()
+        assert daemon.port == port
+        assert daemon.ping()
+        assert daemon.stats()["store"]
+
+
+def test_blackhole_passthrough_engage_heal_cycle():
+    with ChaosDaemon() as daemon, Blackhole(daemon.port) as hole:
+        from repro.sim.client import EvalClient
+        proxied = EvalClient(hole.address, timeout=5.0, retries=0)
+        assert proxied.ping()
+        hole.engage()
+        assert not proxied.ping()
+        hole.heal()
+        assert proxied.ping()

@@ -15,14 +15,15 @@ import asyncio
 import json
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.client import (DEFAULT_RETRIES, MAX_BODY_BYTES,
-                              MAX_HEADER_LINES, NON_IDEMPOTENT_OPS,
-                              AsyncEvalClient, EvalClient, TransportError,
-                              _retry_delay)
+from repro.sim.client import (DEFAULT_MAX_BACKOFF, DEFAULT_RETRIES,
+                              MAX_BODY_BYTES, MAX_HEADER_LINES,
+                              NON_IDEMPOTENT_OPS, AsyncEvalClient,
+                              EvalClient, TransportError, _retry_delay)
 
 #: Close the connection without a byte — a daemon dying mid-restart.
 DROP = "drop"
@@ -208,6 +209,41 @@ class TestRetryPolicy:
 
     def test_default_retry_budget_is_small(self):
         assert 1 <= DEFAULT_RETRIES <= 3
+
+    def test_retry_delay_is_capped_by_max_backoff(self):
+        # Unbounded backoff * 2**attempt sleeps for minutes at the
+        # attempt counts a long fabric run reaches; the cap bounds
+        # every delay (jitter included: at most 1.5x the cap).
+        samples = [_retry_delay(0.2, attempt, max_backoff=1.0)
+                   for attempt in range(16) for _ in range(20)]
+        assert all(sample < 1.5 * 1.0 for sample in samples)
+        # Small attempts are untouched by a generous cap — the default
+        # schedule below the ceiling is exactly what it always was.
+        for attempt in range(3):
+            nominal = 0.2 * (2 ** attempt)
+            assert all(0.5 * nominal
+                       <= _retry_delay(0.2, attempt, max_backoff=60.0)
+                       < 1.5 * nominal for _ in range(50))
+
+    def test_default_max_backoff_bounds_the_worst_case(self):
+        assert 0 < DEFAULT_MAX_BACKOFF <= 60.0
+        assert _retry_delay(0.2, 60) < 1.5 * DEFAULT_MAX_BACKOFF
+
+    def test_max_backoff_knob_caps_real_retry_sleeps(self, endpoint):
+        # A pathological base backoff with a tight cap: the two retry
+        # sleeps are bounded by the cap, not the exponential schedule.
+        fake = endpoint([DROP, DROP, STATS_OK])
+        client = EvalClient(fake.address, retries=2, backoff=30.0,
+                            max_backoff=0.02)
+        started = time.monotonic()
+        assert client.stats() == {"computed": 3}
+        assert time.monotonic() - started < 5.0
+        assert fake.connections == 3
+
+    def test_async_client_accepts_max_backoff(self):
+        client = AsyncEvalClient("http://127.0.0.1:1", backoff=30.0,
+                                 max_backoff=0.02)
+        assert client.max_backoff == 0.02
 
 
 class TestAsyncResponseParser:

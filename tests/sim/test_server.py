@@ -170,6 +170,25 @@ class TestServedResults:
         assert stats == evaluate_cell(TASK)
         assert counters["computed"] == 1
 
+    def test_async_ping_matches_sync_health_surface(self):
+        # The membership prober runs on AsyncEvalClient.ping; it must
+        # see the same /healthz surface the sync client does.
+        async def scenario(server):
+            client = AsyncEvalClient(server.http_address)
+            return await client.ping(), await client.health()
+        alive, health = run_scenario(scenario)
+        assert alive is True
+        assert health["ok"] is True
+        assert health["uptime_s"] >= 0
+        assert health["workers"] >= 1
+
+    def test_async_ping_false_when_unreachable(self):
+        async def scenario(server):
+            address = server.http_address
+            await server.stop()
+            return await AsyncEvalClient(address, retries=0).ping()
+        assert run_scenario(scenario) is False
+
 
 class TestCoalescing:
     def test_16_concurrent_identical_queries_trigger_one_compute(
@@ -516,7 +535,10 @@ class TestLineProtocol:
 
         ping, evaluated, implicit, malformed, unknown, stats = \
             run_scenario(scenario, unix_path=tmp_path / "eval.sock")
-        assert ping == {"ok": True, "pong": True}
+        # The line ping carries the same enriched health payload as
+        # GET /healthz, plus the protocol's pong marker.
+        assert ping["ok"] is True and ping["pong"] is True
+        assert ping["uptime_s"] >= 0 and ping["inflight"] == 0
         assert evaluated["ok"] and implicit["ok"]
         assert evaluated["results"][0]["source"] == "computed"
         assert implicit["results"][0]["source"] == "lru"
@@ -553,7 +575,14 @@ class TestHttpMisc:
             stats = await raw_http(server.port, "GET", "/stats")
             return health, stats
         (health_status, health), (stats_status, stats) = run_scenario(scenario)
-        assert health_status == 200 and health == {"ok": True}
+        # {"ok": true} compatibility preserved; the enriched payload
+        # (uptime, in-flight count, pool kind/size) is what the fabric
+        # prober and `fabric stats` read.
+        assert health_status == 200 and health["ok"] is True
+        assert health["uptime_s"] >= 0
+        assert health["inflight"] == 0
+        assert health["workers"] >= 1
+        assert isinstance(health["executor"], str)
         assert stats_status == 200
         for key in ("queries", "cells", "computed", "coalesced",
                     "store_hits", "lru_hits", "errors", "inflight",
